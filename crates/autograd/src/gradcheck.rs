@@ -1,0 +1,89 @@
+//! Finite-difference gradient verification used throughout the test suite.
+
+use crate::graph::{Graph, Var};
+use sthsl_tensor::{Result, Tensor};
+
+/// Check analytic gradients of `f` against central finite differences.
+///
+/// `f` receives a fresh graph and one leaf `Var` per input tensor and must
+/// return a scalar loss variable. Panics (with coordinates) on mismatch, so it
+/// is intended for `#[test]` bodies.
+///
+/// Uses f64-friendly tolerances adapted to f32 arithmetic: the check passes
+/// when `|analytic − numeric| ≤ atol + rtol·|numeric|`.
+pub fn gradcheck(inputs: &[Tensor], f: impl Fn(&Graph, &[Var]) -> Result<Var>) {
+    gradcheck_tol(inputs, 1e-2, 2e-2, f);
+}
+
+/// [`gradcheck`] with explicit absolute/relative tolerances.
+pub fn gradcheck_tol(
+    inputs: &[Tensor],
+    atol: f32,
+    rtol: f32,
+    f: impl Fn(&Graph, &[Var]) -> Result<Var>,
+) {
+    // Analytic pass.
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let loss = f(&g, &vars).expect("forward pass failed");
+    let grads = g.backward(loss).expect("backward pass failed");
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
+        let loss = f(&g, &vars).expect("forward pass failed");
+        g.value(loss).item().expect("loss must be scalar")
+    };
+
+    let eps = 1e-2f32;
+    for (vi, input) in inputs.iter().enumerate() {
+        let analytic = grads
+            .get(vars[vi])
+            .unwrap_or_else(|| panic!("no gradient flowed to input {vi}"));
+        assert_eq!(analytic.shape(), input.shape(), "gradient shape mismatch");
+        for i in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[vi].data_mut()[i] += eps;
+            let mut minus = inputs.to_vec();
+            minus[vi].data_mut()[i] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            let tol = atol + rtol * numeric.abs();
+            assert!(
+                (a - numeric).abs() <= tol,
+                "gradient mismatch at input {vi}, flat index {i}: analytic {a}, numeric {numeric} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradcheck_accepts_correct_gradient() {
+        gradcheck(&[Tensor::from_vec(vec![1.0, -0.5], &[2]).unwrap()], |g, vars| {
+            let sq = g.square(vars[0]);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn gradcheck_rejects_wrong_gradient() {
+        // A deliberately wrong custom op: forward x², backward claims 3x².
+        gradcheck(&[Tensor::from_vec(vec![2.0], &[1]).unwrap()], |g, vars| {
+            let xv = g.value(vars[0]);
+            let out = xv.map(|v| v * v);
+            let bad = g.op(
+                out,
+                vec![vars[0]],
+                Box::new(|grad, p, _| {
+                    Ok(vec![Some(grad.zip_map(&p[0], |gv, xv| gv * 3.0 * xv * xv)?)])
+                }),
+            );
+            Ok(g.sum_all(bad))
+        });
+    }
+}

@@ -1,0 +1,237 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sthsl_tensor::{Result, Tensor, TensorError};
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Backward closure: given the gradient flowing into this node's output, the
+/// parents' forward values and this node's own forward value, produce the
+/// gradient contribution for each parent (None = parent needs no gradient).
+pub(crate) type GradFn =
+    Box<dyn Fn(&Tensor, &[Rc<Tensor>], &Tensor) -> Result<Vec<Option<Tensor>>>>;
+
+pub(crate) struct Node {
+    pub value: Rc<Tensor>,
+    pub parents: Vec<usize>,
+    pub grad_fn: Option<GradFn>,
+    /// Whether any gradient should flow into / through this node.
+    pub requires_grad: bool,
+}
+
+/// A single-use reverse-mode autodiff tape.
+///
+/// Create one graph per forward/backward pass. Interior mutability lets op
+/// constructors take `&self`, so forward code reads like ordinary expressions.
+pub struct Graph {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    training: bool,
+    pub(crate) rng: RefCell<StdRng>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Inference-mode graph (dropout disabled).
+    pub fn new() -> Self {
+        Graph {
+            nodes: RefCell::new(Vec::with_capacity(256)),
+            training: false,
+            rng: RefCell::new(StdRng::seed_from_u64(0)),
+        }
+    }
+
+    /// Training-mode graph: dropout layers sample masks from the seeded RNG.
+    pub fn training(seed: u64) -> Self {
+        Graph {
+            nodes: RefCell::new(Vec::with_capacity(256)),
+            training: true,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Whether dropout and other train-only behaviours are active.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Insert a tensor that requires gradient (a parameter leaf).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(Node {
+            value: Rc::new(value),
+            parents: vec![],
+            grad_fn: None,
+            requires_grad: true,
+        })
+    }
+
+    /// Insert a tensor that never receives gradient (data, masks, constants).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Node {
+            value: Rc::new(value),
+            parents: vec![],
+            grad_fn: None,
+            requires_grad: false,
+        })
+    }
+
+    /// Forward value of a variable (cheap `Rc` clone).
+    pub fn value(&self, v: Var) -> Rc<Tensor> {
+        Rc::clone(&self.nodes.borrow()[v.0].value)
+    }
+
+    /// Shape of a variable's forward value.
+    pub fn shape_of(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.0].value.shape().to_vec()
+    }
+
+    pub(crate) fn push(&self, node: Node) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        Var(nodes.len() - 1)
+    }
+
+    /// Record an op node. `requires_grad` is inherited from any parent.
+    pub(crate) fn op(&self, value: Tensor, parents: Vec<Var>, grad_fn: GradFn) -> Var {
+        let requires_grad = {
+            let nodes = self.nodes.borrow();
+            parents.iter().any(|p| nodes[p.0].requires_grad)
+        };
+        self.push(Node {
+            value: Rc::new(value),
+            parents: parents.into_iter().map(|v| v.0).collect(),
+            grad_fn: if requires_grad { Some(grad_fn) } else { None },
+            requires_grad,
+        })
+    }
+
+    /// Reverse-mode sweep from `loss` (which must be a scalar) back to the
+    /// leaves. Returns the full gradient table.
+    pub fn backward(&self, loss: Var) -> Result<Gradients> {
+        let nodes = self.nodes.borrow();
+        let loss_node = nodes.get(loss.0).ok_or_else(|| {
+            TensorError::Invalid("backward: variable not in this graph".into())
+        })?;
+        if loss_node.value.len() != 1 {
+            return Err(TensorError::Invalid(format!(
+                "backward: loss must be a scalar, got shape {:?}",
+                loss_node.value.shape()
+            )));
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.0] = Some(Tensor::full(loss_node.value.shape(), 1.0));
+
+        // The tape is already a topological order (parents precede children),
+        // so a single reverse pass suffices.
+        for id in (0..=loss.0).rev() {
+            let Some(grad_out) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            if let Some(grad_fn) = &node.grad_fn {
+                let parent_vals: Vec<Rc<Tensor>> =
+                    node.parents.iter().map(|&p| Rc::clone(&nodes[p].value)).collect();
+                let parent_grads = grad_fn(&grad_out, &parent_vals, &node.value)?;
+                debug_assert_eq!(parent_grads.len(), node.parents.len());
+                for (pi, pg) in node.parents.iter().zip(parent_grads) {
+                    let Some(pg) = pg else { continue };
+                    if !nodes[*pi].requires_grad {
+                        continue;
+                    }
+                    match &mut grads[*pi] {
+                        Some(acc) => acc.axpy(1.0, &pg)?,
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            // Keep leaf gradients; op gradients were taken and dropped.
+            if node.grad_fn.is_none() && node.requires_grad {
+                grads[id] = Some(grad_out);
+            }
+        }
+        Ok(Gradients { grads })
+    }
+}
+
+/// Gradient table produced by [`Graph::backward`], indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `v`, if any flowed there.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Take ownership of the gradient for `v`.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_of_sum_is_ones() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1., 2., 3.], &[3]).unwrap());
+        let s = g.sum_all(x);
+        let grads = g.backward(s).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[1., 1., 1.]);
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let c = g.constant(Tensor::scalar(5.0));
+        let y = g.mul(x, c).unwrap();
+        let grads = g.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap().item().unwrap(), 5.0);
+        assert!(grads.get(c).is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_over_fanout() {
+        // y = x + x => dy/dx = 2
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(1.5));
+        let y = g.add(x, x).unwrap();
+        let grads = g.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap().item().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn backward_rejects_non_scalar_loss() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[3]));
+        assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // z = (x*x) + (x*3); dz/dx = 2x + 3 = 7 at x=2
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let sq = g.mul(x, x).unwrap();
+        let tripled = g.scale(x, 3.0);
+        let z = g.add(sq, tripled).unwrap();
+        let grads = g.backward(z).unwrap();
+        assert_eq!(grads.get(x).unwrap().item().unwrap(), 7.0);
+    }
+}

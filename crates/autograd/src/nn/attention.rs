@@ -1,0 +1,77 @@
+//! Scaled dot-product attention (the building block of GMAN, STtrans, STDN
+//! and DeepCrime's temporal attention).
+
+use crate::graph::{Graph, Var};
+use sthsl_tensor::Result;
+
+/// `softmax(Q·Kᵀ / sqrt(d)) · V` for 2-D `q: [nq, d]`, `k: [nk, d]`,
+/// `v: [nk, dv]` → `[nq, dv]`.
+pub fn scaled_dot_attention(g: &Graph, q: Var, k: Var, v: Var) -> Result<Var> {
+    let d = *g.shape_of(q).last().expect("q must have a feature axis") as f32;
+    let kt = g.transpose2d(k)?;
+    let scores = g.matmul(q, kt)?;
+    let scores = g.scale(scores, 1.0 / d.sqrt());
+    let attn = g.softmax_lastdim(scores)?;
+    g.matmul(attn, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use crate::Graph;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sthsl_tensor::Tensor;
+
+    #[test]
+    fn attention_output_shape() {
+        let g = Graph::new();
+        let q = g.constant(Tensor::ones(&[3, 4]));
+        let k = g.constant(Tensor::ones(&[5, 4]));
+        let v = g.constant(Tensor::ones(&[5, 2]));
+        let o = scaled_dot_attention(&g, q, k, v).unwrap();
+        assert_eq!(g.shape_of(o), vec![3, 2]);
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        // Identical keys → uniform attention → output = mean of values.
+        let g = Graph::new();
+        let q = g.constant(Tensor::ones(&[1, 2]));
+        let k = g.constant(Tensor::ones(&[4, 2]));
+        let v = g.constant(Tensor::from_vec(vec![0., 4., 8., 12.], &[4, 1]).unwrap());
+        let o = scaled_dot_attention(&g, q, k, v).unwrap();
+        assert!((g.value(o).data()[0] - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn attention_grads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        gradcheck(
+            &[
+                Tensor::rand_normal(&[2, 3], 0.0, 1.0, &mut rng),
+                Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng),
+                Tensor::rand_normal(&[4, 2], 0.0, 1.0, &mut rng),
+            ],
+            |g, vars| {
+                let o = scaled_dot_attention(g, vars[0], vars[1], vars[2])?;
+                let sq = g.square(o);
+                Ok(g.sum_all(sq))
+            },
+        );
+    }
+
+    #[test]
+    fn sharp_attention_selects_matching_key() {
+        // A query matching one key much more strongly than others should
+        // return (approximately) that key's value.
+        let g = Graph::new();
+        let q = g.constant(Tensor::from_vec(vec![10.0, 0.0], &[1, 2]).unwrap());
+        let k = g.constant(
+            Tensor::from_vec(vec![1.0, 0.0, /*row2*/ -1.0, 0.0], &[2, 2]).unwrap(),
+        );
+        let v = g.constant(Tensor::from_vec(vec![7.0, -7.0], &[2, 1]).unwrap());
+        let o = scaled_dot_attention(&g, q, k, v).unwrap();
+        assert!(g.value(o).data()[0] > 6.9);
+    }
+}

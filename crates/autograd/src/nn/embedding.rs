@@ -1,0 +1,78 @@
+//! Learnable embedding table with index lookup.
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore, ParamVars};
+use rand::Rng;
+use sthsl_tensor::Result;
+use sthsl_tensor::Tensor;
+
+/// A `[num, dim]` table of learnable vectors (category embeddings `e_c`,
+/// node/region embeddings for adaptive-adjacency baselines).
+pub struct Embedding {
+    table: ParamId,
+    num: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register a table initialised `N(0, 0.1)`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = store.register(name, Tensor::rand_normal(&[num, dim], 0.0, 0.1, rng));
+        Embedding { table, num, dim }
+    }
+
+    /// Number of rows.
+    pub fn num(&self) -> usize {
+        self.num
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The whole table as a graph variable `[num, dim]`.
+    pub fn full(&self, pv: &ParamVars) -> Var {
+        pv.var(self.table)
+    }
+
+    /// Row lookup: returns `[indices.len(), dim]` (gradient scatter-adds).
+    pub fn lookup(&self, g: &Graph, pv: &ParamVars, indices: &[usize]) -> Result<Var> {
+        g.index_select(pv.var(self.table), 0, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn lookup_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        assert_eq!(emb.num(), 10);
+        assert_eq!(emb.dim(), 4);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let rows = emb.lookup(&g, &pv, &[3, 3, 7]).unwrap();
+        assert_eq!(g.shape_of(rows), vec![3, 4]);
+        let sq = g.square(rows);
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        let gt = grads.get(emb.full(&pv)).unwrap();
+        // Row 3 used twice → gradient 4x value; row 0 unused → zero grad.
+        let table = store.get(crate::ParamId(0));
+        for j in 0..4 {
+            assert!((gt.at(&[3, j]) - 4.0 * table.at(&[3, j])).abs() < 1e-5);
+            assert_eq!(gt.at(&[0, j]), 0.0);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fully-connected layer.
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore, ParamVars};
+use rand::Rng;
+use sthsl_tensor::{Result, Tensor};
+
+/// `y = x·W + b` where `x: [n, in]`, `W: [in, out]`, `b: [out]`.
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a linear layer's parameters (Xavier-uniform weight, zero bias).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            Tensor::xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
+        );
+        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply to `x: [n, in] → [n, out]`. Higher-rank inputs are flattened on
+    /// all but the last axis and reshaped back.
+    pub fn forward(&self, g: &Graph, pv: &ParamVars, x: Var) -> Result<Var> {
+        let shape = g.shape_of(x);
+        let last = *shape.last().expect("linear input must have rank >= 1");
+        let lead: usize = shape[..shape.len() - 1].iter().product();
+        let flat = g.reshape(x, &[lead, last])?;
+        let mut y = g.matmul(flat, pv.var(self.w))?;
+        if let Some(b) = self.b {
+            y = g.add(y, pv.var(b))?;
+        }
+        let mut out_shape = shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
+        g.reshape(y, &out_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 4, 3, true, &mut rng);
+        assert_eq!(store.len(), 2);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(Tensor::ones(&[5, 4]));
+        let y = layer.forward(&g, &pv, x).unwrap();
+        assert_eq!(g.shape_of(y), vec![5, 3]);
+    }
+
+    #[test]
+    fn forward_high_rank_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 4, 2, false, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(Tensor::ones(&[2, 3, 4]));
+        let y = layer.forward(&g, &pv, x).unwrap();
+        assert_eq!(g.shape_of(y), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn trains_to_fit_linear_map() {
+        use crate::optim::{Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 2, 1, true, &mut rng);
+        // Target: y = 2 x0 - x1 + 0.5
+        let xs = Tensor::rand_normal(&[64, 2], 0.0, 1.0, &mut rng);
+        let ys: Vec<f32> = xs
+            .data()
+            .chunks(2)
+            .map(|r| 2.0 * r[0] - r[1] + 0.5)
+            .collect();
+        let yt = Tensor::from_vec(ys, &[64, 1]).unwrap();
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..200 {
+            let g = Graph::new();
+            let pv = store.inject(&g);
+            let x = g.constant(xs.clone());
+            let t = g.constant(yt.clone());
+            let pred = layer.forward(&g, &pv, x).unwrap();
+            let loss = g.mse(pred, t).unwrap();
+            final_loss = g.value(loss).item().unwrap();
+            let grads = g.backward(loss).unwrap();
+            opt.step(&mut store, &pv, &grads).unwrap();
+        }
+        assert!(final_loss < 1e-3, "loss {final_loss}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Neural-network layers built on [`crate::Graph`] + [`crate::ParamStore`].
+//!
+//! Every layer registers its parameters in a `ParamStore` at construction and
+//! exposes a `forward(&self, g, pv, ...)` that builds graph nodes. Layers are
+//! therefore plain data — no interior state, trivially reusable across steps.
+
+mod attention;
+mod conv;
+mod embedding;
+mod graphconv;
+mod linear;
+mod norm;
+mod rnn;
+
+pub use attention::scaled_dot_attention;
+pub use conv::{Conv1d, Conv2d};
+pub use embedding::Embedding;
+pub use graphconv::GraphConv;
+pub use linear::Linear;
+pub use norm::LayerNorm;
+pub use rnn::{GruCell, LstmCell};

@@ -1,0 +1,73 @@
+//! Layer normalisation over the last axis.
+
+use crate::graph::{Graph, Var};
+use crate::params::{ParamId, ParamStore, ParamVars};
+use sthsl_tensor::{Result, Tensor};
+
+/// `y = γ ⊙ (x − mean) / sqrt(var + eps) + β`, statistics over the last axis.
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register scale (ones) and shift (zeros) of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: store.register(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: store.register(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply to a tensor whose last axis has width `dim`.
+    pub fn forward(&self, g: &Graph, pv: &ParamVars, x: Var) -> Result<Var> {
+        let last = g.shape_of(x).len() - 1;
+        let mean = g.mean_axis_keepdim(x, last)?;
+        let centered = g.sub(x, mean)?;
+        let sq = g.square(centered);
+        let var = g.mean_axis_keepdim(sq, last)?;
+        let std = g.sqrt_eps(var, self.eps);
+        let normed = g.div(centered, std)?;
+        let scaled = g.mul(normed, pv.var(self.gamma))?;
+        g.add(scaled, pv.var(self.beta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn output_rows_are_standardised() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(Tensor::from_vec(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[2, 4]).unwrap());
+        let y = ln.forward(&g, &pv, x).unwrap();
+        let v = g.value(y);
+        for row in v.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&r| (r - mean) * (r - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_grads() {
+        let mut rng = StdRng::seed_from_u64(6);
+        gradcheck(&[Tensor::rand_normal(&[3, 5], 0.0, 2.0, &mut rng)], |g, vars| {
+            let mut store = ParamStore::new();
+            let ln = LayerNorm::new(&mut store, "ln", 5);
+            let pv = store.inject(g);
+            let y = ln.forward(g, &pv, vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+}

@@ -1,0 +1,198 @@
+//! Recurrent cells (GRU, LSTM) used by the sequence baselines
+//! (DeepCrime, DCRNN, AGCRN, ST-MetaNet).
+
+use crate::graph::{Graph, Var};
+use crate::nn::Linear;
+use crate::params::{ParamStore, ParamVars};
+use rand::Rng;
+use sthsl_tensor::{Result, Tensor};
+
+/// Gated recurrent unit cell.
+///
+/// Gates follow the standard formulation:
+/// `z = σ(W_z·[x,h])`, `r = σ(W_r·[x,h])`,
+/// `h̃ = tanh(W_h·[x, r⊙h])`, `h' = (1−z)⊙h + z⊙h̃`.
+pub struct GruCell {
+    wz: Linear,
+    wr: Linear,
+    wh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Register a GRU cell's three gate projections.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        GruCell {
+            wz: Linear::new(store, &format!("{name}.wz"), input + hidden, hidden, true, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), input + hidden, hidden, true, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), input + hidden, hidden, true, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `x: [n, input]`, `h: [n, hidden] → [n, hidden]`.
+    pub fn step(&self, g: &Graph, pv: &ParamVars, x: Var, h: Var) -> Result<Var> {
+        let xh = g.concat(&[x, h], 1)?;
+        let z = g.sigmoid(self.wz.forward(g, pv, xh)?);
+        let r = g.sigmoid(self.wr.forward(g, pv, xh)?);
+        let rh = g.mul(r, h)?;
+        let xrh = g.concat(&[x, rh], 1)?;
+        let htilde = g.tanh(self.wh.forward(g, pv, xrh)?);
+        // h' = h + z ⊙ (h̃ − h)
+        let diff = g.sub(htilde, h)?;
+        let upd = g.mul(z, diff)?;
+        g.add(h, upd)
+    }
+
+    /// Run over a sequence `xs[t]: [n, input]`, returning the final hidden
+    /// state (zero-initialised).
+    pub fn run(&self, g: &Graph, pv: &ParamVars, xs: &[Var], n: usize) -> Result<Var> {
+        let mut h = g.constant(Tensor::zeros(&[n, self.hidden]));
+        for &x in xs {
+            h = self.step(g, pv, x, h)?;
+        }
+        Ok(h)
+    }
+
+    /// Run over a sequence returning every hidden state (for attention).
+    pub fn run_all(&self, g: &Graph, pv: &ParamVars, xs: &[Var], n: usize) -> Result<Vec<Var>> {
+        let mut h = g.constant(Tensor::zeros(&[n, self.hidden]));
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(g, pv, x, h)?;
+            out.push(h);
+        }
+        Ok(out)
+    }
+}
+
+/// Long short-term memory cell with forget-gate bias 1.
+pub struct LstmCell {
+    wi: Linear,
+    wf: Linear,
+    wo: Linear,
+    wc: Linear,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Register an LSTM cell's four gate projections.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        LstmCell {
+            wi: Linear::new(store, &format!("{name}.wi"), input + hidden, hidden, true, rng),
+            wf: Linear::new(store, &format!("{name}.wf"), input + hidden, hidden, true, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), input + hidden, hidden, true, rng),
+            wc: Linear::new(store, &format!("{name}.wc"), input + hidden, hidden, true, rng),
+            hidden,
+        }
+    }
+
+    /// One step: returns `(h', c')`.
+    pub fn step(&self, g: &Graph, pv: &ParamVars, x: Var, h: Var, c: Var) -> Result<(Var, Var)> {
+        let xh = g.concat(&[x, h], 1)?;
+        let i = g.sigmoid(self.wi.forward(g, pv, xh)?);
+        // +1 forget bias keeps early gradients flowing.
+        let f_lin = self.wf.forward(g, pv, xh)?;
+        let f = g.sigmoid(g.add_scalar(f_lin, 1.0));
+        let o = g.sigmoid(self.wo.forward(g, pv, xh)?);
+        let cand = g.tanh(self.wc.forward(g, pv, xh)?);
+        let fc = g.mul(f, c)?;
+        let ic = g.mul(i, cand)?;
+        let c_new = g.add(fc, ic)?;
+        let h_new = g.mul(o, g.tanh(c_new))?;
+        Ok((h_new, c_new))
+    }
+
+    /// Run over a sequence, returning the final hidden state.
+    pub fn run(&self, g: &Graph, pv: &ParamVars, xs: &[Var], n: usize) -> Result<Var> {
+        let mut h = g.constant(Tensor::zeros(&[n, self.hidden]));
+        let mut c = g.constant(Tensor::zeros(&[n, self.hidden]));
+        for &x in xs {
+            let (h2, c2) = self.step(g, pv, x, h, c)?;
+            h = h2;
+            c = c2;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gru_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 5, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(Tensor::ones(&[4, 3]));
+        let h = g.constant(Tensor::zeros(&[4, 5]));
+        let h2 = cell.step(&g, &pv, x, h).unwrap();
+        assert_eq!(g.shape_of(h2), vec![4, 5]);
+    }
+
+    #[test]
+    fn gru_learns_running_mean_task() {
+        // Predict the mean of a length-4 sequence of scalars.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 1, true, &mut rng);
+        let seqs = Tensor::rand_normal(&[16, 4], 0.0, 1.0, &mut rng);
+        let targets: Vec<f32> = seqs.data().chunks(4).map(|s| s.iter().sum::<f32>() / 4.0).collect();
+        let tt = Tensor::from_vec(targets, &[16, 1]).unwrap();
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let g = Graph::new();
+            let pv = store.inject(&g);
+            let xs: Vec<_> = (0..4)
+                .map(|t| {
+                    let col: Vec<f32> = (0..16).map(|i| seqs.data()[i * 4 + t]).collect();
+                    g.constant(Tensor::from_vec(col, &[16, 1]).unwrap())
+                })
+                .collect();
+            let h = cell.run(&g, &pv, &xs, 16).unwrap();
+            let pred = head.forward(&g, &pv, h).unwrap();
+            let t = g.constant(tt.clone());
+            let loss = g.mse(pred, t).unwrap();
+            last = g.value(loss).item().unwrap();
+            let grads = g.backward(loss).unwrap();
+            opt.step(&mut store, &pv, &grads).unwrap();
+        }
+        assert!(last < 0.02, "GRU failed to learn mean task: {last}");
+    }
+
+    #[test]
+    fn lstm_step_and_run_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 6, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let xs: Vec<_> = (0..3).map(|_| g.constant(Tensor::ones(&[5, 2]))).collect();
+        let h = cell.run(&g, &pv, &xs, 5).unwrap();
+        assert_eq!(g.shape_of(h), vec![5, 6]);
+    }
+}

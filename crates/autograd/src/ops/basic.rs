@@ -1,0 +1,159 @@
+//! Broadcasting binary arithmetic and scalar ops.
+
+use crate::graph::{Graph, Var};
+use sthsl_tensor::Result;
+
+impl Graph {
+    /// Elementwise `a + b` with NumPy broadcasting.
+    pub fn add(&self, a: Var, b: Var) -> Result<Var> {
+        let (av, bv) = (self.value(a), self.value(b));
+        let out = av.add(&bv)?;
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        Ok(self.op(
+            out,
+            vec![a, b],
+            Box::new(move |g, _, _| {
+                Ok(vec![
+                    Some(g.reduce_to_shape(&ash)?),
+                    Some(g.reduce_to_shape(&bsh)?),
+                ])
+            }),
+        ))
+    }
+
+    /// Elementwise `a - b` with broadcasting.
+    pub fn sub(&self, a: Var, b: Var) -> Result<Var> {
+        let (av, bv) = (self.value(a), self.value(b));
+        let out = av.sub(&bv)?;
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        Ok(self.op(
+            out,
+            vec![a, b],
+            Box::new(move |g, _, _| {
+                Ok(vec![
+                    Some(g.reduce_to_shape(&ash)?),
+                    Some(g.scale(-1.0).reduce_to_shape(&bsh)?),
+                ])
+            }),
+        ))
+    }
+
+    /// Elementwise `a * b` with broadcasting.
+    pub fn mul(&self, a: Var, b: Var) -> Result<Var> {
+        let (av, bv) = (self.value(a), self.value(b));
+        let out = av.mul(&bv)?;
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        Ok(self.op(
+            out,
+            vec![a, b],
+            Box::new(move |g, p, _| {
+                Ok(vec![
+                    Some(g.mul(&p[1])?.reduce_to_shape(&ash)?),
+                    Some(g.mul(&p[0])?.reduce_to_shape(&bsh)?),
+                ])
+            }),
+        ))
+    }
+
+    /// Elementwise `a / b` with broadcasting.
+    pub fn div(&self, a: Var, b: Var) -> Result<Var> {
+        let (av, bv) = (self.value(a), self.value(b));
+        let out = av.div(&bv)?;
+        let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
+        Ok(self.op(
+            out,
+            vec![a, b],
+            Box::new(move |g, p, _| {
+                let ga = g.div(&p[1])?.reduce_to_shape(&ash)?;
+                // d/db (a/b) = -a / b^2
+                let b2 = p[1].mul(&p[1])?;
+                let gb = g.mul(&p[0])?.div(&b2)?.scale(-1.0).reduce_to_shape(&bsh)?;
+                Ok(vec![Some(ga), Some(gb)])
+            }),
+        ))
+    }
+
+    /// `-x`.
+    pub fn neg(&self, x: Var) -> Var {
+        self.scale(x, -1.0)
+    }
+
+    /// `s * x` for a compile-time scalar.
+    pub fn scale(&self, x: Var, s: f32) -> Var {
+        let out = self.value(x).scale(s);
+        self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| Ok(vec![Some(g.scale(s))])),
+        )
+    }
+
+    /// `x + s` for a compile-time scalar.
+    pub fn add_scalar(&self, x: Var, s: f32) -> Var {
+        let out = self.value(x).add_scalar(s);
+        self.op(out, vec![x], Box::new(|g, _, _| Ok(vec![Some(g.clone())])))
+    }
+
+    /// Elementwise square `x * x` (single node, cheaper than `mul(x, x)`).
+    pub fn square(&self, x: Var) -> Var {
+        let out = self.value(x).map(|v| v * v);
+        self.op(
+            out,
+            vec![x],
+            Box::new(|g, p, _| Ok(vec![Some(g.mul(&p[0].scale(2.0))?)])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use sthsl_tensor::Tensor;
+
+    #[test]
+    fn add_broadcast_grads() {
+        // f(a, b) = sum(a + b) with a: [2,3], b: [3]
+        gradcheck(
+            &[
+                Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap(),
+                Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]).unwrap(),
+            ],
+            |g, vars| {
+                let s = g.add(vars[0], vars[1])?;
+                Ok(g.sum_all(s))
+            },
+        );
+    }
+
+    #[test]
+    fn mul_div_grads() {
+        gradcheck(
+            &[
+                Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap(),
+                Tensor::from_vec(vec![2., 4.], &[2]).unwrap(),
+            ],
+            |g, vars| {
+                let m = g.mul(vars[0], vars[1])?;
+                let d = g.div(m, vars[1])?;
+                let s = g.add(m, d)?;
+                Ok(g.sum_all(s))
+            },
+        );
+    }
+
+    #[test]
+    fn sub_scale_square_grads() {
+        gradcheck(
+            &[Tensor::from_vec(vec![1., -2., 0.5], &[3]).unwrap()],
+            |g, vars| {
+                let x = vars[0];
+                let y = g.scale(x, 3.0);
+                let z = g.sub(y, x)?;
+                let q = g.square(z);
+                let q = g.add_scalar(q, 1.0);
+                Ok(g.sum_all(q))
+            },
+        );
+    }
+}

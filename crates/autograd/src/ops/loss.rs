@@ -1,0 +1,208 @@
+//! Loss functions and similarity composites used by ST-HSL's objectives.
+
+use crate::graph::{Graph, Var};
+use sthsl_tensor::{Result, Tensor, TensorError};
+
+impl Graph {
+    /// Sum of squared errors `‖pred − target‖²` (the paper's main loss term,
+    /// Eq. 10).
+    pub fn sum_sq_err(&self, pred: Var, target: Var) -> Result<Var> {
+        let d = self.sub(pred, target)?;
+        let sq = self.square(d);
+        Ok(self.sum_all(sq))
+    }
+
+    /// Mean squared error.
+    pub fn mse(&self, pred: Var, target: Var) -> Result<Var> {
+        let d = self.sub(pred, target)?;
+        let sq = self.square(d);
+        Ok(self.mean_all(sq))
+    }
+
+    /// L2-normalise rows over the last axis: `x / sqrt(Σ x² + eps)`.
+    pub fn l2_normalize_lastdim(&self, x: Var, eps: f32) -> Result<Var> {
+        let last = self.shape_of(x).len() - 1;
+        let sq = self.square(x);
+        let s = self.sum_axis_keepdim(sq, last)?;
+        let r = self.sqrt_eps(s, eps);
+        self.div(x, r)
+    }
+
+    /// Pairwise cosine-similarity matrix between rows of `a: [n, d]` and
+    /// rows of `b: [m, d]` → `[n, m]`.
+    pub fn cosine_sim_matrix(&self, a: Var, b: Var) -> Result<Var> {
+        let an = self.l2_normalize_lastdim(a, 1e-8)?;
+        let bn = self.l2_normalize_lastdim(b, 1e-8)?;
+        let bt = self.transpose2d(bn)?;
+        self.matmul(an, bt)
+    }
+
+    /// Diagonal InfoNCE: treat `logits[i][i]` as the positive for row `i` and
+    /// every other column as a negative. Returns the mean cross-entropy
+    /// `-(1/n) Σ_i log softmax(logits_i)[i]` — the minimisation form of the
+    /// paper's Eq. 8 contrastive objective.
+    ///
+    /// Implemented as a single node: `dL/dlogits = (softmax(logits) − I) / n`.
+    pub fn info_nce_diag(&self, logits: Var) -> Result<Var> {
+        let lv = self.value(logits);
+        if lv.ndim() != 2 || lv.shape()[0] != lv.shape()[1] {
+            return Err(TensorError::Invalid(format!(
+                "info_nce_diag: logits must be square, got {:?}",
+                lv.shape()
+            )));
+        }
+        let n = lv.shape()[0];
+        if n == 0 {
+            return Ok(self.constant(Tensor::scalar(0.0)));
+        }
+        // Forward: mean over rows of (logsumexp(row) − row[i]).
+        let mut loss = 0.0f64;
+        for (i, row) in lv.data().chunks_exact(n).enumerate() {
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = mx + row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln();
+            loss += f64::from(lse - row[i]);
+        }
+        let out = Tensor::scalar((loss / n as f64) as f32);
+        Ok(self.op(
+            out,
+            vec![logits],
+            Box::new(move |g, p, _| {
+                let gs = g.data()[0] / n as f32;
+                let mut grad = p[0].softmax_lastdim()?;
+                for i in 0..n {
+                    grad.data_mut()[i * n + i] -= 1.0;
+                }
+                Ok(vec![Some(grad.scale(gs))])
+            }),
+        ))
+    }
+
+    /// Binary-cross-entropy-from-score pair used by the hypergraph infomax
+    /// objective (Eq. 7): `Σ softplus(−pos) + Σ softplus(neg)`, i.e.
+    /// `−Σ log σ(pos) − Σ log(1 − σ(neg))` in stable form.
+    pub fn infomax_bce(&self, pos_scores: Var, neg_scores: Var) -> Result<Var> {
+        let neg_pos = self.neg(pos_scores);
+        let lp = self.softplus(neg_pos);
+        let ln = self.softplus(neg_scores);
+        let sp = self.sum_all(lp);
+        let sn = self.sum_all(ln);
+        self.add(sp, sn)
+    }
+
+    /// Sum of squared parameter norms for explicit L2 regularisation
+    /// (the `λ3‖Θ‖²` term of Eq. 10).
+    pub fn l2_of(&self, vars: &[Var]) -> Result<Var> {
+        let mut acc = self.constant(Tensor::scalar(0.0));
+        for &v in vars {
+            let sq = self.square(v);
+            let s = self.sum_all(sq);
+            acc = self.add(acc, s)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sse_and_mse_values() {
+        let g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![1., 2., 3.], &[3]).unwrap());
+        let t = g.constant(Tensor::from_vec(vec![0., 2., 5.], &[3]).unwrap());
+        let sse = g.sum_sq_err(p, t).unwrap();
+        assert_eq!(g.value(sse).item().unwrap(), 1.0 + 0.0 + 4.0);
+        let mse = g.mse(p, t).unwrap();
+        assert!((g.value(mse).item().unwrap() - 5.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_produces_unit_rows() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![3., 4., 0., 5.], &[2, 2]).unwrap());
+        let n = g.l2_normalize_lastdim(x, 0.0).unwrap();
+        let v = g.value(n);
+        assert!((v.at(&[0, 0]) - 0.6).abs() < 1e-5);
+        assert!((v.at(&[0, 1]) - 0.8).abs() < 1e-5);
+        assert!((v.at(&[1, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_sim_diag_of_identical_inputs_is_one() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::rand_normal(&[4, 8], 0.0, 1.0, &mut rng));
+        let sim = g.cosine_sim_matrix(x, x).unwrap();
+        let v = g.value(sim);
+        for i in 0..4 {
+            assert!((v.at(&[i, i]) - 1.0).abs() < 1e-4);
+            for j in 0..4 {
+                assert!(v.at(&[i, j]) <= 1.0 + 1e-4);
+                assert!(v.at(&[i, j]) >= -1.0 - 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn info_nce_diag_grads() {
+        let mut rng = StdRng::seed_from_u64(17);
+        gradcheck(&[Tensor::rand_normal(&[4, 4], 0.0, 1.5, &mut rng)], |g, vars| {
+            g.info_nce_diag(vars[0])
+        });
+    }
+
+    #[test]
+    fn info_nce_perfect_alignment_is_low() {
+        // Strongly dominant diagonal → near-zero loss; uniform → ln(n).
+        let g = Graph::new();
+        let n = 5;
+        let mut strong = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            strong.data_mut()[i * n + i] = 50.0;
+        }
+        let sv = g.constant(strong);
+        let dummy = g.leaf(Tensor::scalar(0.0)); // keep grad path alive
+        let loss = g.info_nce_diag(sv).unwrap();
+        assert!(g.value(loss).item().unwrap() < 1e-3);
+        let uniform = g.constant(Tensor::zeros(&[n, n]));
+        let lu = g.info_nce_diag(uniform).unwrap();
+        assert!((g.value(lu).item().unwrap() - (n as f32).ln()).abs() < 1e-4);
+        let _ = dummy;
+    }
+
+    #[test]
+    fn infomax_bce_grads_and_direction() {
+        let mut rng = StdRng::seed_from_u64(18);
+        gradcheck(
+            &[
+                Tensor::rand_normal(&[6], 0.0, 1.0, &mut rng),
+                Tensor::rand_normal(&[6], 0.0, 1.0, &mut rng),
+            ],
+            |g, vars| g.infomax_bce(vars[0], vars[1]),
+        );
+        // High positive scores + low negative scores → small loss.
+        let g = Graph::new();
+        let pos = g.leaf(Tensor::full(&[4], 10.0));
+        let neg = g.leaf(Tensor::full(&[4], -10.0));
+        let l = g.infomax_bce(pos, neg).unwrap();
+        assert!(g.value(l).item().unwrap() < 0.01);
+        // Reversed → large loss.
+        let g2 = Graph::new();
+        let pos = g2.leaf(Tensor::full(&[4], -10.0));
+        let neg = g2.leaf(Tensor::full(&[4], 10.0));
+        let l2 = g2.infomax_bce(pos, neg).unwrap();
+        assert!(g2.value(l2).item().unwrap() > 50.0);
+    }
+
+    #[test]
+    fn l2_of_params() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1., 2.], &[2]).unwrap());
+        let b = g.leaf(Tensor::from_vec(vec![3.], &[1]).unwrap());
+        let l = g.l2_of(&[a, b]).unwrap();
+        assert_eq!(g.value(l).item().unwrap(), 1. + 4. + 9.);
+    }
+}

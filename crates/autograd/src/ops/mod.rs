@@ -1,0 +1,13 @@
+//! Differentiable operations, as methods on [`crate::Graph`].
+//!
+//! Forward values are computed eagerly via `sthsl-tensor`; each op records a
+//! closure implementing its vector-Jacobian product. Ops are grouped by
+//! family, mirroring the tensor crate's layout.
+
+mod activation;
+mod basic;
+mod conv;
+mod loss;
+mod manip;
+mod matmul;
+mod reduce;

@@ -1,0 +1,202 @@
+//! Differentiable reductions and softmax family.
+
+use crate::graph::{Graph, Var};
+use sthsl_tensor::{Result, Tensor};
+
+impl Graph {
+    /// Sum of all elements → scalar.
+    pub fn sum_all(&self, x: Var) -> Var {
+        let xv = self.value(x);
+        let shape = xv.shape().to_vec();
+        let out = Tensor::scalar(xv.sum_all());
+        self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| {
+                let gv = g.data()[0];
+                Ok(vec![Some(Tensor::full(&shape, gv))])
+            }),
+        )
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean_all(&self, x: Var) -> Var {
+        let xv = self.value(x);
+        let shape = xv.shape().to_vec();
+        let n = xv.len().max(1) as f32;
+        let out = Tensor::scalar(xv.mean_all());
+        self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| {
+                let gv = g.data()[0] / n;
+                Ok(vec![Some(Tensor::full(&shape, gv))])
+            }),
+        )
+    }
+
+    /// Sum along `axis`, removing it.
+    pub fn sum_axis(&self, x: Var, axis: usize) -> Result<Var> {
+        let xv = self.value(x);
+        let axis_len = *xv
+            .shape()
+            .get(axis)
+            .ok_or(sthsl_tensor::TensorError::AxisOutOfRange { axis, ndim: xv.ndim() })?;
+        let out = xv.sum_axis(axis)?;
+        Ok(self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| Ok(vec![Some(g.repeat_axis(axis, axis_len)?)])),
+        ))
+    }
+
+    /// Mean along `axis`, removing it.
+    pub fn mean_axis(&self, x: Var, axis: usize) -> Result<Var> {
+        let xv = self.value(x);
+        let axis_len = *xv
+            .shape()
+            .get(axis)
+            .ok_or(sthsl_tensor::TensorError::AxisOutOfRange { axis, ndim: xv.ndim() })?;
+        let out = xv.mean_axis(axis)?;
+        let inv = 1.0 / axis_len.max(1) as f32;
+        Ok(self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| {
+                Ok(vec![Some(g.repeat_axis(axis, axis_len)?.scale(inv))])
+            }),
+        ))
+    }
+
+    /// Sum along `axis` keeping it as a length-1 dimension (broadcast-ready).
+    pub fn sum_axis_keepdim(&self, x: Var, axis: usize) -> Result<Var> {
+        let reduced = self.sum_axis(x, axis)?;
+        let mut shape = self.shape_of(x);
+        shape[axis] = 1;
+        self.reshape(reduced, &shape)
+    }
+
+    /// Mean along `axis` keeping it as a length-1 dimension.
+    pub fn mean_axis_keepdim(&self, x: Var, axis: usize) -> Result<Var> {
+        let reduced = self.mean_axis(x, axis)?;
+        let mut shape = self.shape_of(x);
+        shape[axis] = 1;
+        self.reshape(reduced, &shape)
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax_lastdim(&self, x: Var) -> Result<Var> {
+        let out = self.value(x).softmax_lastdim()?;
+        Ok(self.op(
+            out,
+            vec![x],
+            Box::new(|g, _, y| {
+                // dx = y ⊙ (g − Σ_last (g ⊙ y))
+                let last = y.ndim() - 1;
+                let gy = g.mul(y)?;
+                let s = gy.sum_axis(last)?;
+                let mut keep = y.shape().to_vec();
+                keep[last] = 1;
+                let s = s.reshape(&keep)?;
+                let inner = g.sub(&s)?; // broadcasts [.., 1] over last axis
+                Ok(vec![Some(inner.mul(y)?)])
+            }),
+        ))
+    }
+
+    /// Log-softmax over the last axis (stable).
+    pub fn log_softmax_lastdim(&self, x: Var) -> Result<Var> {
+        let xv = self.value(x);
+        let sm = xv.softmax_lastdim()?;
+        let out = {
+            let mut o = xv.as_ref().clone();
+            let last = *xv.shape().last().unwrap_or(&1);
+            for row in o.data_mut().chunks_exact_mut(last) {
+                let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = mx + row.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln();
+                for v in row.iter_mut() {
+                    *v -= lse;
+                }
+            }
+            o
+        };
+        Ok(self.op(
+            out,
+            vec![x],
+            Box::new(move |g, _, _| {
+                // dx = g − softmax(x) ⊙ Σ_last g
+                let last = sm.ndim() - 1;
+                let s = g.sum_axis(last)?;
+                let mut keep = sm.shape().to_vec();
+                keep[last] = 1;
+                let s = s.reshape(&keep)?;
+                let sub = sm.mul(&s)?;
+                Ok(vec![Some(g.sub(&sub)?)])
+            }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::gradcheck;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sthsl_tensor::Tensor;
+
+    #[test]
+    fn sum_mean_axis_grads() {
+        let mut rng = StdRng::seed_from_u64(8);
+        gradcheck(&[Tensor::rand_normal(&[2, 3, 4], 0.0, 1.0, &mut rng)], |g, vars| {
+            let s = g.sum_axis(vars[0], 1)?;
+            let m = g.mean_axis(s, 0)?;
+            let sq = g.square(m);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn keepdim_broadcast_normalise_grads() {
+        // x / sqrt(sum(x^2, last, keepdim)) — the row-normalisation used by
+        // the contrastive cosine similarity.
+        let mut rng = StdRng::seed_from_u64(9);
+        gradcheck(&[Tensor::rand_normal(&[3, 4], 0.5, 1.0, &mut rng)], |g, vars| {
+            let x = vars[0];
+            let sq = g.square(x);
+            let s = g.sum_axis_keepdim(sq, 1)?;
+            let r = g.sqrt_eps(s, 1e-6);
+            let y = g.div(x, r)?;
+            let sq2 = g.square(y);
+            Ok(g.sum_all(sq2))
+        });
+    }
+
+    #[test]
+    fn softmax_grads() {
+        let mut rng = StdRng::seed_from_u64(10);
+        gradcheck(&[Tensor::rand_normal(&[2, 5], 0.0, 2.0, &mut rng)], |g, vars| {
+            let y = g.softmax_lastdim(vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn log_softmax_grads() {
+        let mut rng = StdRng::seed_from_u64(11);
+        gradcheck(&[Tensor::rand_normal(&[3, 4], 0.0, 2.0, &mut rng)], |g, vars| {
+            let y = g.log_softmax_lastdim(vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn mean_all_grad_is_uniform() {
+        use crate::Graph;
+        let g = Graph::new();
+        let x = g.leaf(Tensor::arange(4));
+        let m = g.mean_all(x);
+        let grads = g.backward(m).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.25; 4]);
+    }
+}

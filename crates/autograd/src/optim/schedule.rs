@@ -1,0 +1,107 @@
+//! Learning-rate schedules, applied by trainers between epochs.
+
+/// A learning-rate schedule: maps (epoch, base LR) → effective LR.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LrSchedule {
+    /// Constant base LR (the paper's setting).
+    #[default]
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from the base LR down to `min_frac·base` over
+    /// `total_epochs`.
+    Cosine {
+        /// Horizon of the anneal.
+        total_epochs: usize,
+        /// Final LR as a fraction of the base.
+        min_frac: f32,
+    },
+    /// Linear warm-up over the first `warmup` epochs, constant afterwards.
+    Warmup {
+        /// Number of warm-up epochs.
+        warmup: usize,
+    },
+}
+
+
+impl LrSchedule {
+    /// Effective learning rate for `epoch` (0-based) given a base LR.
+    pub fn lr_at(&self, epoch: usize, base: f32) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, gamma } => {
+                let steps = epoch.checked_div(every).unwrap_or(0);
+                base * gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine { total_epochs, min_frac } => {
+                if total_epochs == 0 {
+                    return base;
+                }
+                let t = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                let min = base * min_frac;
+                min + 0.5 * (base - min) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    base
+                } else {
+                    base * (epoch + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        for e in 0..100 {
+            assert_eq!(s.lr_at(e, 1e-3), 1e-3);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.lr_at(0, 1.0), 1.0);
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert_eq!(s.lr_at(10, 1.0), 0.5);
+        assert_eq!(s.lr_at(25, 1.0), 0.25);
+        // Degenerate `every = 0` stays constant instead of dividing by zero.
+        let z = LrSchedule::StepDecay { every: 0, gamma: 0.5 };
+        assert_eq!(z.lr_at(50, 1.0), 1.0);
+    }
+
+    #[test]
+    fn cosine_monotone_decreasing_to_min() {
+        let s = LrSchedule::Cosine { total_epochs: 20, min_frac: 0.1 };
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let lr = s.lr_at(e, 1.0);
+            assert!(lr <= prev + 1e-6, "not monotone at {e}");
+            prev = lr;
+        }
+        assert!((s.lr_at(0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(20, 1.0) - 0.1).abs() < 1e-6);
+        // Past the horizon stays at the floor.
+        assert!((s.lr_at(50, 1.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert!((s.lr_at(0, 1.0) - 0.25).abs() < 1e-6);
+        assert!((s.lr_at(1, 1.0) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(3, 1.0) - 1.0).abs() < 1e-6);
+        assert_eq!(s.lr_at(10, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Stochastic gradient descent with optional classical momentum.
+
+use super::{global_clip_factor, grad_for, Optimizer};
+use crate::graph::Gradients;
+use crate::params::{ParamStore, ParamVars};
+use sthsl_tensor::{Result, Tensor};
+
+/// SGD: `v ← μ·v + g`, `θ ← θ − η·v`.
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient μ (0 disables momentum).
+    pub momentum: f32,
+    /// Optional global-norm gradient clipping threshold.
+    pub max_grad_norm: Option<f32>,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, max_grad_norm: None, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, max_grad_norm: None, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(
+        &mut self,
+        store: &mut ParamStore,
+        pv: &ParamVars,
+        grads: &Gradients,
+    ) -> Result<()> {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize(store.len(), None);
+        }
+        let clip = self
+            .max_grad_norm
+            .map_or(1.0, |m| global_clip_factor(store, pv, grads, m));
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let Some(g) = grad_for(pv, grads, id, clip) else { continue };
+            if self.momentum > 0.0 {
+                let v = self.velocity[id.0].get_or_insert_with(|| Tensor::zeros(g.shape()));
+                for (vv, &gv) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                let v = v.clone();
+                store.get_mut(id).axpy(-self.lr, &v)?;
+            } else {
+                store.get_mut(id).axpy(-self.lr, &g)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn quadratic_step(store: &mut ParamStore, opt: &mut Sgd) -> f32 {
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let w = pv.var(crate::ParamId(0));
+        let sq = g.square(w);
+        let loss = g.sum_all(sq);
+        let l = g.value(loss).item().unwrap();
+        let grads = g.backward(loss).unwrap();
+        opt.step(store, &pv, &grads).unwrap();
+        l
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let mut opt = Sgd::new(0.1);
+        let first = quadratic_step(&mut store, &mut opt);
+        let mut last = first;
+        for _ in 0..50 {
+            last = quadratic_step(&mut store, &mut opt);
+        }
+        assert!(last < 1e-3 * first, "loss did not collapse: {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = ParamStore::new();
+        plain.register("w", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let mut mom = ParamStore::new();
+        mom.register("w", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let mut o1 = Sgd::new(0.01);
+        let mut o2 = Sgd::with_momentum(0.01, 0.9);
+        let mut l1 = 0.0;
+        let mut l2 = 0.0;
+        for _ in 0..30 {
+            l1 = quadratic_step(&mut plain, &mut o1);
+            l2 = quadratic_step(&mut mom, &mut o2);
+        }
+        assert!(l2 < l1, "momentum {l2} should beat plain {l1}");
+    }
+
+    #[test]
+    fn clipping_limits_update() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::from_vec(vec![1000.0], &[1]).unwrap());
+        let mut opt = Sgd::new(1.0);
+        opt.max_grad_norm = Some(1.0);
+        quadratic_step(&mut store, &mut opt);
+        // Unclipped update would be 1000 - 2000; clipped moves by at most lr·1.
+        let w = store.get(crate::ParamId(0)).data()[0];
+        assert!((w - 999.0).abs() < 1e-3, "w = {w}");
+    }
+}

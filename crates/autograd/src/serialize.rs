@@ -1,0 +1,192 @@
+//! Parameter persistence: a small, dependency-free binary format so trained
+//! models can be saved and reloaded.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "STHSLPRM" | u32 version | u64 param count
+//! per param: u64 name len | name bytes | u64 rank | u64 dims… | f32 data…
+//! ```
+
+use crate::params::ParamStore;
+use sthsl_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"STHSLPRM";
+const VERSION: u32 = 1;
+
+impl ParamStore {
+    /// Serialise every parameter (names, shapes, values) to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            w.write_all(&(name.len() as u64).to_le_bytes())?;
+            w.write_all(name)?;
+            let t = self.get(id);
+            w.write_all(&(t.ndim() as u64).to_le_bytes())?;
+            for &d in t.shape() {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &v in t.data() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Load a parameter file saved by [`ParamStore::save`]. Returns a fresh
+    /// store with parameters in their original registration order.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ST-HSL parameter file"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported parameter file version {version}"),
+            ));
+        }
+        let count = read_u64(&mut r)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name_len = read_u64(&mut r)? as usize;
+            if name_len > 1 << 20 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible name length"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let rank = read_u64(&mut r)? as usize;
+            if rank > 16 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor rank"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(&mut r)? as usize);
+            }
+            let len: usize = shape.iter().product();
+            if len > 1 << 30 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor size"));
+            }
+            let mut data = vec![0.0f32; len];
+            for v in &mut data {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                *v = f32::from_le_bytes(b);
+            }
+            let tensor = Tensor::from_vec(data, &shape)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            store.register(name, tensor);
+        }
+        Ok(store)
+    }
+
+    /// Overwrite this store's parameter values from a compatible saved file
+    /// (names and shapes must match exactly, in order). Use this to restore a
+    /// trained model into a freshly constructed architecture.
+    pub fn restore_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let loaded = ParamStore::load(path)?;
+        if loaded.len() != self.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter count mismatch: file {} vs model {}", loaded.len(), self.len()),
+            ));
+        }
+        let ids: Vec<_> = self.ids().collect();
+        for id in ids {
+            if loaded.name(id) != self.name(id) || loaded.get(id).shape() != self.get(id).shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("parameter mismatch at '{}'", self.name(id)),
+                ));
+            }
+            *self.get_mut(id) = loaded.get(id).clone();
+        }
+        Ok(())
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sthsl_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng));
+        store.register("b", Tensor::rand_normal(&[4], 0.0, 1.0, &mut rng));
+        let path = tmp("roundtrip.bin");
+        store.save(&path).unwrap();
+        let loaded = ParamStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for id in store.ids() {
+            assert_eq!(loaded.name(id), store.name(id));
+            assert_eq!(loaded.get(id).shape(), store.get(id).shape());
+            assert_eq!(loaded.get(id).data(), store.get(id).data());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn restore_checks_compatibility() {
+        let mut a = ParamStore::new();
+        a.register("w", Tensor::ones(&[2, 2]));
+        let path = tmp("restore.bin");
+        a.save(&path).unwrap();
+
+        // Same architecture restores fine.
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::zeros(&[2, 2]));
+        b.restore_from(&path).unwrap();
+        assert_eq!(b.get(crate::ParamId(0)).data(), &[1.0; 4]);
+
+        // Wrong shape is rejected.
+        let mut c = ParamStore::new();
+        c.register("w", Tensor::zeros(&[3]));
+        assert!(c.restore_from(&path).is_err());
+
+        // Wrong name is rejected.
+        let mut d = ParamStore::new();
+        d.register("other", Tensor::zeros(&[2, 2]));
+        assert!(d.restore_from(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"definitely not a parameter file").unwrap();
+        assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

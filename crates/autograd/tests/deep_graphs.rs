@@ -1,0 +1,97 @@
+//! Stress tests of the autograd engine on deep and wide graphs: long
+//! residual chains, heavy fan-out, and optimizer interaction at depth.
+
+use rand::{rngs::StdRng, SeedableRng};
+use sthsl_autograd::optim::{Adam, Optimizer};
+use sthsl_autograd::{Graph, ParamStore};
+use sthsl_tensor::Tensor;
+
+#[test]
+fn hundred_layer_residual_chain_backprops() {
+    // y_{k+1} = y_k + 0.01·tanh(y_k); gradients must survive 100 layers.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]).unwrap());
+    let mut y = x;
+    for _ in 0..100 {
+        let t = g.tanh(y);
+        let t = g.scale(t, 0.01);
+        y = g.add(y, t).unwrap();
+    }
+    let loss = g.sum_all(g.square(y));
+    let grads = g.backward(loss).unwrap();
+    let gx = grads.get(x).unwrap();
+    assert!(gx.data().iter().all(|v| v.is_finite()));
+    // The residual chain keeps gradients O(1): not vanished, not exploded.
+    assert!(gx.data().iter().any(|v| v.abs() > 0.1));
+    assert!(gx.data().iter().all(|v| v.abs() < 100.0));
+}
+
+#[test]
+fn wide_fanout_accumulates_exactly() {
+    // z = Σ_{k=1..50} k·x  ⇒ dz/dx = Σ k = 1275.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::scalar(2.0));
+    let mut z = g.constant(Tensor::scalar(0.0));
+    for k in 1..=50 {
+        let term = g.scale(x, k as f32);
+        z = g.add(z, term).unwrap();
+    }
+    let grads = g.backward(z).unwrap();
+    assert_eq!(grads.get(x).unwrap().item().unwrap(), 1275.0);
+}
+
+#[test]
+fn node_count_grows_linearly_not_quadratically() {
+    // A 200-op chain should record ~O(200) nodes — a regression guard
+    // against accidental graph duplication inside composite ops.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::ones(&[4]));
+    let mut y = x;
+    for _ in 0..200 {
+        y = g.add_scalar(y, 1.0);
+    }
+    assert!(g.node_count() <= 202, "node count {} exploded", g.node_count());
+}
+
+#[test]
+fn optimizer_drives_deep_network_on_xor_like_task() {
+    // A 3-layer MLP learns a non-linearly-separable mapping end to end —
+    // integration of graph, layers and Adam at (modest) depth.
+    use sthsl_autograd::nn::Linear;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let l1 = Linear::new(&mut store, "l1", 2, 8, true, &mut rng);
+    let l2 = Linear::new(&mut store, "l2", 8, 8, true, &mut rng);
+    let l3 = Linear::new(&mut store, "l3", 8, 1, true, &mut rng);
+    let xs = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]).unwrap();
+    let ys = Tensor::from_vec(vec![0., 1., 1., 0.], &[4, 1]).unwrap(); // XOR
+    let mut opt = Adam::new(0.05);
+    let mut last = f32::INFINITY;
+    for _ in 0..400 {
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(xs.clone());
+        let t = g.constant(ys.clone());
+        let h = g.tanh(l1.forward(&g, &pv, x).unwrap());
+        let h = g.tanh(l2.forward(&g, &pv, h).unwrap());
+        let p = g.sigmoid(l3.forward(&g, &pv, h).unwrap());
+        let loss = g.mse(p, t).unwrap();
+        last = g.value(loss).item().unwrap();
+        let grads = g.backward(loss).unwrap();
+        opt.step(&mut store, &pv, &grads).unwrap();
+    }
+    assert!(last < 0.05, "MLP failed to learn XOR: {last}");
+}
+
+#[test]
+fn repeated_injection_is_stable_across_graphs() {
+    // Injecting the same store into many graphs must not corrupt values.
+    let mut store = ParamStore::new();
+    store.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+    for _ in 0..50 {
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let v = g.value(pv.all()[0]);
+        assert_eq!(v.data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based gradient checks: random tensors through representative op
+//! compositions, verified against central finite differences.
+
+use proptest::prelude::*;
+use sthsl_autograd::{gradcheck, Graph};
+use sthsl_tensor::Tensor;
+
+fn vec_tensor(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, len)
+        .prop_map(move |v| Tensor::from_vec(v, &[len]).unwrap())
+}
+
+fn mat_tensor(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, r * c)
+        .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+}
+
+proptest! {
+    // Gradchecks are O(n) forward passes each; keep case counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arith_composition_grads(t in vec_tensor(6)) {
+        gradcheck(&[t], |g, vars| {
+            let x = vars[0];
+            let y = g.scale(x, 1.5);
+            let z = g.mul(y, x)?;
+            let w = g.add_scalar(z, 2.0);
+            let q = g.div(w, g.add_scalar(g.square(x), 1.0))?;
+            Ok(g.sum_all(q))
+        });
+    }
+
+    #[test]
+    fn activation_chain_grads(t in vec_tensor(5)) {
+        gradcheck(&[t], |g, vars| {
+            let a = g.tanh(vars[0]);
+            let b = g.sigmoid(a);
+            let c = g.leaky_relu(b, 0.2);
+            let d = g.softplus(c);
+            Ok(g.mean_all(d))
+        });
+    }
+
+    #[test]
+    fn matmul_normalize_grads(m in mat_tensor(3, 4)) {
+        gradcheck(&[m], |g, vars| {
+            let x = vars[0];
+            let n = g.l2_normalize_lastdim(x, 1e-6)?;
+            let t = g.transpose2d(n)?;
+            let s = g.matmul(n, t)?;
+            let sq = g.square(s);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn softmax_reduction_grads(m in mat_tensor(2, 5)) {
+        gradcheck(&[m], |g, vars| {
+            let s = g.softmax_lastdim(vars[0])?;
+            let l = g.ln_eps(s, 1e-6);
+            let r = g.mean_axis(l, 1)?;
+            let sq = g.square(r);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn infonce_grads_random_logits(m in mat_tensor(4, 4)) {
+        gradcheck(&[m], |g, vars| g.info_nce_diag(vars[0]));
+    }
+
+    #[test]
+    fn manip_composition_grads(t in mat_tensor(3, 4)) {
+        gradcheck(&[t], |g, vars| {
+            let r = g.reshape(vars[0], &[2, 6])?;
+            let p = g.pad_axis(r, 1, 1, 0)?;
+            let s = g.slice_axis(p, 1, 1, 5)?;
+            let c = g.concat(&[s, s], 0)?;
+            let sq = g.square(c);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn backward_is_linear_in_upstream_scale(t in vec_tensor(4), k in 0.5f32..3.0) {
+        // grad(k * f) == k * grad(f).
+        let f = |scale: f32| -> Vec<f32> {
+            let g = Graph::new();
+            let x = g.leaf(t.clone());
+            let y = g.square(x);
+            let s = g.sum_all(y);
+            let s = g.scale(s, scale);
+            let grads = g.backward(s).unwrap();
+            grads.get(x).unwrap().data().to_vec()
+        };
+        let g1 = f(1.0);
+        let gk = f(k);
+        for (a, b) in g1.iter().zip(&gk) {
+            prop_assert!((a * k - b).abs() < 1e-4 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_matches_sum_rule(t in vec_tensor(4)) {
+        // d/dx [f(x) + g(x)] == f'(x) + g'(x), exercised through fan-out.
+        let g = Graph::new();
+        let x = g.leaf(t.clone());
+        let f1 = g.square(x);
+        let f2 = g.scale(x, 3.0);
+        let sum = g.add(f1, f2).unwrap();
+        let loss = g.sum_all(sum);
+        let grads = g.backward(loss).unwrap();
+        let gx = grads.get(x).unwrap();
+        for (i, &v) in t.data().iter().enumerate() {
+            let expect = 2.0 * v + 3.0;
+            prop_assert!((gx.data()[i] - expect).abs() < 1e-4);
+        }
+    }
+}

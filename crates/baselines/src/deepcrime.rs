@@ -1,0 +1,147 @@
+//! DeepCrime (Huang et al., CIKM 2018): category-aware temporal encoding
+//! with a GRU and hierarchical attention over the hidden states — the
+//! representative deep crime-prediction baseline.
+
+use crate::common::{train_nn, window_days, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sthsl_autograd::nn::{Embedding, GruCell, Linear};
+use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
+use sthsl_data::predictor::sanitize_counts;
+use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_tensor::{Result, Tensor};
+
+struct Net {
+    cat_emb: Embedding,
+    input_proj: Linear,
+    cell: GruCell,
+    attn: Linear,
+    head: Linear,
+    c: usize,
+}
+
+impl Net {
+    fn forward(&self, g: &Graph, pv: &ParamVars, z: &Tensor) -> Result<Var> {
+        let r = z.shape()[0];
+        // Category-aware input: counts weighted through a learned category
+        // projection (the paper's crime-category embeddings).
+        let cat = self.cat_emb.full(pv); // [C, e]
+        let days = window_days(g, z)?;
+        let mut h = g.constant(Tensor::zeros(&[r, self.cell.hidden_size()]));
+        let mut states = Vec::with_capacity(days.len());
+        for x in days {
+            // [R, C] · [C, e] → [R, e], then project into the GRU width.
+            let xe = g.matmul(x, cat)?;
+            let xin = self.input_proj.forward(g, pv, xe)?;
+            h = self.cell.step(g, pv, xin, h)?;
+            states.push(h);
+        }
+        // Temporal attention over hidden states (Bahdanau-flavoured scores).
+        let mut scores = Vec::with_capacity(states.len());
+        for &s in &states {
+            let e = g.tanh(self.attn.forward(g, pv, s)?); // [R, 1]
+            scores.push(e);
+        }
+        let cat_scores = g.concat(&scores, 1)?; // [R, T]
+        let w = g.softmax_lastdim(cat_scores)?;
+        let mut ctx: Option<Var> = None;
+        for (i, &s) in states.iter().enumerate() {
+            let wi = g.slice_axis(w, 1, i, 1)?;
+            let ws = g.mul(s, wi)?;
+            ctx = Some(match ctx {
+                Some(acc) => g.add(acc, ws)?,
+                None => ws,
+            });
+        }
+        let ctx = ctx.expect("non-empty window");
+        let _ = self.c;
+        self.head.forward(g, pv, ctx)
+    }
+}
+
+/// The DeepCrime predictor.
+pub struct DeepCrime {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    net: Net,
+}
+
+impl DeepCrime {
+    /// Build the recurrent attentive network.
+    pub fn new(cfg: BaselineConfig, data: &CrimeDataset) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let c = data.num_categories();
+        let h = cfg.hidden;
+        let net = Net {
+            cat_emb: Embedding::new(&mut store, "deepcrime.cat", c, 8, &mut rng),
+            input_proj: Linear::new(&mut store, "deepcrime.in", 8, h, true, &mut rng),
+            cell: GruCell::new(&mut store, "deepcrime.gru", h, h, &mut rng),
+            attn: Linear::new(&mut store, "deepcrime.attn", h, 1, true, &mut rng),
+            head: Linear::new(&mut store, "deepcrime.head", h, c, true, &mut rng),
+            c,
+        };
+        Ok(DeepCrime { cfg, store, net })
+    }
+}
+
+impl Predictor for DeepCrime {
+    fn name(&self) -> String {
+        "DeepCrime".into()
+    }
+
+    fn fit(&mut self, data: &CrimeDataset) -> Result<FitReport> {
+        let net = &self.net;
+        train_nn(&self.cfg, &mut self.store, data, |g, pv, z| net.forward(g, pv, z))
+    }
+
+    fn predict(&self, data: &CrimeDataset, window: &Tensor) -> Result<Tensor> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        let z = data.zscore(window);
+        let pred = self.net.forward(&g, &pv, &z)?;
+        Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    fn data() -> CrimeDataset {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let data = data();
+        let m = DeepCrime::new(BaselineConfig::tiny(), &data).unwrap();
+        let s = data.sample(30).unwrap();
+        let p = m.predict(&data, &s.input).unwrap();
+        assert_eq!(p.shape(), &[16, 4]);
+    }
+
+    #[test]
+    fn attention_weights_normalise() {
+        // Indirect check: feeding a constant window produces finite output
+        // (softmax over identical scores = uniform attention).
+        let data = data();
+        let m = DeepCrime::new(BaselineConfig::tiny(), &data).unwrap();
+        let p = m.predict(&data, &Tensor::ones(&[16, 7, 4])).unwrap();
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fit_runs() {
+        let data = data();
+        let mut m = DeepCrime::new(BaselineConfig::tiny(), &data).unwrap();
+        let rep = m.fit(&data).unwrap();
+        assert!(rep.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,180 @@
+//! Graph WaveNet (Wu et al., IJCAI 2019): an adaptive adjacency matrix
+//! learned from node embeddings, combined with gated dilated causal temporal
+//! convolutions and skip connections.
+
+use crate::common::{train_nn, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sthsl_autograd::nn::{Conv1d, Embedding, Linear};
+use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
+use sthsl_data::predictor::sanitize_counts;
+use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_tensor::{Result, Tensor};
+
+struct TcnLayer {
+    filter: Conv1d,
+    gate: Conv1d,
+    skip: Linear,
+}
+
+struct Net {
+    input_proj: Linear,
+    e1: Embedding,
+    e2: Embedding,
+    layers: Vec<TcnLayer>,
+    gconv: Linear,
+    head: Linear,
+    hidden: usize,
+}
+
+impl Net {
+    /// Adaptive adjacency: `softmax(relu(E1·E2ᵀ))` (row-wise).
+    fn adaptive_adjacency(&self, g: &Graph, pv: &ParamVars) -> Result<Var> {
+        let e1 = self.e1.full(pv);
+        let e2 = self.e2.full(pv);
+        let e2t = g.transpose2d(e2)?;
+        let scores = g.matmul(e1, e2t)?;
+        let scores = g.relu(scores);
+        g.softmax_lastdim(scores)
+    }
+
+    fn forward(&self, g: &Graph, pv: &ParamVars, z: &Tensor) -> Result<Var> {
+        let (r, tw, c) = (z.shape()[0], z.shape()[1], z.shape()[2]);
+        // Project categories to hidden width: [R, Tw, C] → [R, Tw, h].
+        let x = g.constant(z.clone());
+        let x = self.input_proj.forward(g, pv, x)?;
+        // To TCN layout [R, h, Tw].
+        let mut h = g.permute(x, &[0, 2, 1])?;
+        let mut skip_sum: Option<Var> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let dil = 1usize << i; // 1, 2, 4, …
+            let _ = dil; // dilation baked into each layer's padding
+            let f = g.tanh(layer.filter.forward(g, pv, h)?);
+            let gate = g.sigmoid(layer.gate.forward(g, pv, h)?);
+            let gated = g.mul(f, gate)?;
+            // Skip connection from the last time step of this layer.
+            let last = g.slice_axis(gated, 2, tw - 1, 1)?;
+            let last = g.reshape(last, &[r, self.hidden])?;
+            let sk = layer.skip.forward(g, pv, last)?;
+            skip_sum = Some(match skip_sum {
+                Some(s) => g.add(s, sk)?,
+                None => sk,
+            });
+            // Residual.
+            h = g.add(gated, h)?;
+        }
+        let skip = skip_sum.expect("at least one TCN layer");
+        // Adaptive graph convolution on the skip summary.
+        let a = self.adaptive_adjacency(g, pv)?;
+        let mixed = g.matmul(a, skip)?;
+        let mixed = g.relu(self.gconv.forward(g, pv, mixed)?);
+        let fused = g.add(mixed, skip)?;
+        let _ = c;
+        self.head.forward(g, pv, fused)
+    }
+}
+
+/// The Graph WaveNet predictor.
+pub struct GraphWaveNet {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    net: Net,
+}
+
+impl GraphWaveNet {
+    /// Build with 3 dilated TCN layers (dilations 1, 2, 4) and 10-dim node
+    /// embeddings for the adaptive adjacency.
+    pub fn new(cfg: BaselineConfig, data: &CrimeDataset) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let c = data.num_categories();
+        let h = cfg.hidden;
+        let r = data.num_regions();
+        let input_proj = Linear::new(&mut store, "gwn.in", c, h, true, &mut rng);
+        let e1 = Embedding::new(&mut store, "gwn.e1", r, 10, &mut rng);
+        let e2 = Embedding::new(&mut store, "gwn.e2", r, 10, &mut rng);
+        let layers = (0..3)
+            .map(|i| {
+                let dil = 1usize << i;
+                TcnLayer {
+                    filter: Conv1d::causal(&mut store, &format!("gwn.{i}.f"), h, h, 2, dil, true, &mut rng),
+                    gate: Conv1d::causal(&mut store, &format!("gwn.{i}.g"), h, h, 2, dil, true, &mut rng),
+                    skip: Linear::new(&mut store, &format!("gwn.{i}.s"), h, h, true, &mut rng),
+                }
+            })
+            .collect();
+        let gconv = Linear::new(&mut store, "gwn.gc", h, h, true, &mut rng);
+        let head = Linear::new(&mut store, "gwn.head", h, c, true, &mut rng);
+        Ok(GraphWaveNet {
+            cfg,
+            store,
+            net: Net { input_proj, e1, e2, layers, gconv, head, hidden: h },
+        })
+    }
+}
+
+impl Predictor for GraphWaveNet {
+    fn name(&self) -> String {
+        "GWN".into()
+    }
+
+    fn fit(&mut self, data: &CrimeDataset) -> Result<FitReport> {
+        let net = &self.net;
+        train_nn(&self.cfg, &mut self.store, data, |g, pv, z| net.forward(g, pv, z))
+    }
+
+    fn predict(&self, data: &CrimeDataset, window: &Tensor) -> Result<Tensor> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        let z = data.zscore(window);
+        let pred = self.net.forward(&g, &pv, &z)?;
+        Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    fn data() -> CrimeDataset {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 8, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adaptive_adjacency_rows_are_distributions() {
+        let data = data();
+        let m = GraphWaveNet::new(BaselineConfig::tiny(), &data).unwrap();
+        let g = Graph::new();
+        let pv = m.store.inject(&g);
+        let a = m.net.adaptive_adjacency(&g, &pv).unwrap();
+        let av = g.value(a);
+        assert_eq!(av.shape(), &[16, 16]);
+        for i in 0..16 {
+            let s: f32 = (0..16).map(|j| av.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let data = data();
+        let m = GraphWaveNet::new(BaselineConfig::tiny(), &data).unwrap();
+        let s = data.sample(30).unwrap();
+        let p = m.predict(&data, &s.input).unwrap();
+        assert_eq!(p.shape(), &[16, 4]);
+    }
+
+    #[test]
+    fn fit_runs() {
+        let data = data();
+        let mut m = GraphWaveNet::new(BaselineConfig::tiny(), &data).unwrap();
+        let rep = m.fit(&data).unwrap();
+        assert!(rep.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,67 @@
+//! Historical average — a non-learned sanity baseline (not in the paper's
+//! table; used by the harness's self-checks and as a floor reference).
+
+use crate::common::BaselineConfig;
+use sthsl_data::predictor::sanitize_counts;
+use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_tensor::{Result, Tensor};
+
+/// Predicts the mean of the input window per (region, category).
+pub struct HistoricalAverage {
+    _cfg: BaselineConfig,
+}
+
+impl HistoricalAverage {
+    /// Construct (config kept for interface uniformity).
+    pub fn new(cfg: BaselineConfig) -> Self {
+        HistoricalAverage { _cfg: cfg }
+    }
+}
+
+impl Predictor for HistoricalAverage {
+    fn name(&self) -> String {
+        "HA".into()
+    }
+
+    fn fit(&mut self, _data: &CrimeDataset) -> Result<FitReport> {
+        Ok(FitReport::new(1, 0.0, 0.0))
+    }
+
+    fn predict(&self, _data: &CrimeDataset, window: &Tensor) -> Result<Tensor> {
+        Ok(sanitize_counts(window.mean_axis(1)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    #[test]
+    fn ha_predicts_window_mean() {
+        let w = Tensor::from_vec(vec![1.0, 3.0, /*day2*/ 3.0, 5.0], &[1, 2, 2]).unwrap();
+        let ha = HistoricalAverage::new(BaselineConfig::tiny());
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 80)).unwrap();
+        let data = CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap();
+        let p = ha.predict(&data, &w).unwrap();
+        assert_eq!(p.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn ha_evaluates_end_to_end() {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 80)).unwrap();
+        let data = CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap();
+        let mut ha = HistoricalAverage::new(BaselineConfig::tiny());
+        ha.fit(&data).unwrap();
+        let rep = ha.evaluate(&data).unwrap();
+        assert!(rep.mae_overall() > 0.0 && rep.mae_overall() < 10.0);
+    }
+}

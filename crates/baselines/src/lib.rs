@@ -1,0 +1,101 @@
+//! # sthsl-baselines
+//!
+//! From-scratch reimplementations of the 15 spatial-temporal forecasting
+//! baselines the ST-HSL paper evaluates against (Table III), plus a
+//! historical-average sanity baseline. Every model implements
+//! [`sthsl_data::Predictor`] over the same windowed next-day task, trains on
+//! the same `sthsl-autograd` substrate, and is driven by the same experiment
+//! harness — so the comparison isolates architecture exactly as the paper's
+//! evaluation does. Documented simplifications per model live in
+//! DESIGN.md §4.
+//!
+//! | Paper baseline | Module |
+//! |---|---|
+//! | ARIMA | [`arima`] |
+//! | SVM (SVR) | [`svr`] |
+//! | ST-ResNet | [`st_resnet`] |
+//! | DCRNN | [`dcrnn`] |
+//! | STGCN | [`stgcn`] |
+//! | GWN (Graph WaveNet) | [`gwn`] |
+//! | GMAN | [`gman`] |
+//! | AGCRN | [`agcrn`] |
+//! | MTGNN | [`mtgnn`] |
+//! | DMSTGCN | [`dmstgcn`] |
+//! | ST-MetaNet | [`st_metanet`] |
+//! | STDN | [`stdn`] |
+//! | DeepCrime | [`deepcrime`] |
+//! | STtrans | [`sttrans`] |
+//! | STSHN | [`stshn`] |
+//! | (extra) HA | [`ha`] |
+
+pub mod agcrn;
+pub mod arima;
+pub mod common;
+pub mod dcrnn;
+pub mod deepcrime;
+pub mod dmstgcn;
+pub mod gman;
+pub mod gwn;
+pub mod ha;
+pub mod mtgnn;
+pub mod st_metanet;
+pub mod st_resnet;
+pub mod stdn;
+pub mod stgcn;
+pub mod stshn;
+pub mod sttrans;
+pub mod svr;
+
+pub use common::BaselineConfig;
+
+use sthsl_data::{CrimeDataset, Predictor, Result};
+
+/// Instantiate every baseline for a dataset, in the paper's Table III order.
+pub fn all_baselines(
+    cfg: &BaselineConfig,
+    data: &CrimeDataset,
+) -> Result<Vec<Box<dyn Predictor>>> {
+    Ok(vec![
+        Box::new(arima::Arima::new(cfg.clone())),
+        Box::new(svr::Svr::new(cfg.clone())),
+        Box::new(st_resnet::StResNet::new(cfg.clone(), data)?),
+        Box::new(dcrnn::Dcrnn::new(cfg.clone(), data)?),
+        Box::new(stgcn::Stgcn::new(cfg.clone(), data)?),
+        Box::new(gwn::GraphWaveNet::new(cfg.clone(), data)?),
+        Box::new(sttrans::StTrans::new(cfg.clone(), data)?),
+        Box::new(deepcrime::DeepCrime::new(cfg.clone(), data)?),
+        Box::new(stdn::Stdn::new(cfg.clone(), data)?),
+        Box::new(st_metanet::StMetaNet::new(cfg.clone(), data)?),
+        Box::new(gman::Gman::new(cfg.clone(), data)?),
+        Box::new(agcrn::Agcrn::new(cfg.clone(), data)?),
+        Box::new(mtgnn::Mtgnn::new(cfg.clone(), data)?),
+        Box::new(stshn::Stshn::new(cfg.clone(), data)?),
+        Box::new(dmstgcn::Dmstgcn::new(cfg.clone(), data)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    #[test]
+    fn registry_builds_all_fifteen() {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 80)).unwrap();
+        let data = CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap();
+        let models = all_baselines(&BaselineConfig::tiny(), &data).unwrap();
+        assert_eq!(models.len(), 15);
+        let names: Vec<String> = models.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"ARIMA".to_string()));
+        assert!(names.contains(&"STSHN".to_string()));
+        // No duplicate names.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

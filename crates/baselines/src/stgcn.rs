@@ -1,0 +1,177 @@
+//! STGCN (Yu et al., IJCAI 2018): "sandwich" spatial-temporal blocks —
+//! gated temporal convolution (GLU), Chebyshev-style graph convolution,
+//! gated temporal convolution again — followed by an output layer.
+
+use crate::common::{train_nn, BaselineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sthsl_autograd::nn::{Conv1d, GraphConv, Linear};
+use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
+use sthsl_data::graph::RegionGraph;
+use sthsl_data::predictor::sanitize_counts;
+use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_tensor::{Result, Tensor};
+
+/// Gated temporal conv: `GLU(conv(x)) = a ⊙ σ(b)` with channel split.
+struct GatedTemporalConv {
+    conv: Conv1d,
+    out_ch: usize,
+}
+
+impl GatedTemporalConv {
+    fn new(store: &mut ParamStore, name: &str, in_ch: usize, out_ch: usize, k: usize, rng: &mut StdRng) -> Self {
+        GatedTemporalConv {
+            conv: Conv1d::same(store, name, in_ch, 2 * out_ch, k, true, rng),
+            out_ch,
+        }
+    }
+
+    /// `x: [B, in_ch, L] → [B, out_ch, L]`.
+    fn forward(&self, g: &Graph, pv: &ParamVars, x: Var) -> Result<Var> {
+        let y = self.conv.forward(g, pv, x)?;
+        let a = g.slice_axis(y, 1, 0, self.out_ch)?;
+        let b = g.slice_axis(y, 1, self.out_ch, self.out_ch)?;
+        let gate = g.sigmoid(b);
+        g.mul(a, gate)
+    }
+}
+
+struct StBlock {
+    t1: GatedTemporalConv,
+    spatial: GraphConv,
+    t2: GatedTemporalConv,
+}
+
+struct Net {
+    blocks: Vec<StBlock>,
+    head: Linear,
+    /// Chebyshev polynomial supports T_0..T_{K-1} of the scaled Laplacian.
+    supports: Vec<Tensor>,
+    hidden: usize,
+}
+
+impl Net {
+    fn forward(&self, g: &Graph, pv: &ParamVars, z: &Tensor) -> Result<Var> {
+        let (r, tw, c) = (z.shape()[0], z.shape()[1], z.shape()[2]);
+        // [R, Tw, C] → [R, C, Tw]: regions as batch, categories as channels.
+        let mut h = g.constant(z.permute(&[0, 2, 1])?);
+        let mut ch = c;
+        for block in &self.blocks {
+            // Temporal gate 1: [R, ch, Tw] → [R, hidden, Tw].
+            let t1 = block.t1.forward(g, pv, h)?;
+            // Chebyshev graph convolution per time step over the region axis.
+            let mut per_t = Vec::with_capacity(tw);
+            for t in 0..tw {
+                let xt = g.slice_axis(t1, 2, t, 1)?;
+                let xt = g.reshape(xt, &[r, self.hidden])?;
+                let yt = block.spatial.forward(g, pv, &self.supports, xt)?;
+                per_t.push(g.relu(yt));
+            }
+            let stacked = g.stack(&per_t)?; // [Tw, R, hidden]
+            // Back to [R, hidden, Tw].
+            let back = g.permute(stacked, &[1, 2, 0])?;
+            // Temporal gate 2.
+            h = block.t2.forward(g, pv, back)?;
+            ch = self.hidden;
+        }
+        let _ = ch;
+        // Pool time, project to categories.
+        let pooled = g.mean_axis(h, 2)?; // [R, hidden]
+        self.head.forward(g, pv, pooled)
+    }
+}
+
+/// The STGCN predictor.
+pub struct Stgcn {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    net: Net,
+}
+
+impl Stgcn {
+    /// Build with two ST-Conv blocks on the normalised grid adjacency.
+    pub fn new(cfg: BaselineConfig, data: &CrimeDataset) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let c = data.num_categories();
+        let h = cfg.hidden;
+        // Kernel size 3 in the spectral sense: Chebyshev order K = 3, the
+        // paper's STGCN setting.
+        let supports = RegionGraph::eight_connected(data.rows, data.cols).chebyshev_supports(3)?;
+        let mut blocks = Vec::new();
+        let mut in_ch = c;
+        for i in 0..2 {
+            blocks.push(StBlock {
+                t1: GatedTemporalConv::new(&mut store, &format!("stgcn.{i}.t1"), in_ch, h, 3, &mut rng),
+                spatial: GraphConv::new(&mut store, &format!("stgcn.{i}.sp"), 3, h, h, &mut rng),
+                t2: GatedTemporalConv::new(&mut store, &format!("stgcn.{i}.t2"), h, h, 3, &mut rng),
+            });
+            in_ch = h;
+        }
+        let head = Linear::new(&mut store, "stgcn.head", h, c, true, &mut rng);
+        Ok(Stgcn { cfg, store, net: Net { blocks, head, supports, hidden: h } })
+    }
+}
+
+impl Predictor for Stgcn {
+    fn name(&self) -> String {
+        "STGCN".into()
+    }
+
+    fn fit(&mut self, data: &CrimeDataset) -> Result<FitReport> {
+        let net = &self.net;
+        train_nn(&self.cfg, &mut self.store, data, |g, pv, z| net.forward(g, pv, z))
+    }
+
+    fn predict(&self, data: &CrimeDataset, window: &Tensor) -> Result<Tensor> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        let z = data.zscore(window);
+        let pred = self.net.forward(&g, &pv, &z)?;
+        Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    fn data() -> CrimeDataset {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let data = data();
+        let m = Stgcn::new(BaselineConfig::tiny(), &data).unwrap();
+        let s = data.sample(30).unwrap();
+        let p = m.predict(&data, &s.input).unwrap();
+        assert_eq!(p.shape(), &[16, 4]);
+    }
+
+    #[test]
+    fn glu_gate_bounds_activation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gtc = GatedTemporalConv::new(&mut store, "g", 2, 3, 3, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let x = g.constant(Tensor::ones(&[1, 2, 5]));
+        let y = gtc.forward(&g, &pv, x).unwrap();
+        assert_eq!(g.shape_of(y), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fit_runs() {
+        let data = data();
+        let mut m = Stgcn::new(BaselineConfig::tiny(), &data).unwrap();
+        let rep = m.fit(&data).unwrap();
+        assert!(rep.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion benchmark backing Table V: one full training epoch per model on
+//! a fixed quick-scale NYC-like dataset. `cargo bench -p sthsl-bench` prints
+//! the per-epoch cost distribution; the `exp_table5` binary reports the same
+//! quantity via wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sthsl_baselines::{
+    deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, sttrans::StTrans,
+    BaselineConfig,
+};
+use sthsl_bench::{City, Scale};
+use sthsl_core::{StHsl, StHslConfig};
+use sthsl_data::{CrimeDataset, Predictor};
+use std::hint::black_box;
+
+fn one_epoch_cfg() -> BaselineConfig {
+    BaselineConfig {
+        epochs: 1,
+        max_batches_per_epoch: Some(4),
+        ..BaselineConfig::quick()
+    }
+}
+
+fn dataset() -> CrimeDataset {
+    let (_, data) = Scale::Quick.build_dataset(City::Nyc, 42).expect("dataset");
+    data
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("epoch");
+
+    macro_rules! bench_model {
+        ($name:literal, $build:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut model = $build;
+                    black_box(model.fit(&data).unwrap());
+                })
+            });
+        };
+    }
+
+    bench_model!("STGCN", Stgcn::new(one_epoch_cfg(), &data).unwrap());
+    bench_model!("GMAN", Gman::new(one_epoch_cfg(), &data).unwrap());
+    bench_model!("DeepCrime", DeepCrime::new(one_epoch_cfg(), &data).unwrap());
+    bench_model!("STtrans", StTrans::new(one_epoch_cfg(), &data).unwrap());
+    bench_model!("STSHN", Stshn::new(one_epoch_cfg(), &data).unwrap());
+    bench_model!(
+        "ST-HSL",
+        StHsl::new(
+            StHslConfig {
+                epochs: 1,
+                max_batches_per_epoch: Some(4),
+                ..StHslConfig::quick()
+            },
+            &data,
+        )
+        .unwrap()
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = epochs;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_epochs
+}
+criterion_main!(epochs);

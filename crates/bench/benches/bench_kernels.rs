@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the hot computational kernels underlying
+//! every model: matmul, convolutions, hypergraph propagation, and the
+//! self-supervised objectives — plus the ablation bench comparing
+//! time-dependent vs shared hypergraph structures (a DESIGN.md design
+//! choice).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use sthsl_autograd::Graph;
+use sthsl_tensor::ops::conv::Pad1d;
+use sthsl_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::rand_normal(&[128, 256], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[256, 64], 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_128x256x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // The ST-HSL spatial-encoder shape: batch = Tw·d, channels = C, 8×8 grid.
+    let x = Tensor::rand_normal(&[112, 4, 8, 8], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal(&[4, 4, 3, 3], 0.0, 0.3, &mut rng);
+    c.bench_function("conv2d_sthsl_spatial", |bench| {
+        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()))
+    });
+    let x1 = Tensor::rand_normal(&[512, 4, 14], 0.0, 1.0, &mut rng);
+    let w1 = Tensor::rand_normal(&[4, 4, 3], 0.0, 0.3, &mut rng);
+    c.bench_function("conv1d_sthsl_temporal", |bench| {
+        bench.iter(|| black_box(x1.conv1d(&w1, None, Pad1d::same(3), 1).unwrap()))
+    });
+}
+
+fn bench_hypergraph_propagation(c: &mut Criterion) {
+    // Eq. 4 at quick-experiment size: H=32 hyperedges, RC=256 nodes, d=8.
+    let mut rng = StdRng::seed_from_u64(3);
+    let h = Tensor::rand_normal(&[32, 256], 0.0, 0.05, &mut rng);
+    let e = Tensor::rand_normal(&[256, 8], 0.0, 1.0, &mut rng);
+    c.bench_function("hypergraph_propagation_forward", |bench| {
+        bench.iter(|| {
+            let hubs = h.matmul(&e).unwrap().map(|v| if v > 0.0 { v } else { 0.1 * v });
+            let back = h.transpose2d().unwrap().matmul(&hubs).unwrap();
+            black_box(back)
+        })
+    });
+    // Full autograd round trip (forward + backward) of the same pattern.
+    c.bench_function("hypergraph_propagation_train_step", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let hv = g.leaf(h.clone());
+            let ev = g.leaf(e.clone());
+            let hubs = g.leaky_relu(g.matmul(hv, ev).unwrap(), 0.1);
+            let ht = g.transpose2d(hv).unwrap();
+            let out = g.leaky_relu(g.matmul(ht, hubs).unwrap(), 0.1);
+            let sq = g.square(out);
+            let loss = g.sum_all(sq);
+            black_box(g.backward(loss).unwrap());
+        })
+    });
+}
+
+fn bench_ssl_objectives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // Contrastive: R=64 regions, d=8, per category.
+    let local = Tensor::rand_normal(&[64, 4, 8], 0.0, 1.0, &mut rng);
+    let global = Tensor::rand_normal(&[64, 4, 8], 0.0, 1.0, &mut rng);
+    c.bench_function("contrastive_infonce_R64", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let l = g.leaf(local.clone());
+            let gl = g.leaf(global.clone());
+            let loss = sthsl_core::contrastive::contrastive_loss(&g, l, gl, 0.5).unwrap();
+            black_box(g.backward(loss).unwrap());
+        })
+    });
+}
+
+fn bench_shared_vs_time_dependent_hypergraph(c: &mut Criterion) {
+    // Design-choice ablation: per-t structures cost Tw× the parameters but
+    // the propagation FLOPs are identical; measure the end-to-end step.
+    use sthsl_autograd::ParamStore;
+    use sthsl_core::hypergraph::HypergraphEncoder;
+    let mut group = c.benchmark_group("hypergraph_structure");
+    for (name, td) in [("shared", false), ("time_dependent", true)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let enc = HypergraphEncoder::new(&mut store, 32, 256, 14, td, &mut rng);
+        let e = Tensor::rand_normal(&[14, 256, 8], 0.0, 1.0, &mut rng);
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let g = Graph::new();
+                let pv = store.inject(&g);
+                let ev = g.constant(e.clone());
+                let out = enc.forward(&g, &pv, ev).unwrap();
+                let sq = g.square(out);
+                let loss = g.sum_all(sq);
+                black_box(g.backward(loss).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_conv, bench_hypergraph_propagation, bench_ssl_objectives, bench_shared_vs_time_dependent_hypergraph
+}
+criterion_main!(kernels);

@@ -1,0 +1,77 @@
+//! Reproduces the paper's in-depth analysis (Section III-F, Eqs. 11–12):
+//! the contrastive gradient norm assigned to a negative sample grows with
+//! its similarity `s` to the anchor as `√(1−s²)·exp(s/τ)` — hard negatives
+//! receive adaptively larger gradients.
+//!
+//! Prints the theoretical curve next to gradient norms *measured* through
+//! the actual autograd stack, and their correlation.
+
+use sthsl_bench::{write_csv, MarkdownTable};
+use sthsl_core::contrastive::{contrastive_loss, hard_negative_weight};
+use sthsl_autograd::Graph;
+use sthsl_tensor::Tensor;
+
+/// Measured gradient norm on a negative with controlled similarity `s`.
+fn measured_grad_norm(s: f32, tau: f32) -> f32 {
+    let d = 8;
+    // Anchor along e0; negative at angle acos(s); a far filler region.
+    let mut rows = vec![0.0f32; 3 * d];
+    rows[0] = 1.0; // anchor
+    rows[d] = s;
+    rows[d + 1] = (1.0 - s * s).max(0.0).sqrt(); // negative
+    rows[2 * d + 2] = 1.0; // orthogonal filler
+    let t = Tensor::from_vec(rows, &[3, 1, d]).unwrap();
+    let g = Graph::new();
+    let local = g.leaf(t.clone());
+    let global = g.constant(t);
+    let loss = contrastive_loss(&g, local, global, tau).unwrap();
+    let grads = g.backward(loss).unwrap();
+    let gl = grads.get(local).unwrap();
+    (0..d).map(|j| gl.at(&[1, 0, j]).powi(2)).sum::<f32>().sqrt()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tau = 0.5f32;
+    println!("== Section III-F analysis: hard-negative gradient adaptivity (τ = {tau}) ==\n");
+    let mut table = MarkdownTable::new(&[
+        "similarity s",
+        "theory √(1−s²)·e^{s/τ}",
+        "measured ‖∂L/∂neg‖",
+    ]);
+    let mut theory = Vec::new();
+    let mut measured = Vec::new();
+    for i in 0..=18 {
+        let s = -0.9 + i as f32 * 0.1;
+        let w = hard_negative_weight(s, tau);
+        let m = measured_grad_norm(s, tau);
+        theory.push(f64::from(w));
+        measured.push(f64::from(m));
+        table.add_row(vec![
+            format!("{s:+.1}"),
+            format!("{w:.4}"),
+            format!("{m:.6}"),
+        ]);
+    }
+    println!("{}", table.render());
+    // Pearson correlation between theory and measurement.
+    let n = theory.len() as f64;
+    let (mt, mm) = (
+        theory.iter().sum::<f64>() / n,
+        measured.iter().sum::<f64>() / n,
+    );
+    let cov: f64 = theory
+        .iter()
+        .zip(&measured)
+        .map(|(a, b)| (a - mt) * (b - mm))
+        .sum();
+    let (vt, vm): (f64, f64) = (
+        theory.iter().map(|a| (a - mt).powi(2)).sum(),
+        measured.iter().map(|b| (b - mm).powi(2)).sum(),
+    );
+    let corr = cov / (vt.sqrt() * vm.sqrt()).max(1e-12);
+    println!("Pearson correlation theory↔measured: {corr:.4}");
+    println!("(The paper's claim holds when the correlation is strongly positive:");
+    println!(" harder negatives — larger s — receive larger gradients, up to the s→1 collapse.)");
+    write_csv("analysis_eq12.csv", &table)?;
+    Ok(())
+}

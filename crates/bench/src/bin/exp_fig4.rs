@@ -1,0 +1,54 @@
+//! Regenerates Figure 4: per-region prediction-error (MAPE) maps over the
+//! urban grid for ST-HSL and representative baselines. Emits one CSV row per
+//! (model, region) with the grid coordinates, ready for heat-mapping.
+
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
+use sthsl_baselines::{gman::Gman, stshn::Stshn, BaselineConfig};
+use sthsl_core::StHsl;
+use sthsl_data::Predictor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    for &city in &args.cities {
+        let (_, data) = args.scale.build_dataset(city, args.seed)?;
+        let bcfg: BaselineConfig = args.scale.baseline_config(args.seed);
+        let mut models: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Gman::new(bcfg.clone(), &data)?),
+            Box::new(Stshn::new(bcfg.clone(), &data)?),
+            Box::new(StHsl::new(args.scale.sthsl_config(args.seed), &data)?),
+        ];
+        let mut table =
+            MarkdownTable::new(&["Model", "Region", "Row", "Col", "MAPE", "MAE"]);
+        let mut summary = MarkdownTable::new(&["Model", "Mean region MAPE", "Worst region MAPE"]);
+        for model in &mut models {
+            model.fit(&data)?;
+            let (_, regions) = evaluate_with_regions(model.as_ref(), &data)?;
+            let mut worst = 0.0f64;
+            let mut sum = 0.0f64;
+            for ri in 0..regions.num_regions() {
+                let mape = regions.mape(ri);
+                worst = worst.max(mape);
+                sum += mape;
+                table.add_row(vec![
+                    model.name(),
+                    ri.to_string(),
+                    (ri / data.cols).to_string(),
+                    (ri % data.cols).to_string(),
+                    format!("{mape:.4}"),
+                    format!("{:.4}", regions.mae(ri)),
+                ]);
+            }
+            summary.add_row(vec![
+                model.name(),
+                format!("{:.4}", sum / regions.num_regions() as f64),
+                format!("{worst:.4}"),
+            ]);
+            eprintln!("  {} done", model.name());
+        }
+        println!("\n== Figure 4 ({}, scale {:?}): per-region MAPE summary ==\n", city.name(), args.scale);
+        println!("{}", summary.render());
+        write_csv(&format!("fig4_map_{}.csv", city.name().to_lowercase()), &table)?;
+        write_csv(&format!("fig4_summary_{}.csv", city.name().to_lowercase()), &summary)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 5: ablation of the multi-view spatial-temporal
+//! convolution encoder (w/o S-Conv, w/o C-Conv, w/o T-Conv, w/o Local) vs
+//! the full ST-HSL, in MAE and MAPE.
+
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
+use sthsl_core::{Ablation, StHsl};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let variants: Vec<(&str, Ablation)> = vec![
+        ("w/o S-Conv", Ablation::without_spatial_conv()),
+        ("w/o C-Conv", Ablation::without_category_conv()),
+        ("w/o T-Conv", Ablation::without_temporal_conv()),
+        ("w/o Local", Ablation::without_local()),
+        ("ST-HSL", Ablation::full()),
+    ];
+    for &city in &args.cities {
+        let (_, data) = args.scale.build_dataset(city, args.seed)?;
+        println!("\n== Figure 5 ({}, scale {:?}) ==\n", city.name(), args.scale);
+        let mut table = MarkdownTable::new(&["Variant", "MAE", "MAPE"]);
+        for (name, ablation) in &variants {
+            let cfg = args.scale.sthsl_config(args.seed).with_ablation(*ablation);
+            let mut model = StHsl::new(cfg, &data)?;
+            let run = evaluate_model(&mut model, &data)?;
+            table.add_row(vec![
+                name.to_string(),
+                format!("{:.4}", run.eval.mae_overall()),
+                format!("{:.4}", run.eval.mape_overall()),
+            ]);
+            eprintln!("  {name} done ({:.1}s train)", run.fit.train_seconds);
+        }
+        println!("{}", table.render());
+        write_csv(&format!("fig5_{}.csv", city.name().to_lowercase()), &table)?;
+    }
+    Ok(())
+}

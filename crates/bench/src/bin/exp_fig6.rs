@@ -1,0 +1,66 @@
+//! Regenerates Figure 6: robustness to data sparsity — MAE/MAPE over region
+//! groups bucketed by crime-sequence density degree (0, 0.25] and
+//! (0.25, 0.5], for ST-HSL against representative baselines.
+
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
+use sthsl_baselines::{
+    deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, BaselineConfig,
+};
+use sthsl_core::StHsl;
+use sthsl_data::metrics::{density_bucket, DensityBucket};
+use sthsl_data::{CrimeDataset, Predictor};
+
+fn bucket_regions(data: &CrimeDataset, bucket: DensityBucket) -> Vec<usize> {
+    data.region_density()
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d > 0.0 && density_bucket(d) == bucket)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    for &city in &args.cities {
+        let (_, data) = args.scale.build_dataset(city, args.seed)?;
+        let bcfg: BaselineConfig = args.scale.baseline_config(args.seed);
+        let mut models: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Stgcn::new(bcfg.clone(), &data)?),
+            Box::new(Gman::new(bcfg.clone(), &data)?),
+            Box::new(DeepCrime::new(bcfg.clone(), &data)?),
+            Box::new(Stshn::new(bcfg.clone(), &data)?),
+            Box::new(StHsl::new(args.scale.sthsl_config(args.seed), &data)?),
+        ];
+        let sparse = bucket_regions(&data, DensityBucket::VerySparse);
+        let mid = bucket_regions(&data, DensityBucket::Sparse);
+        println!(
+            "\n== Figure 6 ({}, scale {:?}): {} regions in (0,0.25], {} in (0.25,0.5] ==\n",
+            city.name(),
+            args.scale,
+            sparse.len(),
+            mid.len()
+        );
+        let mut table = MarkdownTable::new(&[
+            "Model",
+            "(0,0.25] MAE",
+            "(0,0.25] MAPE",
+            "(0.25,0.5] MAE",
+            "(0.25,0.5] MAPE",
+        ]);
+        for model in &mut models {
+            model.fit(&data)?;
+            let (_, regions) = evaluate_with_regions(model.as_ref(), &data)?;
+            table.add_row(vec![
+                model.name(),
+                format!("{:.4}", regions.mae_of(&sparse)),
+                format!("{:.4}", regions.mape_of(&sparse)),
+                format!("{:.4}", regions.mae_of(&mid)),
+                format!("{:.4}", regions.mape_of(&mid)),
+            ]);
+            eprintln!("  {} done", model.name());
+        }
+        println!("{}", table.render());
+        write_csv(&format!("fig6_{}.csv", city.name().to_lowercase()), &table)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 7: hyperparameter sensitivity of ST-HSL — embedding
+//! dimensionality d ∈ {4, 8, 16, 32}, hyperedge count H ∈ {32, 64, 128, 256}
+//! (scaled down at quick scale), convolution kernel ∈ {3, 5, 7, 9} and batch
+//! size ∈ {4, 8, 16, 32}.
+
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, Scale};
+use sthsl_core::StHsl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    // At quick scale, halve the hyperedge sweep so the largest setting stays
+    // proportionate to the smaller city.
+    let hyperedges: Vec<usize> = match args.scale {
+        Scale::Quick => vec![16, 32, 64, 128],
+        _ => vec![32, 64, 128, 256],
+    };
+    let dims = [4usize, 8, 16, 32];
+    let kernels = [3usize, 5, 7, 9];
+    let batches = [4usize, 8, 16, 32];
+
+    for &city in &args.cities {
+        let (_, data) = args.scale.build_dataset(city, args.seed)?;
+        println!("\n== Figure 7 ({}, scale {:?}) ==\n", city.name(), args.scale);
+        let mut table = MarkdownTable::new(&["Parameter", "Value", "MAE", "MAPE"]);
+        let sweep = |param: &str, values: &[usize], table: &mut MarkdownTable| -> Result<(), Box<dyn std::error::Error>> {
+            for &v in values {
+                let mut cfg = args.scale.sthsl_config(args.seed);
+                // The sweep's 32 configurations only need to expose each
+                // parameter's *trend*; cap the per-run budget so the whole
+                // figure stays tractable on one core.
+                cfg.epochs = cfg.epochs.min(8);
+                match param {
+                    "d" => cfg.d = v,
+                    "hyperedges" => cfg.num_hyperedges = v,
+                    "kernel" => cfg.kernel = v,
+                    "batch" => cfg.batch_size = v,
+                    _ => unreachable!("unknown sweep parameter"),
+                }
+                let mut model = StHsl::new(cfg, &data)?;
+                let run = evaluate_model(&mut model, &data)?;
+                table.add_row(vec![
+                    param.into(),
+                    v.to_string(),
+                    format!("{:.4}", run.eval.mae_overall()),
+                    format!("{:.4}", run.eval.mape_overall()),
+                ]);
+                eprintln!("  {param}={v} done ({:.1}s)", run.fit.train_seconds);
+            }
+            Ok(())
+        };
+        sweep("d", &dims, &mut table)?;
+        sweep("hyperedges", &hyperedges, &mut table)?;
+        sweep("kernel", &kernels, &mut table)?;
+        sweep("batch", &batches, &mut table)?;
+        println!("{}", table.render());
+        write_csv(&format!("fig7_{}.csv", city.name().to_lowercase()), &table)?;
+    }
+    Ok(())
+}

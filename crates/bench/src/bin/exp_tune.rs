@@ -1,0 +1,43 @@
+//! One-off tuning helper: train the full ST-HSL at the quick scale with
+//! overrides from the command line and print its per-category masked MAE.
+//! Used to pick the quick-scale defaults recorded in `scale.rs`.
+//!
+//! Flags: `--d N --hyperedges N --epochs N --td 0|1 --city nyc|chi --seed N`
+
+use sthsl_bench::{evaluate_model, parse_args, City};
+use sthsl_core::StHsl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let raw: Vec<String> = std::env::args().collect();
+    let mut cfg = args.scale.sthsl_config(args.seed);
+    let mut i = 1;
+    while i + 1 < raw.len() {
+        match raw[i].as_str() {
+            "--d" => cfg.d = raw[i + 1].parse()?,
+            "--hyperedges" => cfg.num_hyperedges = raw[i + 1].parse()?,
+            "--epochs" => cfg.epochs = raw[i + 1].parse()?,
+            "--td" => cfg.time_dependent_hypergraph = raw[i + 1] == "1",
+            "--lambda2" => cfg.lambda2 = raw[i + 1].parse()?,
+            _ => {}
+        }
+        i += 2;
+    }
+    let city = *args.cities.first().unwrap_or(&City::Nyc);
+    let (_, data) = args.scale.build_dataset(city, args.seed)?;
+    let mut model = StHsl::new(cfg.clone(), &data)?;
+    let run = evaluate_model(&mut model, &data)?;
+    print!(
+        "{} d={} H={} td={} epochs={} | ",
+        city.name(),
+        cfg.d,
+        cfg.num_hyperedges,
+        cfg.time_dependent_hypergraph,
+        cfg.epochs
+    );
+    for ci in 0..data.num_categories() {
+        print!("{:.4} ", run.eval.mae(ci));
+    }
+    println!("| overall {:.4} ({:.0}s)", run.eval.mae_overall(), run.fit.train_seconds);
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment binary in sequence (same CLI flags), regenerating
+//! all tables and figures into `results/`.
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exps = [
+        "exp_datasets",
+        "exp_table3",
+        "exp_table4",
+        "exp_fig4",
+        "exp_fig5",
+        "exp_fig6",
+        "exp_fig7",
+        "exp_fig8",
+        "exp_table5",
+        "exp_analysis",
+    ];
+    // Re-exec sibling binaries from the same target directory.
+    let me = std::env::current_exe()?;
+    let dir = me.parent().expect("binary has a parent directory");
+    for exp in exps {
+        println!("\n################ {exp} ################");
+        let status = Command::new(dir.join(exp)).args(&passthrough).status()?;
+        if !status.success() {
+            return Err(format!("{exp} failed with {status}").into());
+        }
+    }
+    println!("\nAll experiments complete; CSVs in results/.");
+    Ok(())
+}

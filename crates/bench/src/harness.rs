@@ -1,0 +1,159 @@
+//! Model-evaluation plumbing shared by every experiment binary.
+
+use sthsl_data::{CrimeDataset, EvalReport, FitReport, Predictor, Result, Split};
+
+/// The outcome of fitting + evaluating one model on one dataset.
+pub struct ModelRun {
+    /// Model display name.
+    pub name: String,
+    /// Training summary (Table V uses `fit.seconds_per_epoch`).
+    pub fit: FitReport,
+    /// Test-period metrics (Table III rows).
+    pub eval: EvalReport,
+}
+
+/// Fit `model` on `data` and evaluate over the full test period.
+pub fn evaluate_model(model: &mut dyn Predictor, data: &CrimeDataset) -> Result<ModelRun> {
+    let fit = model.fit(data)?;
+    let eval = model.evaluate(data)?;
+    Ok(ModelRun { name: model.name(), fit, eval })
+}
+
+/// Per-region error accumulation for Figures 4 and 6.
+pub struct RegionErrors {
+    abs_err: Vec<f64>,
+    count: Vec<usize>,
+    mape_sum: Vec<f64>,
+    mape_count: Vec<usize>,
+}
+
+impl RegionErrors {
+    fn new(r: usize) -> Self {
+        RegionErrors {
+            abs_err: vec![0.0; r],
+            count: vec![0; r],
+            mape_sum: vec![0.0; r],
+            mape_count: vec![0; r],
+        }
+    }
+
+    /// MAE of one region (over all categories and test days).
+    pub fn mae(&self, region: usize) -> f64 {
+        if self.count[region] == 0 {
+            0.0
+        } else {
+            self.abs_err[region] / self.count[region] as f64
+        }
+    }
+
+    /// Masked MAPE of one region.
+    pub fn mape(&self, region: usize) -> f64 {
+        if self.mape_count[region] == 0 {
+            0.0
+        } else {
+            self.mape_sum[region] / self.mape_count[region] as f64
+        }
+    }
+
+    /// Number of regions tracked.
+    pub fn num_regions(&self) -> usize {
+        self.abs_err.len()
+    }
+
+    /// Aggregate MAE over a subset of regions.
+    pub fn mae_of(&self, regions: &[usize]) -> f64 {
+        let (mut err, mut n) = (0.0f64, 0usize);
+        for &r in regions {
+            err += self.abs_err[r];
+            n += self.count[r];
+        }
+        if n == 0 {
+            0.0
+        } else {
+            err / n as f64
+        }
+    }
+
+    /// Aggregate masked MAPE over a subset of regions.
+    pub fn mape_of(&self, regions: &[usize]) -> f64 {
+        let (mut s, mut n) = (0.0f64, 0usize);
+        for &r in regions {
+            s += self.mape_sum[r];
+            n += self.mape_count[r];
+        }
+        if n == 0 {
+            0.0
+        } else {
+            s / n as f64
+        }
+    }
+}
+
+/// Evaluate a *fitted* model over the test period, also collecting
+/// per-region errors (Figs. 4 and 6 need them).
+pub fn evaluate_with_regions(
+    model: &dyn Predictor,
+    data: &CrimeDataset,
+) -> Result<(EvalReport, RegionErrors)> {
+    let (r, c) = (data.num_regions(), data.num_categories());
+    let mut report = EvalReport::new(c);
+    let mut regions = RegionErrors::new(r);
+    for day in data.target_days(Split::Test) {
+        let sample = data.sample(day)?;
+        let pred = model.predict(data, &sample.input)?;
+        report.add_day(&pred, &sample.target)?;
+        for ri in 0..r {
+            for ci in 0..c {
+                let p = f64::from(pred.at(&[ri, ci]));
+                let t = f64::from(sample.target.at(&[ri, ci]));
+                // Masked protocol: only non-zero ground truth contributes,
+                // matching EvalReport's paper-style MAE/MAPE.
+                if t > 0.0 {
+                    regions.abs_err[ri] += (p - t).abs();
+                    regions.count[ri] += 1;
+                    regions.mape_sum[ri] += (p - t).abs() / t;
+                    regions.mape_count[ri] += 1;
+                }
+            }
+        }
+    }
+    Ok((report, regions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::{City, Scale};
+    use sthsl_baselines::ha::HistoricalAverage;
+    use sthsl_baselines::BaselineConfig;
+
+    #[test]
+    fn evaluate_model_produces_run() {
+        let (_, data) = Scale::Quick.build_dataset(City::Nyc, 3).unwrap();
+        let mut ha = HistoricalAverage::new(BaselineConfig::tiny());
+        let run = evaluate_model(&mut ha, &data).unwrap();
+        assert_eq!(run.name, "HA");
+        assert!(run.eval.mae_overall() > 0.0);
+    }
+
+    #[test]
+    fn region_errors_aggregate_consistently() {
+        let (_, data) = Scale::Quick.build_dataset(City::Nyc, 3).unwrap();
+        let ha = HistoricalAverage::new(BaselineConfig::tiny());
+        let (report, regions) = evaluate_with_regions(&ha, &data).unwrap();
+        assert_eq!(regions.num_regions(), 64);
+        let all: Vec<usize> = (0..64).collect();
+        // Micro-aggregated region MAE must sit in the convex hull of the
+        // per-category masked MAEs (both use the same masked entries, only
+        // the weighting differs).
+        let region_mae = regions.mae_of(&all);
+        let cat_maes: Vec<f64> = (0..4).map(|c| report.mae(c)).collect();
+        let lo = cat_maes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cat_maes.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            region_mae >= lo - 1e-9 && region_mae <= hi + 1e-9,
+            "region aggregate {region_mae} outside category range [{lo}, {hi}]"
+        );
+        assert!(regions.mape_of(&all) > 0.0);
+    }
+}

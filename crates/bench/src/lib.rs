@@ -1,0 +1,31 @@
+//! # sthsl-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! ST-HSL paper's evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `exp_datasets` | Table II + Figures 1–2 (data statistics) |
+//! | `exp_table3` | Table III (main comparison, 16 models × 2 cities) |
+//! | `exp_table4` | Table IV (SSL ablations) |
+//! | `exp_fig4` | Figure 4 (per-region error maps) |
+//! | `exp_fig5` | Figure 5 (multi-view encoder ablations) |
+//! | `exp_fig6` | Figure 6 (robustness vs crime density) |
+//! | `exp_fig7` | Figure 7 (hyperparameter studies) |
+//! | `exp_fig8` | Figure 8 (hyperedge case study) |
+//! | `exp_table5` | Table V (per-epoch training cost) |
+//! | `run_all` | everything above in sequence |
+//!
+//! Every binary accepts `--scale quick|medium|paper`, `--city nyc|chi|both`
+//! and `--seed N`; results print as paper-style rows and are written to
+//! `results/*.csv`.
+
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use harness::{evaluate_model, evaluate_with_regions, ModelRun, RegionErrors};
+pub use report::{write_csv, MarkdownTable};
+pub use scale::{parse_args, parse_args_from, City, ExpArgs, Scale};

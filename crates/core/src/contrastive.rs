@@ -1,0 +1,162 @@
+//! Local-global cross-view contrastive learning (paper Eq. 8).
+//!
+//! The temporally mean-pooled local embeddings `H̄_{r,c}` and global
+//! embeddings `Γ̄_{r,c}` of the *same* region form positive pairs; embeddings
+//! of different regions (same category) are negatives. The InfoNCE objective
+//! with cosine similarity and temperature τ lets the two encoders supervise
+//! each other — and, per the paper's Eqs. 11–12, adaptively up-weights hard
+//! negatives.
+
+use sthsl_autograd::{Graph, Var};
+use sthsl_tensor::Result;
+
+/// Cross-view InfoNCE over all categories.
+///
+/// `local_pooled`, `global_pooled`: `[R, C, d]` (temporal mean already
+/// applied). Returns the mean per-category diagonal InfoNCE, so λ2 does not
+/// depend on C or R.
+pub fn contrastive_loss(
+    g: &Graph,
+    local_pooled: Var,
+    global_pooled: Var,
+    tau: f32,
+) -> Result<Var> {
+    let shape = g.shape_of(local_pooled);
+    let (r, c, d) = (shape[0], shape[1], shape[2]);
+    let mut total = g.constant(sthsl_tensor::Tensor::scalar(0.0));
+    for ci in 0..c {
+        let l = g.slice_axis(local_pooled, 1, ci, 1)?;
+        let l = g.reshape(l, &[r, d])?;
+        let gl = g.slice_axis(global_pooled, 1, ci, 1)?;
+        let gl = g.reshape(gl, &[r, d])?;
+        // Anchor = global view; candidates = local view (Eq. 8 pairs Γ̄ with H̄).
+        let sim = g.cosine_sim_matrix(gl, l)?;
+        let logits = g.scale(sim, 1.0 / tau);
+        let nce = g.info_nce_diag(logits)?;
+        total = g.add(total, nce)?;
+    }
+    Ok(g.scale(total, 1.0 / c as f32))
+}
+
+/// Empirical check of the paper's hard-negative analysis (Eqs. 11–12): the
+/// gradient-norm contribution of a negative with cosine similarity `s` is
+/// proportional to `sqrt(1 − s²)·exp(s/τ)`. Exposed for the analysis bench.
+pub fn hard_negative_weight(s: f32, tau: f32) -> f32 {
+    (1.0 - s * s).max(0.0).sqrt() * (s / tau).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sthsl_autograd::Graph;
+    use sthsl_tensor::Tensor;
+
+    #[test]
+    fn aligned_views_give_low_loss() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // Identical, well-separated embeddings in both views → near-perfect
+        // discrimination → loss far below ln(R).
+        let x = Tensor::rand_normal(&[8, 2, 6], 0.0, 1.0, &mut rng);
+        let g = Graph::new();
+        let l = g.leaf(x.clone());
+        let gl = g.leaf(x.clone());
+        let loss = contrastive_loss(&g, l, gl, 0.1).unwrap();
+        let v = g.value(loss).item().unwrap();
+        assert!(v < 0.5, "aligned loss {v}");
+        // Mismatched views → near-chance.
+        let y = Tensor::rand_normal(&[8, 2, 6], 0.0, 1.0, &mut rng);
+        let g2 = Graph::new();
+        let l2 = g2.leaf(x);
+        let gl2 = g2.leaf(y);
+        let loss2 = contrastive_loss(&g2, l2, gl2, 0.1).unwrap();
+        let v2 = g2.value(loss2).item().unwrap();
+        assert!(v2 > v, "mismatched {v2} should exceed aligned {v}");
+    }
+
+    #[test]
+    fn gradients_flow_to_both_views() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let g = Graph::new();
+        let l = g.leaf(Tensor::rand_normal(&[5, 2, 4], 0.0, 1.0, &mut rng));
+        let gl = g.leaf(Tensor::rand_normal(&[5, 2, 4], 0.0, 1.0, &mut rng));
+        let loss = contrastive_loss(&g, l, gl, 0.5).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.get(l).is_some());
+        assert!(grads.get(gl).is_some());
+    }
+
+    #[test]
+    fn training_aligns_views() {
+        use sthsl_autograd::optim::{Adam, Optimizer};
+        use sthsl_autograd::ParamStore;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let local = store.register("l", Tensor::rand_normal(&[6, 1, 4], 0.0, 1.0, &mut rng));
+        let global = store.register("g", Tensor::rand_normal(&[6, 1, 4], 0.0, 1.0, &mut rng));
+        let mut opt = Adam::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let g = Graph::new();
+            let pv = store.inject(&g);
+            let loss = contrastive_loss(&g, pv.var(local), pv.var(global), 0.5).unwrap();
+            last = g.value(loss).item().unwrap();
+            first.get_or_insert(last);
+            let grads = g.backward(loss).unwrap();
+            opt.step(&mut store, &pv, &grads).unwrap();
+        }
+        assert!(last < 0.5 * first.unwrap(), "contrastive training failed: {first:?} → {last}");
+    }
+
+    #[test]
+    fn hard_negative_weight_monotone_on_hard_range() {
+        // Eq. 12's analysis: for moderate-to-high similarity the weight grows
+        // with s (hard negatives dominate) before the sqrt term collapses it
+        // at s → 1.
+        let tau = 0.5;
+        let w_easy = hard_negative_weight(-0.5, tau);
+        let w_mid = hard_negative_weight(0.3, tau);
+        let w_hard = hard_negative_weight(0.8, tau);
+        assert!(w_mid > w_easy);
+        assert!(w_hard > w_mid);
+        // Degenerate s=1 has zero weight (the sqrt factor).
+        assert_eq!(hard_negative_weight(1.0, tau), 0.0);
+    }
+
+    #[test]
+    fn contrastive_gradient_norm_tracks_eq12() {
+        // Build a 3-region problem with one controlled negative similarity
+        // and verify the gradient norm on the negative row grows with s.
+        let probe = |s: f32| -> f32 {
+            let d = 4;
+            let mut anchor = vec![0.0f32; d];
+            anchor[0] = 1.0;
+            // Negative with cosine similarity s to the anchor.
+            let mut neg = vec![0.0f32; d];
+            neg[0] = s;
+            neg[1] = (1.0 - s * s).sqrt();
+            // Third vector orthogonal to both.
+            let mut other = vec![0.0f32; d];
+            other[2] = 1.0;
+            let mut l = Vec::new();
+            l.extend_from_slice(&anchor);
+            l.extend_from_slice(&neg);
+            l.extend_from_slice(&other);
+            let g = Graph::new();
+            let lv = g.leaf(Tensor::from_vec(l.clone(), &[3, 1, d]).unwrap());
+            let gv = g.constant(Tensor::from_vec(l, &[3, 1, d]).unwrap());
+            let loss = contrastive_loss(&g, lv, gv, 0.5).unwrap();
+            let grads = g.backward(loss).unwrap();
+            let gl = grads.get(lv).unwrap();
+            // Norm of the gradient on the negative (row 1).
+            (0..d).map(|j| gl.at(&[1, 0, j]).powi(2)).sum::<f32>().sqrt()
+        };
+        let g_easy = probe(0.0);
+        let g_hard = probe(0.8);
+        assert!(
+            g_hard > g_easy,
+            "hard negative ({g_hard}) should receive larger gradient than easy ({g_easy})"
+        );
+    }
+}

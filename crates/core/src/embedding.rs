@@ -1,0 +1,91 @@
+//! Crime embedding layer (paper Eq. 1).
+//!
+//! `e_{r,t,c} = ZScore(X_{r,t,c}) · e_c` — the z-scored count scales a
+//! learnable per-category embedding vector.
+
+use rand::Rng;
+use sthsl_autograd::{Graph, ParamId, ParamStore, ParamVars, Var};
+use sthsl_tensor::{Result, Tensor};
+
+/// Learnable category embedding table `e_c ∈ R^{C×d}`.
+pub struct CrimeEmbedding {
+    e_c: ParamId,
+    /// Number of categories.
+    pub num_categories: usize,
+    /// Embedding width.
+    pub d: usize,
+}
+
+impl CrimeEmbedding {
+    /// Register the category table, initialised `N(0, 0.1)`.
+    pub fn new(store: &mut ParamStore, num_categories: usize, d: usize, rng: &mut impl Rng) -> Self {
+        let e_c = store.register(
+            "embedding.e_c",
+            Tensor::rand_normal(&[num_categories, d], 0.0, 0.1, rng),
+        );
+        CrimeEmbedding { e_c, num_categories, d }
+    }
+
+    /// Build `E ∈ R^{R×Tw×C×d}` from a z-scored window `z ∈ R^{R×Tw×C}`.
+    pub fn forward(&self, g: &Graph, pv: &ParamVars, zscored_window: &Tensor) -> Result<Var> {
+        let shape = zscored_window.shape();
+        debug_assert_eq!(shape.len(), 3);
+        let (r, tw, c) = (shape[0], shape[1], shape[2]);
+        debug_assert_eq!(c, self.num_categories);
+        // [R,Tw,C] → [R,Tw,C,1], broadcast-multiplied by [C,d] → [R,Tw,C,d].
+        let z = g.constant(zscored_window.reshape(&[r, tw, c, 1])?);
+        let table = pv.var(self.e_c);
+        g.mul(z, table)
+    }
+
+    /// The raw table variable (for L2 bookkeeping or inspection).
+    pub fn table(&self, pv: &ParamVars) -> Var {
+        pv.var(self.e_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shape_and_scaling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = CrimeEmbedding::new(&mut store, 3, 4, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        // One region, two days, three categories.
+        let z = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 0.5, 0.0], &[1, 2, 3]).unwrap();
+        let e = emb.forward(&g, &pv, &z).unwrap();
+        assert_eq!(g.shape_of(e), vec![1, 2, 3, 4]);
+        let ev = g.value(e);
+        let table = store.get(sthsl_autograd::ParamId(0));
+        // Entry (0,0,2,·) must be 2 · e_2.
+        for j in 0..4 {
+            assert!((ev.at(&[0, 0, 2, j]) - 2.0 * table.at(&[2, j])).abs() < 1e-6);
+        }
+        // Zero counts embed to zero vectors.
+        for j in 0..4 {
+            assert_eq!(ev.at(&[0, 0, 1, j]), 0.0);
+        }
+    }
+
+    #[test]
+    fn gradient_reaches_category_table() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let emb = CrimeEmbedding::new(&mut store, 2, 3, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let z = Tensor::ones(&[2, 2, 2]);
+        let e = emb.forward(&g, &pv, &z).unwrap();
+        let sq = g.square(e);
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss).unwrap();
+        let gt = grads.get(emb.table(&pv)).unwrap();
+        assert_eq!(gt.shape(), &[2, 3]);
+        assert!(gt.data().iter().any(|&v| v != 0.0));
+    }
+}

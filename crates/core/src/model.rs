@@ -1,0 +1,446 @@
+//! The assembled ST-HSL model (paper Fig. 3, Alg. 1) and its
+//! [`Predictor`] implementation.
+
+use crate::config::StHslConfig;
+use crate::contrastive::contrastive_loss;
+use crate::embedding::CrimeEmbedding;
+use crate::global_temporal::GlobalTemporal;
+use crate::hypergraph::HypergraphEncoder;
+use crate::infomax::InfomaxHead;
+use crate::local::LocalEncoder;
+use crate::predict::PredictionHead;
+use crate::trainer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
+use sthsl_data::predictor::sanitize_counts;
+use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_tensor::{Result, Tensor, TensorError};
+
+/// The Spatial-Temporal Hypergraph Self-Supervised Learning model.
+pub struct StHsl {
+    pub(crate) cfg: StHslConfig,
+    pub(crate) store: ParamStore,
+    embedding: CrimeEmbedding,
+    local: LocalEncoder,
+    hypergraph: HypergraphEncoder,
+    global_temporal: GlobalTemporal,
+    infomax: InfomaxHead,
+    head: PredictionHead,
+    rows: usize,
+    cols: usize,
+    num_categories: usize,
+    window: usize,
+}
+
+/// Variables produced by one forward pass that the training objective needs.
+pub(crate) struct ForwardArtifacts {
+    /// Predicted counts `[R, C]`.
+    pub pred: Var,
+    /// Infomax loss (Eq. 7, mean-normalised), when active.
+    pub infomax_loss: Option<Var>,
+    /// Contrastive loss (Eq. 8), when active.
+    pub contrastive_loss: Option<Var>,
+}
+
+impl StHsl {
+    /// Build the model for a dataset's dimensions.
+    pub fn new(cfg: StHslConfig, data: &CrimeDataset) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let (rows, cols) = (data.rows, data.cols);
+        let c = data.num_categories();
+        let window = data.config.window;
+        let embedding = CrimeEmbedding::new(&mut store, c, cfg.d, &mut rng);
+        let local = LocalEncoder::new(&mut store, &cfg, rows, cols, c, &mut rng);
+        let hypergraph = HypergraphEncoder::new(
+            &mut store,
+            cfg.num_hyperedges,
+            rows * cols * c,
+            window,
+            cfg.time_dependent_hypergraph,
+            &mut rng,
+        );
+        let global_temporal = GlobalTemporal::new(&mut store, &cfg, &mut rng);
+        let infomax = InfomaxHead::new(&mut store, cfg.d, &mut rng);
+        let head_in = if cfg.ablation.fusion { 2 * cfg.d } else { cfg.d };
+        let head = PredictionHead::new(&mut store, head_in, &mut rng);
+        Ok(StHsl {
+            cfg,
+            store,
+            embedding,
+            local,
+            hypergraph,
+            global_temporal,
+            infomax,
+            head,
+            rows,
+            cols,
+            num_categories: c,
+            window,
+        })
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &StHslConfig {
+        &self.cfg
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// One forward pass over a z-scored window.
+    ///
+    /// `zscored`: `[R, Tw, C]`. `corrupt_perm`: a region permutation enabling
+    /// the infomax corruption branch (training only).
+    pub(crate) fn forward(
+        &self,
+        g: &Graph,
+        pv: &ParamVars,
+        zscored: &Tensor,
+        corrupt_perm: Option<&[usize]>,
+    ) -> Result<ForwardArtifacts> {
+        let ab = &self.cfg.ablation;
+        let (r, tw, c) = (
+            self.rows * self.cols,
+            zscored.shape()[1],
+            self.num_categories,
+        );
+        if zscored.shape() != [r, tw, c] {
+            return Err(TensorError::Invalid(format!(
+                "StHsl::forward: window shape {:?}, expected [{r}, {tw}, {c}]",
+                zscored.shape()
+            )));
+        }
+        if tw != self.window {
+            return Err(TensorError::Invalid(format!(
+                "StHsl::forward: window length {tw} != configured {}",
+                self.window
+            )));
+        }
+        let d = self.cfg.d;
+
+        // (1) Embedding layer, Eq. 1.
+        let e = self.embedding.forward(g, pv, zscored)?; // [R,Tw,C,d]
+
+        // (2) Local multi-view encoder, Eqs. 2–3 (handles its own ablations).
+        let h_local = self.local.forward(g, pv, e)?; // [R,Tw,C,d]
+        let local_pooled = {
+            let m = g.mean_axis(h_local, 1)?; // [R,C,d]
+            m
+        };
+
+        // (3) Global branch. Following Fig. 3, this is a *parallel* view: the
+        // hypergraph reads the raw embeddings E (Eq. 4's notation), so the
+        // local and global encoders are independent and the cross-view
+        // contrastive objective genuinely transfers knowledge between them.
+        let mut infomax_loss = None;
+        let mut contrastive = None;
+        let pred = if ab.global_branch {
+            // Flatten to hypergraph node layout: [Tw, R·C, d].
+            let flat = |x: Var| -> Result<Var> {
+                let p = g.permute(x, &[1, 0, 2, 3])?; // [Tw,R,C,d]
+                g.reshape(p, &[tw, r * c, d])
+            };
+            let e_flat = flat(e)?;
+            let gamma_r = if ab.hypergraph {
+                // Eq. 4, plus a residual connection: raw hypergraph mixing
+                // collapses node embeddings towards a global average at
+                // initialisation (every node reads the same hyperedge hubs),
+                // which destroys per-region magnitude information. The
+                // residual mirrors the paper's Eq. 2–3 pattern and keeps the
+                // global branch trainable.
+                let mixed = self.hypergraph.forward(g, pv, e_flat)?;
+                g.add(mixed, e_flat)?
+            } else {
+                e_flat
+            };
+            let gamma_t = if ab.global_temporal {
+                self.global_temporal.forward(g, pv, gamma_r)? // Eq. 5
+            } else {
+                gamma_r
+            };
+            let global_pooled_flat = g.mean_axis(gamma_t, 0)?; // [RC, d]
+            let global_pooled = g.reshape(global_pooled_flat, &[r, c, d])?;
+
+            // (4a) Hypergraph infomax, Eqs. 6–7.
+            if ab.infomax && ab.hypergraph {
+                if let Some(perm) = corrupt_perm {
+                    let e_cor = g.index_select(e, 0, perm)?;
+                    let e_cor_flat = flat(e_cor)?;
+                    let mixed_cor = self.hypergraph.forward(g, pv, e_cor_flat)?;
+                    let gamma_cor = g.add(mixed_cor, e_cor_flat)?;
+                    infomax_loss =
+                        Some(self.infomax.loss(g, pv, gamma_r, gamma_cor, r, c)?);
+                }
+            }
+
+            // (4b) Cross-view contrastive, Eq. 8.
+            if ab.contrastive && ab.local_encoder {
+                contrastive = Some(contrastive_loss(
+                    g,
+                    local_pooled,
+                    global_pooled,
+                    self.cfg.tau,
+                )?);
+            }
+
+            // (5) Prediction, Eq. 9.
+            if ab.fusion {
+                let fused = g.concat(&[local_pooled, global_pooled], 2)?;
+                self.head.forward(g, pv, fused)?
+            } else {
+                self.head.forward(g, pv, global_pooled)?
+            }
+        } else {
+            // "w/o Global": local-only prediction.
+            self.head.forward(g, pv, local_pooled)?
+        };
+
+        Ok(ForwardArtifacts { pred, infomax_loss, contrastive_loss: contrastive })
+    }
+
+    /// Joint training loss for one sample (Eq. 10, with the squared error
+    /// mean-normalised so λ1/λ2 are scale-free; λ3 is realised as Adam
+    /// weight decay).
+    pub(crate) fn sample_loss(
+        &self,
+        g: &Graph,
+        pv: &ParamVars,
+        zscored: &Tensor,
+        target: &Tensor,
+        corrupt_perm: Option<&[usize]>,
+    ) -> Result<Var> {
+        let art = self.forward(g, pv, zscored, corrupt_perm)?;
+        let t = g.constant(target.clone());
+        let mut loss = g.mse(art.pred, t)?;
+        if let Some(li) = art.infomax_loss {
+            let li = g.scale(li, self.cfg.lambda1);
+            loss = g.add(loss, li)?;
+        }
+        if let Some(lc) = art.contrastive_loss {
+            let lc = g.scale(lc, self.cfg.lambda2);
+            loss = g.add(loss, lc)?;
+        }
+        Ok(loss)
+    }
+
+    /// Hyperedge→(region, category) relevance scores `[H, R·C]` averaged over
+    /// the window — the quantity visualised in the paper's Fig. 8.
+    pub fn hyperedge_relevance(&self) -> Result<Tensor> {
+        self.hypergraph.relevance(&self.store)
+    }
+
+    /// Relevance at a given window position (time-aware case study).
+    pub fn hyperedge_relevance_at(&self, t: usize) -> Result<Tensor> {
+        self.hypergraph.relevance_at(&self.store, t)
+    }
+
+    /// Top-k most relevant regions for a hyperedge (scores summed over
+    /// categories), as `(region, score)` pairs sorted descending.
+    pub fn top_regions_for_hyperedge(&self, hyperedge: usize, k: usize) -> Result<Vec<(usize, f32)>> {
+        let rel = self.hyperedge_relevance()?;
+        let h = rel.shape()[0];
+        if hyperedge >= h {
+            return Err(TensorError::IndexOutOfRange { index: hyperedge, len: h });
+        }
+        let r = self.rows * self.cols;
+        let c = self.num_categories;
+        let mut scores: Vec<(usize, f32)> = (0..r)
+            .map(|ri| {
+                let s: f32 = (0..c).map(|ci| rel.at(&[hyperedge, ri * c + ci])).sum();
+                (ri, s)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scores.truncate(k);
+        Ok(scores)
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Persist the trained parameters to a file (see
+    /// `sthsl_autograd::ParamStore::save` for the format).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.save(path)
+    }
+
+    /// Restore trained parameters into this (architecturally identical)
+    /// model. Construct the model with the same config and dataset dims, then
+    /// restore.
+    pub fn restore(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.restore_from(path)
+    }
+}
+
+impl Predictor for StHsl {
+    fn name(&self) -> String {
+        "ST-HSL".into()
+    }
+
+    fn fit(&mut self, data: &CrimeDataset) -> Result<FitReport> {
+        trainer::train(self, data)
+    }
+
+    fn predict(&self, data: &CrimeDataset, window: &Tensor) -> Result<Tensor> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        let z = data.zscore(window);
+        let art = self.forward(&g, &pv, &z, None)?;
+        Ok(sanitize_counts(g.value(art.pred).as_ref().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use sthsl_data::{DatasetConfig, SynthCity, SynthConfig};
+
+    fn tiny_dataset() -> CrimeDataset {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 80)).unwrap();
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap()
+    }
+
+    fn tiny_cfg() -> StHslConfig {
+        StHslConfig {
+            d: 4,
+            num_hyperedges: 6,
+            epochs: 2,
+            batch_size: 2,
+            max_batches_per_epoch: Some(3),
+            ..StHslConfig::quick()
+        }
+    }
+
+    #[test]
+    fn forward_produces_predictions_and_losses() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let g = Graph::training(1);
+        let pv = model.store.inject(&g);
+        let sample = data.sample(20).unwrap();
+        let z = data.zscore(&sample.input);
+        let perm: Vec<usize> = (0..16).rev().collect();
+        let art = model.forward(&g, &pv, &z, Some(&perm)).unwrap();
+        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+        assert!(art.infomax_loss.is_some());
+        assert!(art.contrastive_loss.is_some());
+        let li = g.value(art.infomax_loss.unwrap()).item().unwrap();
+        let lc = g.value(art.contrastive_loss.unwrap()).item().unwrap();
+        assert!(li.is_finite() && li > 0.0);
+        assert!(lc.is_finite() && lc > 0.0);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_window() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let g = Graph::new();
+        let pv = model.store.inject(&g);
+        let bad = Tensor::zeros(&[16, 5, 4]); // wrong Tw
+        assert!(model.forward(&g, &pv, &bad, None).is_err());
+        let bad2 = Tensor::zeros(&[9, 7, 4]); // wrong R
+        assert!(model.forward(&g, &pv, &bad2, None).is_err());
+    }
+
+    #[test]
+    fn ablations_change_artifact_presence() {
+        let data = tiny_dataset();
+        // w/o Global → no SSL artifacts.
+        let cfg = tiny_cfg().with_ablation(Ablation::without_global());
+        let model = StHsl::new(cfg, &data).unwrap();
+        let g = Graph::training(1);
+        let pv = model.store.inject(&g);
+        let sample = data.sample(20).unwrap();
+        let z = data.zscore(&sample.input);
+        let perm: Vec<usize> = (0..16).collect();
+        let art = model.forward(&g, &pv, &z, Some(&perm)).unwrap();
+        assert!(art.infomax_loss.is_none());
+        assert!(art.contrastive_loss.is_none());
+        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+    }
+
+    #[test]
+    fn fusion_head_consumes_both_views() {
+        let data = tiny_dataset();
+        let cfg = tiny_cfg().with_ablation(Ablation::fusion_without_contrastive());
+        let model = StHsl::new(cfg, &data).unwrap();
+        let g = Graph::new();
+        let pv = model.store.inject(&g);
+        let sample = data.sample(20).unwrap();
+        let z = data.zscore(&sample.input);
+        let art = model.forward(&g, &pv, &z, None).unwrap();
+        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+        assert!(art.contrastive_loss.is_none());
+    }
+
+    #[test]
+    fn every_named_ablation_runs_forward() {
+        let data = tiny_dataset();
+        for (name, ab) in Ablation::named_variants() {
+            let cfg = tiny_cfg().with_ablation(ab);
+            let model = StHsl::new(cfg, &data).unwrap();
+            let g = Graph::training(2);
+            let pv = model.store.inject(&g);
+            let sample = data.sample(15).unwrap();
+            let z = data.zscore(&sample.input);
+            let perm: Vec<usize> = (0..16).rev().collect();
+            let loss = model
+                .sample_loss(&g, &pv, &z, &sample.target, Some(&perm))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let v = g.value(loss).item().unwrap();
+            assert!(v.is_finite(), "{name}: non-finite loss");
+        }
+    }
+
+    #[test]
+    fn predict_sanitizes_output() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let sample = data.sample(20).unwrap();
+        let pred = model.predict(&data, &sample.input).unwrap();
+        assert_eq!(pred.shape(), &[16, 4]);
+        assert!(pred.data().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn save_restore_preserves_predictions() {
+        let data = tiny_dataset();
+        let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+        // Perturb away from init so restore is observable.
+        let sample = data.sample(20).unwrap();
+        let before = model.predict(&data, &sample.input).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("sthsl_model_{}.bin", std::process::id()));
+        model.save(&path).unwrap();
+        // A fresh model with a different seed predicts differently…
+        let mut other = StHsl::new(tiny_cfg().with_seed(999), &data).unwrap();
+        let fresh = other.predict(&data, &sample.input).unwrap();
+        assert_ne!(fresh.data(), before.data());
+        // …until we restore the saved parameters.
+        other.restore(&path).unwrap();
+        let restored = other.predict(&data, &sample.input).unwrap();
+        assert_eq!(restored.data(), before.data());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn top_regions_for_hyperedge_sorted() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let top = model.top_regions_for_hyperedge(0, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        assert!(model.top_regions_for_hyperedge(999, 3).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Prediction head (paper Eq. 9).
+//!
+//! The per-(region, category) forecast is a learned linear functional of the
+//! temporally mean-pooled embedding:
+//! `X̂_{r,c} = w · (Σ_t Γ^{(T)}_{r,t,c})/T + b`.
+//! The "Fusion w/o ConL" ablation widens the head to consume the
+//! concatenation of local and global embeddings.
+
+use rand::Rng;
+use sthsl_autograd::nn::Linear;
+use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
+use sthsl_tensor::Result;
+
+/// Linear read-out from pooled embeddings to counts.
+pub struct PredictionHead {
+    proj: Linear,
+    in_dim: usize,
+}
+
+impl PredictionHead {
+    /// Register a head reading `in_dim`-wide pooled embeddings (= `d`, or
+    /// `2d` for the fusion variant).
+    pub fn new(store: &mut ParamStore, in_dim: usize, rng: &mut impl Rng) -> Self {
+        PredictionHead {
+            proj: Linear::new(store, "predict.head", in_dim, 1, true, rng),
+            in_dim,
+        }
+    }
+
+    /// `pooled: [R, C, in_dim] → X̂: [R, C]`.
+    pub fn forward(&self, g: &Graph, pv: &ParamVars, pooled: Var) -> Result<Var> {
+        let shape = g.shape_of(pooled);
+        debug_assert_eq!(shape[2], self.in_dim);
+        let (r, c) = (shape[0], shape[1]);
+        let y = self.proj.forward(g, pv, pooled)?; // [R, C, 1]
+        g.reshape(y, &[r, c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sthsl_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut store = ParamStore::new();
+        let head = PredictionHead::new(&mut store, 8, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        let pooled = g.constant(Tensor::ones(&[10, 4, 8]));
+        let y = head.forward(&g, &pv, pooled).unwrap();
+        assert_eq!(g.shape_of(y), vec![10, 4]);
+    }
+
+    #[test]
+    fn head_learns_sum_readout() {
+        use sthsl_autograd::optim::{Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut store = ParamStore::new();
+        let head = PredictionHead::new(&mut store, 4, &mut rng);
+        let x = Tensor::rand_normal(&[6, 2, 4], 0.0, 1.0, &mut rng);
+        // Target: sum of the embedding (a linear functional the head can hit).
+        let target = x.sum_axis(2).unwrap();
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let g = Graph::new();
+            let pv = store.inject(&g);
+            let xv = g.constant(x.clone());
+            let t = g.constant(target.clone());
+            let y = head.forward(&g, &pv, xv).unwrap();
+            let loss = g.mse(y, t).unwrap();
+            last = g.value(loss).item().unwrap();
+            let grads = g.backward(loss).unwrap();
+            opt.step(&mut store, &pv, &grads).unwrap();
+        }
+        assert!(last < 1e-3, "head failed to fit linear readout: {last}");
+    }
+}

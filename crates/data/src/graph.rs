@@ -1,0 +1,252 @@
+//! Region-graph utilities for grid-partitioned cities.
+//!
+//! The GNN baselines (STGCN, DCRNN, GWN, …) consume precomputed support
+//! matrices built from the grid adjacency; this module provides them.
+
+use sthsl_tensor::{Result, Tensor, TensorError};
+
+/// Grid region graph over an `rows × cols` partition.
+pub struct RegionGraph {
+    rows: usize,
+    cols: usize,
+    eight_connected: bool,
+}
+
+impl RegionGraph {
+    /// 4-connected (von Neumann) grid graph.
+    pub fn four_connected(rows: usize, cols: usize) -> Self {
+        RegionGraph { rows, cols, eight_connected: false }
+    }
+
+    /// 8-connected (Moore) grid graph.
+    pub fn eight_connected(rows: usize, cols: usize) -> Self {
+        RegionGraph { rows, cols, eight_connected: true }
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Neighbour list of a region index.
+    pub fn neighbors(&self, region: usize) -> Vec<usize> {
+        let (y, x) = ((region / self.cols) as i64, (region % self.cols) as i64);
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dy == 0 && dx == 0 {
+                    continue;
+                }
+                if !self.eight_connected && dy != 0 && dx != 0 {
+                    continue;
+                }
+                let (ny, nx) = (y + dy, x + dx);
+                if ny >= 0 && ny < self.rows as i64 && nx >= 0 && nx < self.cols as i64 {
+                    out.push(ny as usize * self.cols + nx as usize);
+                }
+            }
+        }
+        out
+    }
+
+    /// Binary adjacency matrix `[R, R]` (no self loops).
+    pub fn adjacency(&self) -> Tensor {
+        let r = self.num_regions();
+        let mut a = Tensor::zeros(&[r, r]);
+        for i in 0..r {
+            for j in self.neighbors(i) {
+                *a.at_mut(&[i, j]) = 1.0;
+            }
+        }
+        a
+    }
+
+    /// Symmetrically normalised adjacency with self loops:
+    /// `D^{-1/2} (A + I) D^{-1/2}` — the GCN support.
+    pub fn normalized_adjacency(&self) -> Result<Tensor> {
+        let r = self.num_regions();
+        let mut a = self.adjacency();
+        for i in 0..r {
+            *a.at_mut(&[i, i]) = 1.0;
+        }
+        normalize_sym(&a)
+    }
+
+    /// Row-normalised random-walk transition matrix `D^{-1} A` (DCRNN's
+    /// forward diffusion support).
+    pub fn random_walk(&self) -> Result<Tensor> {
+        let a = self.adjacency();
+        normalize_rows(&a)
+    }
+
+    /// Reverse random walk `D^{-1} Aᵀ` (DCRNN's backward diffusion support).
+    pub fn reverse_random_walk(&self) -> Result<Tensor> {
+        let at = self.adjacency().transpose2d()?;
+        normalize_rows(&at)
+    }
+
+    /// k-hop diffusion supports `[P, P², …, P^k]` from a base transition.
+    pub fn diffusion_supports(&self, base: &Tensor, k: usize) -> Result<Vec<Tensor>> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = base.clone();
+        for _ in 0..k {
+            out.push(cur.clone());
+            cur = cur.matmul(base)?;
+        }
+        Ok(out)
+    }
+
+    /// Chebyshev polynomial supports `T_0(L̃), …, T_{K−1}(L̃)` of the scaled
+    /// Laplacian `L̃ = 2L/λ_max − I` (with `L = I − D^{-1/2} A D^{-1/2}` and
+    /// the standard bound `λ_max ≤ 2`, so `L̃ = L − I`). These are the graph
+    /// convolution supports of STGCN's spectral formulation.
+    pub fn chebyshev_supports(&self, k: usize) -> Result<Vec<Tensor>> {
+        let r = self.num_regions();
+        let a_norm = normalize_sym(&self.adjacency())?;
+        // L̃ = L − I = −Â (since L = I − Â and λ_max bounded by 2).
+        let l_tilde = a_norm.scale(-1.0);
+        let mut out: Vec<Tensor> = Vec::with_capacity(k);
+        for i in 0..k {
+            let next = match i {
+                0 => Tensor::eye(r),
+                1 => l_tilde.clone(),
+                _ => {
+                    // T_k = 2 L̃ T_{k−1} − T_{k−2}.
+                    let two_lt = l_tilde.matmul(&out[i - 1])?.scale(2.0);
+                    two_lt.sub(&out[i - 2])?
+                }
+            };
+            out.push(next);
+        }
+        Ok(out)
+    }
+}
+
+/// Symmetric normalisation `D^{-1/2} A D^{-1/2}`.
+pub fn normalize_sym(a: &Tensor) -> Result<Tensor> {
+    let r = square_dim(a)?;
+    let mut dinv = vec![0.0f32; r];
+    for (i, di) in dinv.iter_mut().enumerate() {
+        let deg: f32 = (0..r).map(|j| a.at(&[i, j])).sum();
+        *di = if deg > 0.0 { deg.powf(-0.5) } else { 0.0 };
+    }
+    let mut out = a.clone();
+    for i in 0..r {
+        for j in 0..r {
+            *out.at_mut(&[i, j]) *= dinv[i] * dinv[j];
+        }
+    }
+    Ok(out)
+}
+
+/// Row normalisation `D^{-1} A`.
+pub fn normalize_rows(a: &Tensor) -> Result<Tensor> {
+    let r = square_dim(a)?;
+    let mut out = a.clone();
+    for i in 0..r {
+        let deg: f32 = (0..r).map(|j| a.at(&[i, j])).sum();
+        if deg > 0.0 {
+            for j in 0..r {
+                *out.at_mut(&[i, j]) /= deg;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn square_dim(a: &Tensor) -> Result<usize> {
+    if a.ndim() != 2 || a.shape()[0] != a.shape()[1] {
+        return Err(TensorError::Invalid(format!(
+            "expected square matrix, got {:?}",
+            a.shape()
+        )));
+    }
+    Ok(a.shape()[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_connected_neighbor_counts() {
+        let g = RegionGraph::four_connected(3, 3);
+        assert_eq!(g.neighbors(4).len(), 4); // centre
+        assert_eq!(g.neighbors(0).len(), 2); // corner
+        assert_eq!(g.neighbors(1).len(), 3); // edge
+    }
+
+    #[test]
+    fn eight_connected_neighbor_counts() {
+        let g = RegionGraph::eight_connected(3, 3);
+        assert_eq!(g.neighbors(4).len(), 8);
+        assert_eq!(g.neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_for_grids() {
+        let g = RegionGraph::four_connected(3, 4);
+        let a = g.adjacency();
+        let at = a.transpose2d().unwrap();
+        assert_eq!(a.data(), at.data());
+    }
+
+    #[test]
+    fn random_walk_rows_sum_to_one() {
+        let g = RegionGraph::four_connected(4, 4);
+        let p = g.random_walk().unwrap();
+        for i in 0..16 {
+            let s: f32 = (0..16).map(|j| p.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalized_adjacency_spectral_bound() {
+        // Largest eigenvalue of D^{-1/2}(A+I)D^{-1/2} is 1; power iteration
+        // on a random vector must not blow up.
+        let g = RegionGraph::four_connected(4, 4);
+        let n = g.normalized_adjacency().unwrap();
+        let mut v = Tensor::ones(&[16, 1]);
+        for _ in 0..20 {
+            v = n.matmul(&v).unwrap();
+        }
+        assert!(v.data().iter().all(|x| x.abs() <= 1.5));
+    }
+
+    #[test]
+    fn diffusion_supports_are_powers() {
+        let g = RegionGraph::four_connected(2, 2);
+        let p = g.random_walk().unwrap();
+        let supports = g.diffusion_supports(&p, 3).unwrap();
+        assert_eq!(supports.len(), 3);
+        let p2 = p.matmul(&p).unwrap();
+        for (a, b) in supports[1].data().iter().zip(p2.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chebyshev_recurrence_holds() {
+        let g = RegionGraph::four_connected(3, 3);
+        let t = g.chebyshev_supports(4).unwrap();
+        assert_eq!(t.len(), 4);
+        // T_0 = I.
+        assert_eq!(t[0].data(), Tensor::eye(9).data());
+        // T_2 = 2 L̃ T_1 − T_0, recomputed independently.
+        let l_tilde = t[1].clone();
+        let expect = l_tilde.matmul(&t[1]).unwrap().scale(2.0).sub(&t[0]).unwrap();
+        for (a, b) in t[2].data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Chebyshev supports are bounded (|T_k| entries stay small for
+        // normalised Laplacians) — no numeric blow-up.
+        assert!(t[3].data().iter().all(|v| v.abs() < 10.0));
+    }
+
+    #[test]
+    fn normalize_rejects_non_square() {
+        assert!(normalize_sym(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(normalize_rows(&Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Evaluation metrics: MAE, masked MAPE, RMSE, and density-degree tooling.
+//!
+//! Following the crime-prediction literature (and the paper's reference
+//! implementation), MAPE is computed only over entries with non-zero ground
+//! truth — with counts this sparse an unmasked MAPE is undefined on most
+//! entries.
+
+use sthsl_tensor::{Result, Tensor, TensorError};
+
+/// Mean absolute error over all entries.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> Result<f64> {
+    check_same(pred, truth, "mae")?;
+    if pred.is_empty() {
+        return Ok(0.0);
+    }
+    let sum: f64 = pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&p, &t)| f64::from((p - t).abs()))
+        .sum();
+    Ok(sum / pred.len() as f64)
+}
+
+/// Masked mean absolute percentage error: `mean(|p − t| / t)` over entries
+/// with `t > 0`. Returns 0 when no entry qualifies.
+pub fn mape(pred: &Tensor, truth: &Tensor) -> Result<f64> {
+    check_same(pred, truth, "mape")?;
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (&p, &t) in pred.data().iter().zip(truth.data()) {
+        if t > 0.0 {
+            sum += f64::from((p - t).abs() / t);
+            n += 1;
+        }
+    }
+    Ok(if n == 0 { 0.0 } else { sum / n as f64 })
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &Tensor, truth: &Tensor) -> Result<f64> {
+    check_same(pred, truth, "rmse")?;
+    if pred.is_empty() {
+        return Ok(0.0);
+    }
+    let sum: f64 = pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&p, &t)| {
+            let d = f64::from(p - t);
+            d * d
+        })
+        .sum();
+    Ok((sum / pred.len() as f64).sqrt())
+}
+
+fn check_same(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Density-degree buckets used by the robustness study (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityBucket {
+    /// Density in (0, 0.25].
+    VerySparse,
+    /// Density in (0.25, 0.5].
+    Sparse,
+    /// Density in (0.5, 0.75].
+    Dense,
+    /// Density in (0.75, 1.0].
+    VeryDense,
+}
+
+impl DensityBucket {
+    /// Human-readable interval label matching the paper's axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DensityBucket::VerySparse => "(0.00, 0.25]",
+            DensityBucket::Sparse => "(0.25, 0.50]",
+            DensityBucket::Dense => "(0.50, 0.75]",
+            DensityBucket::VeryDense => "(0.75, 1.00]",
+        }
+    }
+
+    /// All buckets in order.
+    pub fn all() -> [DensityBucket; 4] {
+        [
+            DensityBucket::VerySparse,
+            DensityBucket::Sparse,
+            DensityBucket::Dense,
+            DensityBucket::VeryDense,
+        ]
+    }
+}
+
+/// Bucket for a density degree in `[0, 1]`.
+pub fn density_bucket(density: f32) -> DensityBucket {
+    if density <= 0.25 {
+        DensityBucket::VerySparse
+    } else if density <= 0.5 {
+        DensityBucket::Sparse
+    } else if density <= 0.75 {
+        DensityBucket::Dense
+    } else {
+        DensityBucket::VeryDense
+    }
+}
+
+/// Per-region density degrees of a `[R, T, C]` tensor: the fraction of
+/// non-zero elements in each region's `[T, C]` crime sequence (the paper's
+/// Fig. 1 / Fig. 6 quantity).
+pub fn density_degrees(tensor: &Tensor) -> Result<Vec<f32>> {
+    if tensor.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "density_degrees",
+            expected: 3,
+            got: tensor.ndim(),
+        });
+    }
+    let (r, t, c) = (tensor.shape()[0], tensor.shape()[1], tensor.shape()[2]);
+    Ok((0..r)
+        .map(|ri| {
+            let nz = (0..t * c)
+                .filter(|&i| tensor.data()[ri * t * c + i] > 0.0)
+                .count();
+            nz as f32 / (t * c).max(1) as f32
+        })
+        .collect())
+}
+
+/// Accumulates per-category predictions over many test days and reports
+/// paper-style averaged metrics.
+///
+/// Following the sparse-crime evaluation protocol of the ST-SHN / ST-HSL
+/// line of work, the primary MAE and MAPE are computed over entries with
+/// **non-zero ground truth** (predicting zero on an all-zero day is trivial
+/// and would swamp the average); unmasked variants are also exposed.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    per_category: Vec<CategoryAccum>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CategoryAccum {
+    abs_err: f64,
+    count: usize,
+    abs_err_nz: f64,
+    count_nz: usize,
+    mape_sum: f64,
+    mape_count: usize,
+    sq_err: f64,
+}
+
+impl EvalReport {
+    /// New report for `num_categories` categories.
+    pub fn new(num_categories: usize) -> Self {
+        EvalReport { per_category: vec![CategoryAccum::default(); num_categories] }
+    }
+
+    /// Add one day's predictions (`pred`, `truth`: `[R, C]`).
+    pub fn add_day(&mut self, pred: &Tensor, truth: &Tensor) -> Result<()> {
+        check_same(pred, truth, "EvalReport::add_day")?;
+        if pred.ndim() != 2 || pred.shape()[1] != self.per_category.len() {
+            return Err(TensorError::Invalid(format!(
+                "EvalReport::add_day: expected [R, {}] matrices, got {:?}",
+                self.per_category.len(),
+                pred.shape()
+            )));
+        }
+        let c = self.per_category.len();
+        for (i, (&p, &t)) in pred.data().iter().zip(truth.data()).enumerate() {
+            let acc = &mut self.per_category[i % c];
+            let d = f64::from(p - t);
+            acc.abs_err += d.abs();
+            acc.sq_err += d * d;
+            acc.count += 1;
+            if t > 0.0 {
+                acc.abs_err_nz += d.abs();
+                acc.count_nz += 1;
+                acc.mape_sum += d.abs() / f64::from(t);
+                acc.mape_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// MAE for one category over non-zero ground-truth entries (the paper's
+    /// reporting protocol for sparse crime counts).
+    pub fn mae(&self, category: usize) -> f64 {
+        let a = &self.per_category[category];
+        if a.count_nz == 0 {
+            0.0
+        } else {
+            a.abs_err_nz / a.count_nz as f64
+        }
+    }
+
+    /// Unmasked MAE over every entry.
+    pub fn mae_unmasked(&self, category: usize) -> f64 {
+        let a = &self.per_category[category];
+        if a.count == 0 {
+            0.0
+        } else {
+            a.abs_err / a.count as f64
+        }
+    }
+
+    /// Masked MAPE for one category.
+    pub fn mape(&self, category: usize) -> f64 {
+        let a = &self.per_category[category];
+        if a.mape_count == 0 {
+            0.0
+        } else {
+            a.mape_sum / a.mape_count as f64
+        }
+    }
+
+    /// RMSE for one category.
+    pub fn rmse(&self, category: usize) -> f64 {
+        let a = &self.per_category[category];
+        if a.count == 0 {
+            0.0
+        } else {
+            (a.sq_err / a.count as f64).sqrt()
+        }
+    }
+
+    /// MAE averaged over all categories.
+    pub fn mae_overall(&self) -> f64 {
+        let n = self.per_category.len().max(1);
+        (0..self.per_category.len()).map(|c| self.mae(c)).sum::<f64>() / n as f64
+    }
+
+    /// MAPE averaged over all categories.
+    pub fn mape_overall(&self) -> f64 {
+        let n = self.per_category.len().max(1);
+        (0..self.per_category.len()).map(|c| self.mape(c)).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(v: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(v, &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn mae_hand_example() {
+        let p = t2(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let t = t2(vec![1.0, 0.0, 5.0, 4.0], 2, 2);
+        assert!((mae(&p, &t).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_masks_zero_truth() {
+        let p = t2(vec![1.0, 5.0], 1, 2);
+        let t = t2(vec![0.0, 4.0], 1, 2);
+        // Only the second entry counts: |5-4|/4 = 0.25.
+        assert!((mape(&p, &t).unwrap() - 0.25).abs() < 1e-9);
+        // All-zero truth → 0, not NaN.
+        let tz = t2(vec![0.0, 0.0], 1, 2);
+        assert_eq!(mape(&p, &tz).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominated_by_outliers() {
+        let p = t2(vec![0.0, 0.0], 1, 2);
+        let t = t2(vec![0.0, 10.0], 1, 2);
+        assert!((rmse(&p, &t).unwrap() - (50.0f64).sqrt()).abs() < 1e-6);
+        assert!(rmse(&p, &t).unwrap() > mae(&p, &t).unwrap());
+    }
+
+    #[test]
+    fn metric_shape_mismatch_errors() {
+        let p = t2(vec![0.0], 1, 1);
+        let t = t2(vec![0.0, 0.0], 1, 2);
+        assert!(mae(&p, &t).is_err());
+        assert!(mape(&p, &t).is_err());
+        assert!(rmse(&p, &t).is_err());
+    }
+
+    #[test]
+    fn buckets_partition_unit_interval() {
+        assert_eq!(density_bucket(0.1), DensityBucket::VerySparse);
+        assert_eq!(density_bucket(0.25), DensityBucket::VerySparse);
+        assert_eq!(density_bucket(0.3), DensityBucket::Sparse);
+        assert_eq!(density_bucket(0.6), DensityBucket::Dense);
+        assert_eq!(density_bucket(0.9), DensityBucket::VeryDense);
+        assert_eq!(DensityBucket::all().len(), 4);
+    }
+
+    #[test]
+    fn density_degrees_counts_nonzero_elements() {
+        // R=1, T=4, C=2: 2 non-zero of 8 elements → density 0.25.
+        let x = Tensor::from_vec(
+            vec![1.0, 0.0, /*day1*/ 0.0, 0.0, /*day2*/ 0.0, 3.0, /*day3*/ 0.0, 0.0],
+            &[1, 4, 2],
+        )
+        .unwrap();
+        let d = density_degrees(&x).unwrap();
+        assert_eq!(d, vec![0.25]);
+    }
+
+    #[test]
+    fn report_accumulates_per_category() {
+        let mut rep = EvalReport::new(2);
+        rep.add_day(&t2(vec![1.0, 0.0], 1, 2), &t2(vec![2.0, 0.0], 1, 2)).unwrap();
+        rep.add_day(&t2(vec![3.0, 1.0], 1, 2), &t2(vec![3.0, 2.0], 1, 2)).unwrap();
+        // Masked MAE, category 0: both days non-zero → (1 + 0)/2.
+        assert!((rep.mae(0) - 0.5).abs() < 1e-9);
+        // Masked MAE, category 1: only day 2 counts → |1−2| = 1.
+        assert!((rep.mae(1) - 1.0).abs() < 1e-9);
+        // Unmasked averages over everything.
+        assert!((rep.mae_unmasked(1) - 0.5).abs() < 1e-9);
+        // Category 0 MAPE: only day 1 counts (truth 2): 0.5. Day 2 err 0/3.
+        assert!((rep.mape(0) - 0.25).abs() < 1e-9);
+        // Category 1 MAPE: only day 2 (truth 2): 0.5.
+        assert!((rep.mape(1) - 0.5).abs() < 1e-9);
+        assert!(rep.mae_overall() > 0.0);
+        assert!(rep.mape_overall() > 0.0);
+    }
+}

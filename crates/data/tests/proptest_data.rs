@@ -1,0 +1,96 @@
+//! Property-based tests for the data substrate: region-graph invariants,
+//! dataset split algebra and simulator structure under random seeds.
+
+use proptest::prelude::*;
+use sthsl_data::graph::RegionGraph;
+use sthsl_data::{CrimeDataset, DatasetConfig, Split, SynthCity, SynthConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_adjacency_symmetric_any_size(rows in 2usize..7, cols in 2usize..7) {
+        for graph in [RegionGraph::four_connected(rows, cols), RegionGraph::eight_connected(rows, cols)] {
+            let a = graph.adjacency();
+            let at = a.transpose2d().unwrap();
+            prop_assert_eq!(a.data(), at.data());
+            // Neighbour relation is symmetric element-wise too.
+            for i in 0..graph.num_regions() {
+                for j in graph.neighbors(i) {
+                    prop_assert!(graph.neighbors(j).contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_rows_stochastic(rows in 2usize..6, cols in 2usize..6) {
+        let g = RegionGraph::four_connected(rows, cols);
+        let p = g.random_walk().unwrap();
+        let n = g.num_regions();
+        for i in 0..n {
+            let s: f32 = (0..n).map(|j| p.at(&[i, j])).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            for j in 0..n {
+                prop_assert!(p.at(&[i, j]) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn splits_partition_target_days(days in 90usize..200, window in 5usize..15) {
+        let mut cfg = SynthConfig::nyc_like().scaled(4, 4, days);
+        cfg.seed = days as u64;
+        let city = SynthCity::generate(&cfg).unwrap();
+        let ds_cfg = DatasetConfig { window, val_days: 7, train_fraction: 7.0 / 8.0 };
+        let Ok(data) = CrimeDataset::from_city(&city, ds_cfg) else {
+            // Short spans may legitimately be rejected.
+            return Ok(());
+        };
+        let train = data.target_days(Split::Train);
+        let val = data.target_days(Split::Val);
+        let test = data.target_days(Split::Test);
+        // Disjoint, ordered, and jointly covering [window, days).
+        let mut all: Vec<usize> = Vec::new();
+        all.extend(train.iter().copied());
+        all.extend(val.iter().copied());
+        all.extend(test.iter().copied());
+        let expect: Vec<usize> = (window..days).collect();
+        prop_assert_eq!(all, expect);
+        // Every target day classifies back to its own split.
+        for &d in &val {
+            prop_assert_eq!(data.split_of(d), Split::Val);
+        }
+        for &d in &test {
+            prop_assert_eq!(data.split_of(d), Split::Test);
+        }
+    }
+
+    #[test]
+    fn samples_never_leak_future(day_offset in 0usize..30) {
+        let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+        let data = CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 10, val_days: 7, train_fraction: 7.0 / 8.0 },
+        ).unwrap();
+        let day = 10 + day_offset;
+        let s = data.sample(day).unwrap();
+        // The input window is exactly tensor[:, day-10..day, :] — strictly
+        // before the target day.
+        let expect = data.tensor.slice_axis(1, day - 10, 10).unwrap();
+        prop_assert_eq!(s.input.data(), expect.data());
+        prop_assert_eq!(s.target_day, day);
+    }
+
+    #[test]
+    fn simulator_all_categories_present(seed in 0u64..300) {
+        let mut cfg = SynthConfig::chicago_like().scaled(4, 4, 60);
+        cfg.seed = seed;
+        let city = SynthCity::generate(&cfg).unwrap();
+        for c in 0..city.num_categories() {
+            prop_assert!(city.total_cases(c) > 0.0, "category {c} produced no cases");
+        }
+        // Function labels are in range.
+        prop_assert!(city.region_function.iter().all(|&f| f < cfg.num_functions));
+    }
+}

@@ -1,0 +1,178 @@
+//! Matrix multiplication kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// 2-D matrix product: `[m, k] · [k, n] → [m, n]`.
+    ///
+    /// Straightforward ikj-ordered triple loop — the j-inner loop walks both
+    /// the output row and the `other` row contiguously, which the compiler
+    /// auto-vectorises well.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = as_2d(self, "matmul lhs")?;
+        let (k2, n) = as_2d(other, "matmul rhs")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // sparse inputs (z-scored zero days) are common
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `[b, m, k] · [b, k, n] → [b, m, n]`.
+    pub fn batched_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (ba, m, k) = as_3d(self, "batched_matmul lhs")?;
+        let (bb, k2, n) = as_3d(other, "batched_matmul rhs")?;
+        if ba != bb || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "batched_matmul",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; ba * m * n];
+        let a = self.data();
+        let b = other.data();
+        for bi in 0..ba {
+            let abase = bi * m * k;
+            let bbase = bi * k * n;
+            let obase = bi * m * n;
+            for i in 0..m {
+                let arow = &a[abase + i * k..abase + (i + 1) * k];
+                let orow = &mut out[obase + i * n..obase + (i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[bbase + p * n..bbase + (p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[ba, m, n])
+    }
+
+    /// 2-D transpose: `[m, n] → [n, m]`.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        let (m, n) = as_2d(self, "transpose2d")?;
+        let a = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Matrix–vector product: `[m, k] · [k] → [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, k) = as_2d(self, "matvec lhs")?;
+        if v.ndim() != 1 || v.shape()[0] != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape().to_vec(),
+                rhs: v.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let x = v.data();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&av, &xv)| av * xv).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+fn as_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, got: t.ndim() });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+fn as_3d(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    if t.ndim() != 3 {
+        return Err(TensorError::RankMismatch { op, expected: 3, got: t.ndim() });
+    }
+    Ok((t.shape()[0], t.shape()[1], t.shape()[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![3., 1., 4., 1., 5., 9., 2., 6., 5.], &[3, 3]).unwrap();
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[4, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_batch() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
+        let c = a.batched_matmul(&b).unwrap();
+        // Check batch 1 against a straight 2-D matmul of the same slices.
+        let a1 = Tensor::from_vec(a.data()[6..12].to_vec(), &[2, 3]).unwrap();
+        let b1 = Tensor::from_vec(b.data()[6..12].to_vec(), &[3, 2]).unwrap();
+        let c1 = a1.matmul(&b1).unwrap();
+        assert_eq!(&c.data()[4..8], c1.data());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let t = a.transpose2d().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+        assert_eq!(t.transpose2d().unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![5., 6.], &[2]).unwrap();
+        let mv = a.matvec(&v).unwrap();
+        assert_eq!(mv.data(), &[17., 39.]);
+    }
+}

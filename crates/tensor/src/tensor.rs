@@ -1,0 +1,408 @@
+use crate::shape::{broadcast_shapes, strides_of};
+use crate::{Result, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// The invariant `data.len() == shape.iter().product()` holds for every
+/// constructed tensor; all constructors enforce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Build a tensor from raw data and a shape. Fails when the element count
+    /// does not match the shape product.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, got: data.len() });
+        }
+        Ok(Tensor { data, shape: shape.to_vec() })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: vec![] }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-D tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor { data: (0..n).map(|i| i as f32).collect(), shape: vec![n] }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Dimension list.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions). A scalar has rank 0.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its backing data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index. Panics on out-of-range indices (debug aid;
+    /// use only where indices are known valid).
+    pub fn at(&self, index: &[usize]) -> f32 {
+        debug_assert_eq!(index.len(), self.shape.len());
+        let strides = strides_of(&self.shape);
+        let off: usize = index.iter().zip(&strides).map(|(i, s)| i * s).sum();
+        self.data[off]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        debug_assert_eq!(index.len(), self.shape.len());
+        let strides = strides_of(&self.shape);
+        let off: usize = index.iter().zip(&strides).map(|(i, s)| i * s).sum();
+        &mut self.data[off]
+    }
+
+    /// Value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::Invalid(format!(
+                "item() requires exactly one element, tensor has {}",
+                self.data.len()
+            )));
+        }
+        Ok(self.data[0])
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    // ------------------------------------------------------------- map/zip
+
+    /// Apply `f` elementwise, producing a new tensor of the same shape.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Apply `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combine two tensors elementwise with NumPy broadcasting.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes need no index arithmetic.
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Ok(Tensor { data, shape: self.shape.clone() });
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)?;
+        let out_len: usize = out_shape.iter().product();
+        let mut data = vec![0.0f32; out_len];
+        let lhs_bstrides = broadcast_strides(&self.shape, &out_shape);
+        let rhs_bstrides = broadcast_strides(&other.shape, &out_shape);
+        let out_strides = strides_of(&out_shape);
+        let ndim = out_shape.len();
+        let mut idx = vec![0usize; ndim];
+        for slot in data.iter_mut() {
+            let mut l = 0usize;
+            let mut r = 0usize;
+            for d in 0..ndim {
+                l += idx[d] * lhs_bstrides[d];
+                r += idx[d] * rhs_bstrides[d];
+            }
+            *slot = f(self.data[l], other.data[r]);
+            // advance odometer
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        let _ = out_strides;
+        Ok(Tensor { data, shape: out_shape })
+    }
+
+    // ------------------------------------------------------------ arithmetic
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// In-place scaled accumulation: `self += alpha * other`. Shapes must
+    /// match exactly (no broadcasting) — this is the hot path of backward
+    /// gradient accumulation.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Dot product of two tensors viewed as flat vectors (shapes must match).
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+    }
+
+    /// Squared L2 norm of the whole tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    // ------------------------------------------------------- shape plumbing
+
+    /// Reinterpret the data under a new shape with the same element count.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected, got: self.data.len() });
+        }
+        Ok(Tensor { data: self.data.clone(), shape: shape.to_vec() })
+    }
+
+    /// Reshape consuming self (no data copy).
+    pub fn into_reshape(mut self, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected, got: self.data.len() });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Sum `grad`-style tensor down to `target_shape` by summing over axes
+    /// that were broadcast. This is the adjoint of broadcasting and is used by
+    /// every binary-op backward pass.
+    pub fn reduce_to_shape(&self, target_shape: &[usize]) -> Result<Tensor> {
+        if self.shape == target_shape {
+            return Ok(self.clone());
+        }
+        // Verify target broadcasts to self.
+        let b = broadcast_shapes(&self.shape, target_shape)?;
+        if b != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "reduce_to_shape",
+                lhs: self.shape.clone(),
+                rhs: target_shape.to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(target_shape);
+        let tgt_bstrides = broadcast_strides(target_shape, &self.shape);
+        let ndim = self.shape.len();
+        let mut idx = vec![0usize; ndim];
+        for &v in &self.data {
+            let mut off = 0usize;
+            for d in 0..ndim {
+                off += idx[d] * tgt_bstrides[d];
+            }
+            out.data[off] += v;
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Strides for reading `shape` as if broadcast to `out_shape`: broadcast axes
+/// get stride 0, missing leading axes get stride 0.
+pub(crate) fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let strides = strides_of(shape);
+    let offset = out_shape.len() - shape.len();
+    let mut out = vec![0usize; out_shape.len()];
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 && out_shape[offset + i] != 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn eye_and_arange() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[0, 1]), 0.0);
+        let a = Tensor::arange(4);
+        assert_eq!(a.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_add_row_vector() {
+        let m = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        let r = Tensor::from_vec(vec![10., 20., 30.], &[3]).unwrap();
+        let s = m.add(&r).unwrap();
+        assert_eq!(s.data(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_mul_column_vector() {
+        let m = Tensor::ones(&[2, 3]);
+        let c = Tensor::from_vec(vec![2., 3.], &[2, 1]).unwrap();
+        let p = m.mul(&c).unwrap();
+        assert_eq!(p.data(), &[2., 2., 2., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let m = Tensor::from_vec(vec![1., 2.], &[2]).unwrap();
+        let s = Tensor::scalar(5.0);
+        assert_eq!(m.add(&s).unwrap().data(), &[6., 7.]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to_shape(&[3]).unwrap();
+        assert_eq!(r.data(), &[2., 2., 2.]);
+        let c = g.reduce_to_shape(&[2, 1]).unwrap();
+        assert_eq!(c.data(), &[3., 3.]);
+        let s = g.reduce_to_shape(&[]).unwrap();
+        assert_eq!(s.data(), &[6.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::zeros(&[3]);
+        let b = Tensor::from_vec(vec![1., 2., 3.], &[3]).unwrap();
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.data(), &[2., 4., 6.]);
+        assert!(a.axpy(1.0, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn item_and_nonfinite() {
+        assert_eq!(Tensor::scalar(3.5).item().unwrap(), 3.5);
+        assert!(Tensor::zeros(&[2]).item().is_err());
+        let mut t = Tensor::zeros(&[2]);
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn reshape_checks_len() {
+        let t = Tensor::arange(6);
+        assert_eq!(t.reshape(&[2, 3]).unwrap().shape(), &[2, 3]);
+        assert!(t.reshape(&[4]).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Edge-case behaviour of the tensor library: rank-0 scalars, empty axes,
+//! single-element tensors, extreme values.
+
+use sthsl_tensor::ops::conv::Pad1d;
+use sthsl_tensor::Tensor;
+
+#[test]
+fn rank0_scalar_through_arithmetic() {
+    let s = Tensor::scalar(2.0);
+    let t = Tensor::scalar(3.0);
+    assert_eq!(s.add(&t).unwrap().item().unwrap(), 5.0);
+    assert_eq!(s.mul(&t).unwrap().item().unwrap(), 6.0);
+    // Scalar broadcast against any shape.
+    let m = Tensor::ones(&[2, 3]);
+    let scaled = m.mul(&s).unwrap();
+    assert_eq!(scaled.shape(), &[2, 3]);
+    assert!(scaled.data().iter().all(|&v| v == 2.0));
+}
+
+#[test]
+fn empty_axis_tensors_are_consistent() {
+    let e = Tensor::zeros(&[0, 4]);
+    assert!(e.is_empty());
+    assert_eq!(e.sum_all(), 0.0);
+    assert_eq!(e.mean_all(), 0.0);
+    // Reductions over the non-empty axis of an empty tensor stay empty.
+    let r = e.sum_axis(1).unwrap();
+    assert_eq!(r.shape(), &[0]);
+    // Concat with an empty tensor is identity on data.
+    let m = Tensor::ones(&[2, 4]);
+    let c = Tensor::concat(&[&e, &m], 0).unwrap();
+    assert_eq!(c.shape(), &[2, 4]);
+    assert_eq!(c.data(), m.data());
+}
+
+#[test]
+fn single_element_every_axis() {
+    let t = Tensor::from_vec(vec![5.0], &[1, 1, 1]).unwrap();
+    assert_eq!(t.sum_axis(1).unwrap().shape(), &[1, 1]);
+    assert_eq!(t.permute(&[2, 1, 0]).unwrap().data(), &[5.0]);
+    assert_eq!(t.softmax_lastdim().unwrap().data(), &[1.0]);
+}
+
+#[test]
+fn conv_on_minimal_inputs() {
+    // 1×1 image with 1×1 kernel is a multiply.
+    let x = Tensor::from_vec(vec![3.0], &[1, 1, 1, 1]).unwrap();
+    let w = Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap();
+    let y = x.conv2d(&w, None, (0, 0)).unwrap();
+    assert_eq!(y.data(), &[6.0]);
+    // Length-1 sequence with same-padded kernel 3.
+    let x1 = Tensor::from_vec(vec![4.0], &[1, 1, 1]).unwrap();
+    let w1 = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 1, 3]).unwrap();
+    let y1 = x1.conv1d(&w1, None, Pad1d::same(3), 1).unwrap();
+    assert_eq!(y1.shape(), &[1, 1, 1]);
+    assert_eq!(y1.data(), &[4.0]); // only the centre tap lands inside
+}
+
+#[test]
+fn large_magnitude_values_stay_finite() {
+    let t = Tensor::full(&[4], 1e20);
+    let sq_would_overflow = t.mul(&t).unwrap();
+    // f32 overflow produces inf — has_non_finite must report it.
+    assert!(sq_would_overflow.has_non_finite());
+    // Softmax of huge logits is still a valid distribution.
+    let big = Tensor::from_vec(vec![1e8, 1e8 + 1.0], &[1, 2]).unwrap();
+    let sm = big.softmax_lastdim().unwrap();
+    assert!(!sm.has_non_finite());
+    let sum: f32 = sm.data().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-5);
+}
+
+#[test]
+fn matmul_degenerate_dims() {
+    // [1, k] · [k, 1] is a dot product.
+    let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+    let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3, 1]).unwrap();
+    assert_eq!(a.matmul(&b).unwrap().data(), &[32.0]);
+    // Zero-sized inner dim gives an all-zero output.
+    let z1 = Tensor::zeros(&[2, 0]);
+    let z2 = Tensor::zeros(&[0, 3]);
+    let out = z1.matmul(&z2).unwrap();
+    assert_eq!(out.shape(), &[2, 3]);
+    assert!(out.data().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn slice_full_axis_is_identity() {
+    let t = Tensor::arange(12).reshape(&[3, 4]).unwrap();
+    let s = t.slice_axis(0, 0, 3).unwrap();
+    assert_eq!(s.data(), t.data());
+    let zero_len = t.slice_axis(1, 2, 0).unwrap();
+    assert_eq!(zero_len.shape(), &[3, 0]);
+}

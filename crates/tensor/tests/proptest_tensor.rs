@@ -1,0 +1,136 @@
+//! Property-based tests of the tensor algebra: broadcasting laws, shape
+//! round-trips, convolution linearity, reduction identities.
+
+use proptest::prelude::*;
+use sthsl_tensor::ops::conv::Pad1d;
+use sthsl_tensor::{broadcast_shapes, Tensor};
+
+fn small_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(a, b, c)| {
+        proptest::collection::vec(-10.0f32..10.0, a * b * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[a, b, c]).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn broadcast_with_self_is_identity_shape(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let s = broadcast_shapes(&dims, &dims).unwrap();
+        prop_assert_eq!(s, dims);
+    }
+
+    #[test]
+    fn broadcast_with_scalar_keeps_shape(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let s = broadcast_shapes(&dims, &[]).unwrap();
+        prop_assert_eq!(s, dims);
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in small_tensor(4)) {
+        let z = Tensor::zeros(t.shape());
+        let r = t.add(&z).unwrap();
+        prop_assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn mul_distributes_over_add(t in small_tensor(3)) {
+        let a = t.map(|v| v * 0.5);
+        let b = t.map(|v| v - 1.0);
+        let lhs = t.mul(&a.add(&b).unwrap()).unwrap();
+        let rhs = t.mul(&a).unwrap().add(&t.mul(&b).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip_identity(t in small_tensor(4)) {
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+        prop_assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in small_tensor(4)) {
+        let n = t.len();
+        let flat = t.reshape(&[n]).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+    }
+
+    #[test]
+    fn sum_axis_total_matches_sum_all(t in small_tensor(4)) {
+        for axis in 0..3 {
+            let reduced = t.sum_axis(axis).unwrap();
+            prop_assert!((reduced.sum_all() - t.sum_all()).abs() < 1e-2 * (1.0 + t.sum_all().abs()));
+        }
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(t in small_tensor(4)) {
+        let r = t.reduce_to_shape(&[t.shape()[2]]).unwrap();
+        prop_assert!((r.sum_all() - t.sum_all()).abs() < 1e-2 * (1.0 + t.sum_all().abs()));
+    }
+
+    #[test]
+    fn matmul_associativity(v in proptest::collection::vec(-3.0f32..3.0, 12)) {
+        let a = Tensor::from_vec(v.clone(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec(v.iter().map(|x| x * 0.5).collect(), &[4, 3]).unwrap();
+        let c = Tensor::from_vec(v[..9].to_vec(), &[3, 3]).unwrap();
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn conv1d_is_linear_in_input(v in proptest::collection::vec(-2.0f32..2.0, 16)) {
+        let x1 = Tensor::from_vec(v.clone(), &[1, 2, 8]).unwrap();
+        let x2 = x1.map(|t| t * -0.5 + 0.3);
+        let w = Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.1, 0.5, -0.3, 0.7, 0.9, -0.1, 0.4, 0.2, -0.6], &[2, 2, 3]).unwrap();
+        let pad = Pad1d::same(3);
+        let sum = x1.add(&x2).unwrap();
+        let lhs = sum.conv1d(&w, None, pad, 1).unwrap();
+        let rhs = x1.conv1d(&w, None, pad, 1).unwrap()
+            .add(&x2.conv1d(&w, None, pad, 1).unwrap()).unwrap();
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv2d_translation_of_impulse(y in 1usize..4, x in 1usize..4) {
+        // An impulse convolved with a kernel reproduces the (flipped-window)
+        // kernel centred at the impulse — checked via total mass.
+        let mut input = Tensor::zeros(&[1, 1, 6, 6]);
+        *input.at_mut(&[0, 0, y, x]) = 1.0;
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let out = input.conv2d(&w, None, (1, 1)).unwrap();
+        // Interior impulses deposit the full kernel mass.
+        prop_assert!((out.sum_all() - 9.0).abs() < 1e-5);
+        prop_assert_eq!(out.at(&[0, 0, y, x]), 1.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(v in proptest::collection::vec(-5.0f32..5.0, 8)) {
+        let t = Tensor::from_vec(v.clone(), &[2, 4]).unwrap();
+        let shifted = t.add_scalar(3.7);
+        let a = t.softmax_lastdim().unwrap();
+        let b = shifted.softmax_lastdim().unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn index_select_then_scatter_preserves_selected_mass(t in small_tensor(3)) {
+        let n = t.shape()[0];
+        let idx: Vec<usize> = (0..n).collect();
+        let sel = t.index_select(0, &idx).unwrap();
+        let scat = sel.index_scatter_add(0, &idx, n).unwrap();
+        prop_assert_eq!(scat.data(), t.data());
+    }
+}

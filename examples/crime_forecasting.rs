@@ -1,0 +1,61 @@
+//! Crime-forecasting bake-off: train ST-HSL and a panel of baselines on the
+//! same simulated city and print a Table-III-style comparison, including the
+//! per-category breakdown that shows where the hypergraph SSL helps most
+//! (the sparse categories).
+//!
+//! ```sh
+//! cargo run --release --example crime_forecasting
+//! ```
+
+use sthsl::baselines::{deepcrime::DeepCrime, stgcn::Stgcn, stshn::Stshn, svr::Svr};
+use sthsl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = SynthCity::generate(&SynthConfig::chicago_like().scaled(8, 8, 240))?;
+    let data = CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 14, val_days: 10, train_fraction: 7.0 / 8.0 },
+    )?;
+    let cats = data.category_names.clone();
+    println!(
+        "Chicago-like city: {} regions, {} days, categories {:?}\n",
+        data.num_regions(),
+        data.num_days(),
+        cats
+    );
+
+    let bcfg = BaselineConfig::quick();
+    let mut models: Vec<Box<dyn Predictor>> = vec![
+        Box::new(Svr::new(bcfg.clone())),
+        Box::new(Stgcn::new(bcfg.clone(), &data)?),
+        Box::new(DeepCrime::new(bcfg.clone(), &data)?),
+        Box::new(Stshn::new(bcfg.clone(), &data)?),
+        Box::new(StHsl::new(StHslConfig::quick(), &data)?),
+    ];
+
+    // Header.
+    print!("{:<12}", "Model");
+    for cat in &cats {
+        print!(" {:>14}", format!("{cat} MAE"));
+    }
+    println!(" {:>10}", "overall");
+
+    for model in &mut models {
+        let fit = model.fit(&data)?;
+        let report = model.evaluate(&data)?;
+        print!("{:<12}", model.name());
+        for ci in 0..cats.len() {
+            print!(" {:>14.4}", report.mae(ci));
+        }
+        println!(" {:>10.4}", report.mae_overall());
+        let _ = fit;
+    }
+
+    println!(
+        "\nShape to look for (paper Table III): ST-HSL ahead of its static-hypergraph \
+         predecessor STSHN and the non-graph baselines; at this miniature training \
+         budget the simplest conv/graph models can stay competitive — see \
+         EXPERIMENTS.md for the full 16-model comparison and discussion."
+    );
+    Ok(())
+}

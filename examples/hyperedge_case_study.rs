@@ -1,0 +1,71 @@
+//! Hyperedge interpretation case study (the paper's Fig. 8 / RQ5 workflow):
+//! train ST-HSL, then inspect which regions each hyperedge binds together
+//! and check the groups against the simulator's latent urban functions.
+//!
+//! ```sh
+//! cargo run --release --example hyperedge_case_study
+//! ```
+
+use sthsl::data::synth::FUNCTION_NAMES;
+use sthsl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(8, 8, 240))?;
+    let data = CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 14, val_days: 10, train_fraction: 7.0 / 8.0 },
+    )?;
+    let mut model = StHsl::new(StHslConfig::quick(), &data)?;
+    println!("Training ST-HSL…");
+    model.fit(&data)?;
+
+    println!("\nTop-3 regions per sampled hyperedge (simulator function in brackets):");
+    let num_h = model.config().num_hyperedges;
+    for h in (0..num_h).step_by((num_h / 6).max(1)) {
+        let top = model.top_regions_for_hyperedge(h, 3)?;
+        let desc: Vec<String> = top
+            .iter()
+            .map(|(r, score)| {
+                format!(
+                    "r{r}@({},{}) [{}] {:.3}",
+                    r / data.cols,
+                    r % data.cols,
+                    FUNCTION_NAMES[city.region_function[*r]],
+                    score
+                )
+            })
+            .collect();
+        println!("  e{h:<3} → {}", desc.join("  |  "));
+    }
+
+    // Quantify: do hyperedge groups share urban function more than chance?
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for h in 0..num_h {
+        let top = model.top_regions_for_hyperedge(h, 3)?;
+        for i in 0..top.len() {
+            for j in i + 1..top.len() {
+                total += 1;
+                if city.region_function[top[i].0] == city.region_function[top[j].0] {
+                    same += 1;
+                }
+            }
+        }
+    }
+    let mut counts = vec![0usize; FUNCTION_NAMES.len()];
+    for &f in &city.region_function {
+        counts[f] += 1;
+    }
+    let n = city.region_function.len() as f64;
+    let chance: f64 = counts.iter().map(|&c| (c as f64 / n).powi(2)).sum();
+    println!(
+        "\nSame-function rate inside hyperedge top-3 groups: {:.1}% (chance {:.1}%)",
+        100.0 * same as f64 / total.max(1) as f64,
+        100.0 * chance
+    );
+    println!(
+        "The paper's Fig. 8 finding — hyperedges bind functionally similar, \
+         possibly distant regions — reproduces when this rate beats chance."
+    );
+    Ok(())
+}

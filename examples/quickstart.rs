@@ -1,0 +1,73 @@
+//! Quickstart: simulate a small NYC-like city, train ST-HSL, evaluate, and
+//! compare against the historical-average floor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sthsl::baselines::ha::HistoricalAverage;
+use sthsl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a city calibrated to the paper's NYC statistics, shrunk to
+    //    an 8×8 grid over 240 days so this runs in seconds on one core.
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(8, 8, 240))?;
+    let data = CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 14, val_days: 10, train_fraction: 7.0 / 8.0 },
+    )?;
+    println!(
+        "Simulated {} regions × {} days × {} crime types ({} total cases)",
+        data.num_regions(),
+        data.num_days(),
+        data.num_categories(),
+        (0..data.num_categories()).map(|c| city.total_cases(c)).sum::<f64>() as u64,
+    );
+
+    // 2. Train ST-HSL with the quick configuration (same architecture as the
+    //    paper, reduced width/epochs).
+    let mut model = StHsl::new(StHslConfig::quick(), &data)?;
+    println!("ST-HSL has {} parameters; training…", model.num_parameters());
+    let fit = model.fit(&data)?;
+    println!(
+        "Trained {} epochs in {:.1}s (final loss {:.4})",
+        fit.epochs, fit.train_seconds, fit.final_loss
+    );
+
+    // 3. Evaluate over every test day, next to a naive floor.
+    let report = model.evaluate(&data)?;
+    let mut ha = HistoricalAverage::new(BaselineConfig::quick());
+    ha.fit(&data)?;
+    let ha_report = ha.evaluate(&data)?;
+    println!("\n{:<12} {:>8} {:>8}", "Model", "MAE", "MAPE");
+    println!(
+        "{:<12} {:>8.4} {:>8.4}",
+        "HA",
+        ha_report.mae_overall(),
+        ha_report.mape_overall()
+    );
+    println!(
+        "{:<12} {:>8.4} {:>8.4}",
+        "ST-HSL",
+        report.mae_overall(),
+        report.mape_overall()
+    );
+
+    // 4. Forecast tomorrow from the freshest window.
+    let last_day = data.num_days() - 1;
+    let sample = data.sample(last_day)?;
+    let forecast = model.predict(&data, &sample.input)?;
+    let hottest = (0..data.num_regions())
+        .max_by(|&a, &b| {
+            let sa: f32 = (0..data.num_categories()).map(|c| forecast.at(&[a, c])).sum();
+            let sb: f32 = (0..data.num_categories()).map(|c| forecast.at(&[b, c])).sum();
+            sa.partial_cmp(&sb).expect("finite forecasts")
+        })
+        .expect("non-empty city");
+    println!(
+        "\nHighest predicted crime tomorrow: region {hottest} (grid {},{})",
+        hottest / data.cols,
+        hottest % data.cols
+    );
+    Ok(())
+}

@@ -1,0 +1,342 @@
+//! Implementation of the `sthsl` command-line interface.
+//!
+//! Kept in the library so the subcommands are directly testable; the binary
+//! in `main.rs` is a thin shim around [`run`].
+
+use crate::prelude::*;
+use sthsl_data::loader::{dataset_from_csv, GridSpec};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::BufReader;
+
+/// Parsed common flags.
+struct Flags {
+    city: String,
+    rows: usize,
+    cols: usize,
+    days: usize,
+    window: usize,
+    data: Option<String>,
+    model: Option<String>,
+    out: Option<String>,
+    seed: u64,
+    epochs: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        city: "nyc".into(),
+        rows: 8,
+        cols: 8,
+        days: 240,
+        window: 14,
+        data: None,
+        model: None,
+        out: None,
+        seed: 7,
+        epochs: 12,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = || -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{key} requires a value"))
+        };
+        match key {
+            "--city" => f.city = val()?.clone(),
+            "--rows" => f.rows = val()?.parse().map_err(|_| "bad --rows")?,
+            "--cols" => f.cols = val()?.parse().map_err(|_| "bad --cols")?,
+            "--days" => f.days = val()?.parse().map_err(|_| "bad --days")?,
+            "--window" => f.window = val()?.parse().map_err(|_| "bad --window")?,
+            "--data" => f.data = Some(val()?.clone()),
+            "--model" => f.model = Some(val()?.clone()),
+            "--out" => f.out = Some(val()?.clone()),
+            "--seed" => f.seed = val()?.parse().map_err(|_| "bad --seed")?,
+            "--epochs" => f.epochs = val()?.parse().map_err(|_| "bad --epochs")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(f)
+}
+
+/// The synthetic grid uses a unit-degree bounding box so exported records
+/// survive the CSV → rasterise round trip exactly.
+fn grid_spec(rows: usize, cols: usize) -> GridSpec {
+    GridSpec {
+        lat_min: 0.0,
+        lat_max: rows as f64,
+        lon_min: 0.0,
+        lon_max: cols as f64,
+        rows,
+        cols,
+    }
+}
+
+fn city_config(flags: &Flags) -> Result<SynthConfig, String> {
+    let base = match flags.city.as_str() {
+        "nyc" => SynthConfig::nyc_like(),
+        "chi" | "chicago" => SynthConfig::chicago_like(),
+        other => return Err(format!("unknown --city {other} (expected nyc|chi)")),
+    };
+    let mut cfg = base.scaled(flags.rows, flags.cols, flags.days);
+    cfg.seed ^= flags.seed;
+    Ok(cfg)
+}
+
+fn categories_of(cfg: &SynthConfig) -> Vec<String> {
+    cfg.categories.iter().map(|c| c.name.clone()).collect()
+}
+
+/// `simulate`: generate a city and export it as `category,day,lon,lat` rows.
+fn cmd_simulate(flags: &Flags) -> Result<String, String> {
+    let cfg = city_config(flags)?;
+    let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
+    let (r, t, c) = (city.num_regions(), city.num_days(), city.num_categories());
+    let mut csv = String::from("# synthetic export: category,day,lon,lat\n");
+    let cols = flags.cols;
+    for ri in 0..r {
+        let (lat, lon) = ((ri / cols) as f64 + 0.5, (ri % cols) as f64 + 0.5);
+        for ti in 0..t {
+            for ci in 0..c {
+                let count = city.tensor.at(&[ri, ti, ci]) as usize;
+                for _ in 0..count {
+                    let _ = writeln!(csv, "{},{ti},{lon},{lat}", city.category_names[ci]);
+                }
+            }
+        }
+    }
+    let path = flags.out.clone().unwrap_or_else(|| "crimes.csv".into());
+    fs::write(&path, &csv).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} records ({} regions × {} days × {} categories) to {path}",
+        csv.lines().count() - 1,
+        r,
+        t,
+        c
+    ))
+}
+
+fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
+    let path = flags.data.as_ref().ok_or("--data is required")?;
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let cfg = city_config(flags)?;
+    let cats = categories_of(&cfg);
+    let cat_refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
+    let (data, stats) = dataset_from_csv(
+        BufReader::new(file),
+        &grid_spec(flags.rows, flags.cols),
+        &cat_refs,
+        flags.days,
+        DatasetConfig {
+            window: flags.window,
+            val_days: (flags.days / 20).max(5),
+            train_fraction: 7.0 / 8.0,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    if stats.accepted == 0 {
+        return Err("no records accepted — check grid/span flags".into());
+    }
+    eprintln!(
+        "loaded {} records ({} out of bounds, {} unknown category, {} out of span)",
+        stats.accepted, stats.out_of_bounds, stats.unknown_category, stats.out_of_span
+    );
+    Ok(data)
+}
+
+fn model_config(flags: &Flags) -> StHslConfig {
+    StHslConfig {
+        d: 8,
+        num_hyperedges: 32,
+        epochs: flags.epochs,
+        batch_size: 4,
+        max_batches_per_epoch: Some(12),
+        lambda1: 0.1,
+        lambda2: 0.03,
+        time_dependent_hypergraph: false,
+        seed: flags.seed,
+        ..StHslConfig::paper()
+    }
+}
+
+/// `train`: fit ST-HSL on a CSV dataset and persist the parameters.
+fn cmd_train(flags: &Flags) -> Result<String, String> {
+    let data = load_dataset(flags)?;
+    let mut model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
+    let report = model.fit(&data).map_err(|e| e.to_string())?;
+    let path = flags.model.clone().unwrap_or_else(|| "model.bin".into());
+    model.save(&path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trained {} epochs in {:.1}s (final loss {:.4}); saved to {path}",
+        report.epochs, report.train_seconds, report.final_loss
+    ))
+}
+
+fn restore_model(flags: &Flags, data: &CrimeDataset) -> Result<StHsl, String> {
+    let path = flags.model.as_ref().ok_or("--model is required")?;
+    let mut model = StHsl::new(model_config(flags), data).map_err(|e| e.to_string())?;
+    model.restore(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(model)
+}
+
+/// `evaluate`: paper-style metrics over the test period.
+fn cmd_evaluate(flags: &Flags) -> Result<String, String> {
+    let data = load_dataset(flags)?;
+    let model = restore_model(flags, &data)?;
+    let report = model.evaluate(&data).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>8} {:>8}", "Category", "MAE", "MAPE");
+    for (ci, name) in data.category_names.iter().enumerate() {
+        let _ = writeln!(out, "{:<12} {:>8.4} {:>8.4}", name, report.mae(ci), report.mape(ci));
+    }
+    let _ = write!(
+        out,
+        "{:<12} {:>8.4} {:>8.4}",
+        "overall",
+        report.mae_overall(),
+        report.mape_overall()
+    );
+    Ok(out)
+}
+
+/// `predict`: forecast the day after the last window in the data.
+fn cmd_predict(flags: &Flags) -> Result<String, String> {
+    let data = load_dataset(flags)?;
+    let model = restore_model(flags, &data)?;
+    let last = data.num_days() - 1;
+    let sample = data.sample(last).map_err(|e| e.to_string())?;
+    let pred = model.predict(&data, &sample.input).map_err(|e| e.to_string())?;
+    let mut out = String::from("region,row,col");
+    for name in &data.category_names {
+        let _ = write!(out, ",{name}");
+    }
+    let _ = writeln!(out);
+    for ri in 0..data.num_regions() {
+        let _ = write!(out, "{ri},{},{}", ri / data.cols, ri % data.cols);
+        for ci in 0..data.num_categories() {
+            let _ = write!(out, ",{:.3}", pred.at(&[ri, ci]));
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(path) = &flags.out {
+        fs::write(path, &out).map_err(|e| e.to_string())?;
+        Ok(format!("forecast written to {path}"))
+    } else {
+        Ok(out)
+    }
+}
+
+const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict> [flags]
+  common flags: --city nyc|chi  --rows N --cols N --days N --window N --seed N
+  simulate: --out crimes.csv
+  train:    --data crimes.csv --model model.bin --epochs N
+  evaluate: --data crimes.csv --model model.bin
+  predict:  --data crimes.csv --model model.bin [--out forecast.csv]";
+
+/// Entry point: `args` as produced by `std::env::args().collect()`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.get(1) else {
+        return Err(USAGE.into());
+    };
+    let flags = parse_flags(&args[2..])?;
+    let output = match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags)?,
+        "train" => cmd_train(&flags)?,
+        "evaluate" => cmd_evaluate(&flags)?,
+        "predict" => cmd_predict(&flags)?,
+        other => return Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    println!("{output}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sthsl_cli_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn str_args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_rejects_unknown_and_missing_values() {
+        assert!(parse_flags(&str_args(&["--nope", "1"])).is_err());
+        assert!(parse_flags(&str_args(&["--rows"])).is_err());
+        assert!(parse_flags(&str_args(&["--rows", "abc"])).is_err());
+        let f = parse_flags(&str_args(&["--rows", "5", "--city", "chi"])).unwrap();
+        assert_eq!(f.rows, 5);
+        assert_eq!(f.city, "chi");
+    }
+
+    #[test]
+    fn run_without_command_prints_usage() {
+        let err = run(&str_args(&["sthsl"])).unwrap_err();
+        assert!(err.contains("usage"));
+        let err2 = run(&str_args(&["sthsl", "frobnicate"])).unwrap_err();
+        assert!(err2.contains("unknown command"));
+    }
+
+    #[test]
+    fn simulate_train_evaluate_predict_roundtrip() {
+        // End-to-end through the CSV + persistence codepaths at tiny scale.
+        let csv = tmp("roundtrip.csv");
+        let model = tmp("roundtrip_model.bin");
+        let forecast = tmp("roundtrip_forecast.csv");
+        let common = ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "2"];
+
+        let mut sim = str_args(&["sthsl", "simulate", "--out", &csv]);
+        sim.extend(str_args(&common));
+        run(&sim).unwrap();
+        assert!(fs::metadata(&csv).unwrap().len() > 100);
+
+        let mut train = str_args(&["sthsl", "train", "--data", &csv, "--model", &model]);
+        train.extend(str_args(&common));
+        run(&train).unwrap();
+        assert!(fs::metadata(&model).unwrap().len() > 100);
+
+        let mut eval = str_args(&["sthsl", "evaluate", "--data", &csv, "--model", &model]);
+        eval.extend(str_args(&common));
+        run(&eval).unwrap();
+
+        let mut pred = str_args(&["sthsl", "predict", "--data", &csv, "--model", &model, "--out", &forecast]);
+        pred.extend(str_args(&common));
+        run(&pred).unwrap();
+        let out = fs::read_to_string(&forecast).unwrap();
+        assert!(out.lines().count() > 16, "one row per region plus header");
+        assert!(out.starts_with("region,row,col,"));
+
+        for p in [csv, model, forecast] {
+            fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn simulate_roundtrip_preserves_counts() {
+        // Records exported by simulate and re-rasterised must reproduce the
+        // original tensor exactly (the grid uses region-centre coordinates).
+        let flags = parse_flags(&str_args(&["--rows", "4", "--cols", "4", "--days", "40"])).unwrap();
+        let cfg = city_config(&flags).unwrap();
+        let city = SynthCity::generate(&cfg).unwrap();
+        // Export through the same path simulate uses.
+        let csv_path = tmp("counts.csv");
+        let f2 = Flags { out: Some(csv_path.clone()), ..flags };
+        cmd_simulate(&f2).unwrap();
+        let file = fs::File::open(&csv_path).unwrap();
+        let cats = categories_of(&cfg);
+        let cat_refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
+        let records = sthsl_data::loader::parse_csv(BufReader::new(file)).unwrap();
+        let (tensor, stats) =
+            sthsl_data::loader::rasterize(&records, &grid_spec(4, 4), &cat_refs, 40).unwrap();
+        assert_eq!(stats.out_of_bounds, 0);
+        assert_eq!(stats.unknown_category, 0);
+        assert_eq!(tensor.data(), city.tensor.data());
+        fs::remove_file(csv_path).ok();
+    }
+}

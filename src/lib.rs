@@ -1,0 +1,42 @@
+//! # sthsl
+//!
+//! Facade crate for the ST-HSL reproduction — *Spatial-Temporal Hypergraph
+//! Self-Supervised Learning for Crime Prediction* (ICDE 2022) — re-exporting
+//! the public API of every workspace crate:
+//!
+//! - [`tensor`] — dense f32 tensors, convolutions, matmul.
+//! - [`autograd`] — tape-based reverse-mode autodiff, NN layers, optimizers.
+//! - [`data`] — the calibrated city simulator, datasets, metrics, graphs.
+//! - [`core`] — the ST-HSL model itself.
+//! - [`baselines`] — the 15 paper baselines (+ HA).
+//!
+//! ```no_run
+//! use sthsl::prelude::*;
+//!
+//! let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(8, 8, 240)).unwrap();
+//! let data = CrimeDataset::from_city(&city, DatasetConfig::default()).unwrap();
+//! let mut model = StHsl::new(StHslConfig::quick(), &data).unwrap();
+//! model.fit(&data).unwrap();
+//! let report = model.evaluate(&data).unwrap();
+//! println!("MAE {:.4}", report.mae_overall());
+//! ```
+
+pub mod cli;
+
+pub use sthsl_autograd as autograd;
+pub use sthsl_baselines as baselines;
+pub use sthsl_core as core;
+pub use sthsl_data as data;
+pub use sthsl_tensor as tensor;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use sthsl_autograd::{Gradients, Graph, ParamStore, Var};
+    pub use sthsl_baselines::{all_baselines, BaselineConfig};
+    pub use sthsl_core::{Ablation, StHsl, StHslConfig};
+    pub use sthsl_data::{
+        CrimeDataset, DatasetConfig, EvalReport, FitReport, Predictor, Split, SynthCity,
+        SynthConfig,
+    };
+    pub use sthsl_tensor::Tensor;
+}

@@ -1,0 +1,28 @@
+//! `sthsl` — command-line interface for the ST-HSL crime-prediction library.
+//!
+//! ```sh
+//! # 1. Simulate a city and export it as a CSV of crime records
+//! sthsl simulate --city nyc --rows 8 --cols 8 --days 240 --out crimes.csv
+//!
+//! # 2. Train ST-HSL on the CSV and save the model
+//! sthsl train --data crimes.csv --rows 8 --cols 8 --days 240 --model model.bin
+//!
+//! # 3. Evaluate on the held-out test period
+//! sthsl evaluate --data crimes.csv --rows 8 --cols 8 --days 240 --model model.bin
+//!
+//! # 4. Forecast the next day from the freshest window
+//! sthsl predict --data crimes.csv --rows 8 --cols 8 --days 240 --model model.bin
+//! ```
+//!
+//! The CSV format is the paper's record shape: `category,day,lon,lat` (one
+//! report per row; see `sthsl::data::loader`).
+
+use sthsl::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Err(e) = cli::run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Failure-injection tests: the public API must return typed errors (never
+//! panic) on malformed inputs, and training must survive pathological data.
+
+use sthsl::prelude::*;
+
+fn dataset() -> CrimeDataset {
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+    CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 8, val_days: 6, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap()
+}
+
+fn tiny_cfg() -> StHslConfig {
+    StHslConfig {
+        d: 4,
+        num_hyperedges: 6,
+        epochs: 2,
+        batch_size: 2,
+        max_batches_per_epoch: Some(3),
+        ..StHslConfig::quick()
+    }
+}
+
+#[test]
+fn predict_with_wrong_window_shape_errors() {
+    let data = dataset();
+    let model = StHsl::new(tiny_cfg(), &data).unwrap();
+    // Wrong region count.
+    assert!(model.predict(&data, &Tensor::zeros(&[9, 8, 4])).is_err());
+    // Wrong window length.
+    assert!(model.predict(&data, &Tensor::zeros(&[16, 5, 4])).is_err());
+    // Wrong category count.
+    assert!(model.predict(&data, &Tensor::zeros(&[16, 8, 2])).is_err());
+}
+
+#[test]
+fn dataset_rejects_degenerate_configs() {
+    let t = Tensor::zeros(&[4, 50, 2]);
+    // Window longer than the span.
+    let bad = DatasetConfig { window: 100, val_days: 5, train_fraction: 7.0 / 8.0 };
+    assert!(CrimeDataset::new(t.clone(), 2, 2, vec!["a".into(), "b".into()], bad).is_err());
+    // Validation tail eats the whole training region.
+    let bad2 = DatasetConfig { window: 5, val_days: 500, train_fraction: 7.0 / 8.0 };
+    assert!(CrimeDataset::new(t, 2, 2, vec!["a".into(), "b".into()], bad2).is_err());
+}
+
+#[test]
+fn training_survives_all_zero_data() {
+    // A city with (almost) no crime: z-scoring guards against σ=0 and the
+    // trainer must complete without NaN.
+    let tensor = Tensor::zeros(&[16, 100, 4]);
+    let data = CrimeDataset::new(
+        tensor,
+        4,
+        4,
+        vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        DatasetConfig { window: 8, val_days: 6, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap();
+    let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+    let report = model.fit(&data).unwrap();
+    assert!(report.final_loss.is_finite());
+    let sample = data.sample(20).unwrap();
+    let pred = model.predict(&data, &sample.input).unwrap();
+    assert!(pred.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn training_survives_extreme_outlier_day() {
+    // Inject a day with an absurd spike; gradient clipping plus the NaN
+    // snapshot guard must keep parameters finite.
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 100)).unwrap();
+    let mut tensor = city.tensor.clone();
+    for ci in 0..4 {
+        *tensor.at_mut(&[3, 40, ci]) = 1.0e4;
+    }
+    let data = CrimeDataset::new(
+        tensor,
+        4,
+        4,
+        city.category_names.clone(),
+        DatasetConfig { window: 8, val_days: 6, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap();
+    let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+    model.fit(&data).unwrap();
+    let sample = data.sample(60).unwrap();
+    let pred = model.predict(&data, &sample.input).unwrap();
+    assert!(pred.data().iter().all(|v| v.is_finite()), "outlier day produced NaN model");
+}
+
+#[test]
+fn metrics_reject_mismatched_shapes() {
+    let a = Tensor::zeros(&[4, 2]);
+    let b = Tensor::zeros(&[2, 4]);
+    assert!(sthsl::data::mae(&a, &b).is_err());
+    assert!(sthsl::data::mape(&a, &b).is_err());
+    assert!(sthsl::data::rmse(&a, &b).is_err());
+    let mut rep = EvalReport::new(2);
+    assert!(rep.add_day(&Tensor::zeros(&[4, 3]), &Tensor::zeros(&[4, 3])).is_err());
+}
+
+#[test]
+fn simulator_rejects_invalid_configs() {
+    let mut cfg = SynthConfig::nyc_like();
+    cfg.rows = 0;
+    assert!(SynthCity::generate(&cfg).is_err());
+    let mut cfg2 = SynthConfig::nyc_like();
+    cfg2.num_functions = 99;
+    assert!(SynthCity::generate(&cfg2).is_err());
+}

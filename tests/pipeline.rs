@@ -1,0 +1,112 @@
+//! End-to-end integration tests spanning all crates: simulate → train →
+//! predict → evaluate, for ST-HSL and the baseline registry.
+
+use sthsl::baselines::ha::HistoricalAverage;
+use sthsl::prelude::*;
+
+fn tiny_dataset(seed: u64) -> CrimeDataset {
+    let mut cfg = SynthConfig::nyc_like().scaled(5, 5, 120);
+    cfg.seed ^= seed;
+    let city = SynthCity::generate(&cfg).unwrap();
+    CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 10, val_days: 7, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap()
+}
+
+fn tiny_sthsl_cfg() -> StHslConfig {
+    StHslConfig {
+        d: 4,
+        num_hyperedges: 8,
+        epochs: 4,
+        batch_size: 4,
+        max_batches_per_epoch: Some(6),
+        ..StHslConfig::quick()
+    }
+}
+
+#[test]
+fn full_pipeline_trains_and_beats_untrained_model() {
+    let data = tiny_dataset(1);
+    let mut trained = StHsl::new(tiny_sthsl_cfg(), &data).unwrap();
+    let untrained = StHsl::new(tiny_sthsl_cfg(), &data).unwrap();
+    trained.fit(&data).unwrap();
+    let trained_mae = trained.evaluate(&data).unwrap().mae_overall();
+    let untrained_mae = untrained.evaluate(&data).unwrap().mae_overall();
+    assert!(
+        trained_mae < untrained_mae,
+        "training did not help: {trained_mae} vs untrained {untrained_mae}"
+    );
+}
+
+#[test]
+fn sthsl_is_competitive_with_historical_average() {
+    // A trained ST-HSL must at minimum be in the same league as the HA floor.
+    // The window-mean HA is a surprisingly strong masked-MAE baseline, and
+    // this test's model is miniature (d=4, 8 hyperedges, a few epochs), so
+    // demand ≤ 1.5× rather than a strict win; the quick-scale experiment
+    // binaries check the actual Table III ordering.
+    let data = tiny_dataset(2);
+    let cfg = StHslConfig { epochs: 8, max_batches_per_epoch: Some(10), ..tiny_sthsl_cfg() };
+    let mut model = StHsl::new(cfg, &data).unwrap();
+    model.fit(&data).unwrap();
+    let model_mae = model.evaluate(&data).unwrap().mae_overall();
+    let mut ha = HistoricalAverage::new(BaselineConfig::tiny());
+    ha.fit(&data).unwrap();
+    let ha_mae = ha.evaluate(&data).unwrap().mae_overall();
+    assert!(
+        model_mae <= ha_mae * 1.5,
+        "ST-HSL ({model_mae}) far behind HA ({ha_mae})"
+    );
+}
+
+#[test]
+fn predictions_are_valid_counts_for_all_models() {
+    let data = tiny_dataset(3);
+    let mut models = all_baselines(&BaselineConfig::tiny(), &data).unwrap();
+    models.push(Box::new(StHsl::new(tiny_sthsl_cfg(), &data).unwrap()));
+    let sample = data.sample(40).unwrap();
+    for model in &mut models {
+        model.fit(&data).unwrap();
+        let pred = model.predict(&data, &sample.input).unwrap();
+        assert_eq!(
+            pred.shape(),
+            &[data.num_regions(), data.num_categories()],
+            "{} produced wrong shape",
+            model.name()
+        );
+        assert!(
+            pred.data().iter().all(|&v| v.is_finite() && v >= 0.0),
+            "{} produced invalid counts",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn fixed_seed_reproduces_end_to_end() {
+    let run = || {
+        let data = tiny_dataset(4);
+        let mut model = StHsl::new(tiny_sthsl_cfg(), &data).unwrap();
+        model.fit(&data).unwrap();
+        let sample = data.sample(50).unwrap();
+        model.predict(&data, &sample.input).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.data(), b.data());
+}
+
+#[test]
+fn evaluation_report_is_internally_consistent() {
+    let data = tiny_dataset(5);
+    let mut ha = HistoricalAverage::new(BaselineConfig::tiny());
+    ha.fit(&data).unwrap();
+    let report = ha.evaluate(&data).unwrap();
+    for c in 0..data.num_categories() {
+        assert!(report.mae(c) >= 0.0);
+        assert!(report.mape(c) >= 0.0);
+        assert!(report.rmse(c) >= report.mae_unmasked(c) - 1e-9, "RMSE ≥ unmasked MAE");
+    }
+}
