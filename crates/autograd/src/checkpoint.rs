@@ -1,0 +1,391 @@
+//! Full training checkpoints — format v2 of the `STHSLPRM` container.
+//!
+//! A checkpoint carries everything needed to resume training bit-identically:
+//! model parameters, Adam moment estimates, and the trainer's counters (which
+//! double as the RNG state, since the training loop derives all randomness
+//! from `(seed, epoch, step)`).
+//!
+//! Layout (little-endian), with a trailing integrity checksum:
+//! ```text
+//! magic "STHSLPRM" | u32 version = 2
+//! params:  u64 count | per param: u64 name len | name | tensor
+//! adam:    u64 t | u64 n_slots | per slot: u8 present | [m tensor | v tensor]
+//! trainer: u64 epoch | u64 batch_in_epoch | u64 global_step | u64 seed
+//!          | f32 lr_scale | u32 divergence_retries | u32 epochs_since_improve
+//!          | f64 best_val | f64 last_train_loss | f64 epoch_loss_accum
+//! u64 FNV-1a of every preceding byte
+//! tensor = u64 rank | u64 dims… | f32 data…
+//! ```
+//!
+//! Writes are atomic (see [`crate::serialize`]); loads verify the checksum
+//! before parsing and validate every length field against the actual file
+//! size, so torn, truncated or corrupted checkpoints are rejected with a
+//! typed [`io::Error`] — never a panic or an out-of-memory abort.
+
+use crate::optim::AdamState;
+use crate::params::ParamStore;
+use crate::serialize::{
+    atomic_write, fnv1a, read_params, read_tensor, write_params, write_tensor, ByteReader, MAGIC,
+};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const VERSION: u32 = 2;
+
+/// Cap on Adam moment slots (one per parameter tensor; far above any model
+/// this crate builds).
+const MAX_SLOTS: usize = 1 << 20;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The training loop's position and health counters.
+///
+/// Because the loop derives every random choice from `(seed, epoch,
+/// global_step)`, these counters *are* the RNG state: restoring them resumes
+/// the exact random stream of the uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// Epoch currently in progress (0-based).
+    pub epoch: u64,
+    /// Batches already completed within `epoch`.
+    pub batch_in_epoch: u64,
+    /// Optimizer steps completed since the start of training.
+    pub global_step: u64,
+    /// The config seed the run was started with; resuming under a different
+    /// seed is rejected.
+    pub seed: u64,
+    /// Multiplier on the scheduled learning rate (halved by divergence
+    /// recovery).
+    pub lr_scale: f32,
+    /// Divergence recoveries consumed so far.
+    pub divergence_retries: u32,
+    /// Epochs since the validation loss last improved (early stopping).
+    pub epochs_since_improve: u32,
+    /// Best validation loss seen (NaN when no validation has run yet).
+    pub best_val: f64,
+    /// Training loss of the last completed epoch (NaN before the first).
+    pub last_train_loss: f64,
+    /// Loss accumulated over the completed batches of the epoch in progress,
+    /// so a mid-epoch resume reports the same epoch mean as an uninterrupted
+    /// run.
+    pub epoch_loss_accum: f64,
+}
+
+impl Default for TrainerState {
+    fn default() -> Self {
+        TrainerState {
+            epoch: 0,
+            batch_in_epoch: 0,
+            global_step: 0,
+            seed: 0,
+            lr_scale: 1.0,
+            divergence_retries: 0,
+            epochs_since_improve: 0,
+            best_val: f64::NAN,
+            last_train_loss: f64::NAN,
+            epoch_loss_accum: 0.0,
+        }
+    }
+}
+
+/// A complete, resumable snapshot of a training run.
+pub struct Checkpoint {
+    /// Model parameters.
+    pub params: ParamStore,
+    /// Optimizer moment estimates and step count.
+    pub adam: AdamState,
+    /// Training-loop position and counters.
+    pub trainer: TrainerState,
+}
+
+impl Checkpoint {
+    /// Serialise to `path` atomically (temp file + fsync + rename): a crash
+    /// mid-save can never leave a torn checkpoint at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut out = Vec::with_capacity(64 + self.params.num_scalars() * 12);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        write_params(&mut out, &self.params);
+
+        let a = &self.adam;
+        debug_assert_eq!(a.m.len(), a.v.len());
+        out.extend_from_slice(&a.t.to_le_bytes());
+        out.extend_from_slice(&(a.m.len() as u64).to_le_bytes());
+        for (m, v) in a.m.iter().zip(&a.v) {
+            match (m, v) {
+                (Some(m), Some(v)) => {
+                    out.push(1);
+                    write_tensor(&mut out, m);
+                    write_tensor(&mut out, v);
+                }
+                _ => out.push(0),
+            }
+        }
+
+        let t = &self.trainer;
+        out.extend_from_slice(&t.epoch.to_le_bytes());
+        out.extend_from_slice(&t.batch_in_epoch.to_le_bytes());
+        out.extend_from_slice(&t.global_step.to_le_bytes());
+        out.extend_from_slice(&t.seed.to_le_bytes());
+        out.extend_from_slice(&t.lr_scale.to_le_bytes());
+        out.extend_from_slice(&t.divergence_retries.to_le_bytes());
+        out.extend_from_slice(&t.epochs_since_improve.to_le_bytes());
+        out.extend_from_slice(&t.best_val.to_le_bytes());
+        out.extend_from_slice(&t.last_train_loss.to_le_bytes());
+        out.extend_from_slice(&t.epoch_loss_accum.to_le_bytes());
+
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        atomic_write(path.as_ref(), &out)
+    }
+
+    /// Load and fully validate a checkpoint written by [`Checkpoint::save`].
+    ///
+    /// The trailing checksum is verified against the file body *first*, so a
+    /// bit-flipped file is rejected before any of its length fields are
+    /// trusted.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let bytes = fs::read(path)?;
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(bad("truncated checkpoint: shorter than the fixed header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let actual = fnv1a(body);
+        if stored != actual {
+            return Err(bad(format!(
+                "checkpoint checksum mismatch (stored {stored:#018x}, computed {actual:#018x}): file is corrupt"
+            )));
+        }
+
+        let mut r = ByteReader::new(body);
+        if r.take(8, "magic")? != MAGIC {
+            return Err(bad("not an ST-HSL checkpoint file"));
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported checkpoint version {version}")));
+        }
+        let params = read_params(&mut r)?;
+
+        let t = r.u64("adam step count")?;
+        let n_slots = r.checked_len(MAX_SLOTS, 1, "adam slot count")?;
+        let mut m = Vec::with_capacity(n_slots);
+        let mut v = Vec::with_capacity(n_slots);
+        for i in 0..n_slots {
+            match r.u8(&format!("adam slot {i} flag"))? {
+                0 => {
+                    m.push(None);
+                    v.push(None);
+                }
+                1 => {
+                    m.push(Some(read_tensor(&mut r)?));
+                    v.push(Some(read_tensor(&mut r)?));
+                }
+                other => {
+                    return Err(bad(format!("adam slot {i}: invalid presence flag {other}")));
+                }
+            }
+        }
+        let adam = AdamState { t, m, v };
+
+        let trainer = TrainerState {
+            epoch: r.u64("trainer epoch")?,
+            batch_in_epoch: r.u64("trainer batch_in_epoch")?,
+            global_step: r.u64("trainer global_step")?,
+            seed: r.u64("trainer seed")?,
+            lr_scale: r.f32("trainer lr_scale")?,
+            divergence_retries: r.u32("trainer divergence_retries")?,
+            epochs_since_improve: r.u32("trainer epochs_since_improve")?,
+            best_val: r.f64("trainer best_val")?,
+            last_train_loss: r.f64("trainer last_train_loss")?,
+            epoch_loss_accum: r.f64("trainer epoch_loss_accum")?,
+        };
+        r.finish()?;
+        Ok(Checkpoint { params, adam, trainer })
+    }
+}
+
+/// The conventional file name for the checkpoint written at `global_step`.
+/// Zero-padded so lexicographic order equals step order.
+pub fn checkpoint_file_name(global_step: u64) -> String {
+    format!("ckpt-{global_step:010}.sthsl")
+}
+
+/// Find the most recent checkpoint (highest step) in `dir`. Returns `None`
+/// when the directory is missing or holds no `ckpt-*.sthsl` files.
+pub fn latest_checkpoint(dir: impl AsRef<Path>) -> io::Result<Option<PathBuf>> {
+    let entries = match fs::read_dir(dir.as_ref()) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut best: Option<PathBuf> = None;
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with("ckpt-") && name.ends_with(".sthsl") {
+            // Lexicographic max == highest step thanks to zero padding.
+            if best.as_ref().is_none_or(|b| path > *b) {
+                best = Some(path);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Delete all but the newest `keep` checkpoints in `dir`. Never touches
+/// non-checkpoint files (e.g. `best.params`).
+pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> io::Result<()> {
+    let mut ckpts: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".sthsl"))
+        })
+        .collect();
+    ckpts.sort();
+    let n = ckpts.len().saturating_sub(keep);
+    for old in &ckpts[..n] {
+        fs::remove_file(old)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sthsl_tensor::Tensor;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sthsl_ckpt_{}_{name}", std::process::id()));
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamStore::new();
+        params.register("w", Tensor::rand_normal(&[3, 2], 0.0, 1.0, &mut rng));
+        params.register("b", Tensor::rand_normal(&[2], 0.0, 1.0, &mut rng));
+        let adam = AdamState {
+            t: 17,
+            m: vec![Some(Tensor::rand_normal(&[3, 2], 0.0, 0.1, &mut rng)), None],
+            v: vec![Some(Tensor::rand_normal(&[3, 2], 0.0, 0.1, &mut rng)), None],
+        };
+        let trainer = TrainerState {
+            epoch: 3,
+            batch_in_epoch: 2,
+            global_step: 17,
+            seed: 42,
+            lr_scale: 0.5,
+            divergence_retries: 1,
+            epochs_since_improve: 2,
+            best_val: 0.75,
+            last_train_loss: 0.9,
+            epoch_loss_accum: 1.25,
+        };
+        Checkpoint { params, adam, trainer }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(checkpoint_file_name(17));
+        let ck = sample_checkpoint();
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+
+        assert_eq!(loaded.trainer, ck.trainer);
+        assert_eq!(loaded.adam.t, 17);
+        for id in ck.params.ids() {
+            assert_eq!(loaded.params.name(id), ck.params.name(id));
+            assert_eq!(loaded.params.get(id).data(), ck.params.get(id).data());
+        }
+        assert_eq!(
+            loaded.adam.m[0].as_ref().unwrap().data(),
+            ck.adam.m[0].as_ref().unwrap().data()
+        );
+        assert!(loaded.adam.m[1].is_none());
+
+        // Saving the loaded checkpoint reproduces the identical byte image.
+        let path2 = dir.join("again.sthsl");
+        loaded.save(&path2).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), fs::read(&path2).unwrap());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_rejected_never_panic() {
+        let dir = tmp_dir("fuzz");
+        let path = dir.join("victim.sthsl");
+        sample_checkpoint().save(&path).unwrap();
+        let good = fs::read(&path).unwrap();
+        let attack = dir.join("attack.sthsl");
+
+        // Every truncation fails (checksum or header check).
+        for cut in 0..good.len() {
+            fs::write(&attack, &good[..cut]).unwrap();
+            assert!(Checkpoint::load(&attack).is_err(), "truncation at {cut} accepted");
+        }
+        // Every single-byte flip fails the checksum.
+        for i in 0..good.len() {
+            let mut evil = good.clone();
+            evil[i] ^= 0xA5;
+            fs::write(&attack, &evil).unwrap();
+            assert!(Checkpoint::load(&attack).is_err(), "bit flip at {i} accepted");
+        }
+        // Trailing junk fails the checksum too.
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 16]);
+        fs::write(&attack, &padded).unwrap();
+        assert!(Checkpoint::load(&attack).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v1_param_files_are_not_checkpoints_and_vice_versa() {
+        let dir = tmp_dir("versions");
+        let ck = sample_checkpoint();
+        let ckpt_path = dir.join("c.sthsl");
+        ck.save(&ckpt_path).unwrap();
+        assert!(ParamStore::load(&ckpt_path).is_err());
+
+        let params_path = dir.join("p.params");
+        ck.params.save(&params_path).unwrap();
+        assert!(Checkpoint::load(&params_path).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn latest_and_prune_respect_step_order() {
+        let dir = tmp_dir("retention");
+        assert!(latest_checkpoint(dir.join("missing")).unwrap().is_none());
+        let ck = sample_checkpoint();
+        for step in [3u64, 10, 7, 25, 19] {
+            ck.save(dir.join(checkpoint_file_name(step))).unwrap();
+        }
+        fs::write(dir.join("best.params"), b"not a checkpoint").unwrap();
+
+        let latest = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(latest.file_name().unwrap().to_str().unwrap(), checkpoint_file_name(25));
+
+        prune_checkpoints(&dir, 2).unwrap();
+        let mut left: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+            .collect();
+        left.sort();
+        assert_eq!(
+            left,
+            vec!["best.params".to_string(), checkpoint_file_name(19), checkpoint_file_name(25)]
+        );
+        fs::remove_dir_all(dir).ok();
+    }
+}

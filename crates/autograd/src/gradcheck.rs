@@ -37,9 +37,8 @@ pub fn gradcheck_tol(
 
     let eps = 1e-2f32;
     for (vi, input) in inputs.iter().enumerate() {
-        let analytic = grads
-            .get(vars[vi])
-            .unwrap_or_else(|| panic!("no gradient flowed to input {vi}"));
+        let analytic =
+            grads.get(vars[vi]).unwrap_or_else(|| panic!("no gradient flowed to input {vi}"));
         assert_eq!(analytic.shape(), input.shape(), "gradient shape mismatch");
         for i in 0..input.len() {
             let mut plus = inputs.to_vec();

@@ -123,9 +123,9 @@ impl Graph {
     /// leaves. Returns the full gradient table.
     pub fn backward(&self, loss: Var) -> Result<Gradients> {
         let nodes = self.nodes.borrow();
-        let loss_node = nodes.get(loss.0).ok_or_else(|| {
-            TensorError::Invalid("backward: variable not in this graph".into())
-        })?;
+        let loss_node = nodes
+            .get(loss.0)
+            .ok_or_else(|| TensorError::Invalid("backward: variable not in this graph".into()))?;
         if loss_node.value.len() != 1 {
             return Err(TensorError::Invalid(format!(
                 "backward: loss must be a scalar, got shape {:?}",

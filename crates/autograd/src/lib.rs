@@ -38,9 +38,11 @@ mod ops;
 mod params;
 mod serialize;
 
+pub mod checkpoint;
 pub mod nn;
 pub mod optim;
 
+pub use checkpoint::{latest_checkpoint, Checkpoint, TrainerState};
 pub use gradcheck::gradcheck;
 pub use graph::{Gradients, Graph, Var};
 pub use params::{ParamId, ParamStore, ParamVars};

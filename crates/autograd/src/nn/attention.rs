@@ -67,9 +67,7 @@ mod tests {
         // return (approximately) that key's value.
         let g = Graph::new();
         let q = g.constant(Tensor::from_vec(vec![10.0, 0.0], &[1, 2]).unwrap());
-        let k = g.constant(
-            Tensor::from_vec(vec![1.0, 0.0, /*row2*/ -1.0, 0.0], &[2, 2]).unwrap(),
-        );
+        let k = g.constant(Tensor::from_vec(vec![1.0, 0.0, /*row2*/ -1.0, 0.0], &[2, 2]).unwrap());
         let v = g.constant(Tensor::from_vec(vec![7.0, -7.0], &[2, 1]).unwrap());
         let o = scaled_dot_attention(&g, q, k, v).unwrap();
         assert!(g.value(o).data()[0] > 6.9);

@@ -111,7 +111,17 @@ impl Conv1d {
         bias: bool,
         rng: &mut impl Rng,
     ) -> Self {
-        Self::new(store, name, in_ch, out_ch, kernel, Pad1d::causal(kernel, dilation), dilation, bias, rng)
+        Self::new(
+            store,
+            name,
+            in_ch,
+            out_ch,
+            kernel,
+            Pad1d::causal(kernel, dilation),
+            dilation,
+            bias,
+            rng,
+        )
     }
 
     /// Apply to `x: [B, in_ch, L]`.

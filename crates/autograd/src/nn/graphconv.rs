@@ -34,13 +34,7 @@ impl GraphConv {
     }
 
     /// Apply with supports as constant tensors `[n, n]` and `x: [n, in]`.
-    pub fn forward(
-        &self,
-        g: &Graph,
-        pv: &ParamVars,
-        supports: &[Tensor],
-        x: Var,
-    ) -> Result<Var> {
+    pub fn forward(&self, g: &Graph, pv: &ParamVars, supports: &[Tensor], x: Var) -> Result<Var> {
         assert_eq!(supports.len(), self.projections.len(), "support count mismatch");
         let mut acc = self.self_proj.forward(g, pv, x)?;
         for (support, proj) in supports.iter().zip(&self.projections) {

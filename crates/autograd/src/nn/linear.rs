@@ -96,11 +96,7 @@ mod tests {
         let layer = Linear::new(&mut store, "fc", 2, 1, true, &mut rng);
         // Target: y = 2 x0 - x1 + 0.5
         let xs = Tensor::rand_normal(&[64, 2], 0.0, 1.0, &mut rng);
-        let ys: Vec<f32> = xs
-            .data()
-            .chunks(2)
-            .map(|r| 2.0 * r[0] - r[1] + 0.5)
-            .collect();
+        let ys: Vec<f32> = xs.data().chunks(2).map(|r| 2.0 * r[0] - r[1] + 0.5).collect();
         let yt = Tensor::from_vec(ys, &[64, 1]).unwrap();
         let mut opt = Adam::new(0.05);
         let mut final_loss = f32::INFINITY;

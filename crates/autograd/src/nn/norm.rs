@@ -47,7 +47,8 @@ mod tests {
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let g = Graph::new();
         let pv = store.inject(&g);
-        let x = g.constant(Tensor::from_vec(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[2, 4]).unwrap());
+        let x = g
+            .constant(Tensor::from_vec(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[2, 4]).unwrap());
         let y = ln.forward(&g, &pv, x).unwrap();
         let v = g.value(y);
         for row in v.data().chunks(4) {

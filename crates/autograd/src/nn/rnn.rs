@@ -160,7 +160,8 @@ mod tests {
         let cell = GruCell::new(&mut store, "gru", 1, 8, &mut rng);
         let head = Linear::new(&mut store, "head", 8, 1, true, &mut rng);
         let seqs = Tensor::rand_normal(&[16, 4], 0.0, 1.0, &mut rng);
-        let targets: Vec<f32> = seqs.data().chunks(4).map(|s| s.iter().sum::<f32>() / 4.0).collect();
+        let targets: Vec<f32> =
+            seqs.data().chunks(4).map(|s| s.iter().sum::<f32>() / 4.0).collect();
         let tt = Tensor::from_vec(targets, &[16, 1]).unwrap();
         let mut opt = Adam::new(0.02);
         let mut last = f32::INFINITY;

@@ -13,9 +13,7 @@ impl Graph {
             out,
             vec![x],
             Box::new(move |g, p, _| {
-                Ok(vec![Some(
-                    g.zip_map(&p[0], |gv, xv| if xv > 0.0 { gv } else { alpha * gv })?,
-                )])
+                Ok(vec![Some(g.zip_map(&p[0], |gv, xv| if xv > 0.0 { gv } else { alpha * gv })?)])
             }),
         )
     }
@@ -48,11 +46,7 @@ impl Graph {
     /// Elementwise exponential.
     pub fn exp(&self, x: Var) -> Var {
         let out = self.value(x).map(f32::exp);
-        self.op(
-            out,
-            vec![x],
-            Box::new(|g, _, y| Ok(vec![Some(g.mul(y)?)])),
-        )
+        self.op(out, vec![x], Box::new(|g, _, y| Ok(vec![Some(g.mul(y)?)])))
     }
 
     /// Natural log of `x + eps` (the eps guards sparse zero counts).
@@ -61,9 +55,7 @@ impl Graph {
         self.op(
             out,
             vec![x],
-            Box::new(move |g, p, _| {
-                Ok(vec![Some(g.zip_map(&p[0], |gv, xv| gv / (xv + eps))?)])
-            }),
+            Box::new(move |g, p, _| Ok(vec![Some(g.zip_map(&p[0], |gv, xv| gv / (xv + eps))?)])),
         )
     }
 
@@ -86,9 +78,7 @@ impl Graph {
             out,
             vec![x],
             Box::new(|g, p, _| {
-                Ok(vec![Some(g.zip_map(&p[0], |gv, xv| {
-                    gv / (1.0 + (-xv).exp())
-                })?)])
+                Ok(vec![Some(g.zip_map(&p[0], |gv, xv| gv / (1.0 + (-xv).exp()))?)])
             }),
         )
     }
@@ -110,11 +100,7 @@ impl Graph {
             Tensor::from_vec(data, xv.shape()).expect("mask matches input shape")
         };
         let out = xv.mul(&mask).expect("same shape");
-        self.op(
-            out,
-            vec![x],
-            Box::new(move |g, _, _| Ok(vec![Some(g.mul(&mask)?)])),
-        )
+        self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.mul(&mask)?)])))
     }
 }
 
@@ -193,11 +179,7 @@ mod tests {
         let mean = g.value(y).mean_all();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Surviving entries are scaled by 1/keep.
-        assert!(g
-            .value(y)
-            .data()
-            .iter()
-            .all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5));
+        assert!(g.value(y).data().iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5));
     }
 
     #[test]

@@ -13,10 +13,7 @@ impl Graph {
             out,
             vec![a, b],
             Box::new(move |g, _, _| {
-                Ok(vec![
-                    Some(g.reduce_to_shape(&ash)?),
-                    Some(g.reduce_to_shape(&bsh)?),
-                ])
+                Ok(vec![Some(g.reduce_to_shape(&ash)?), Some(g.reduce_to_shape(&bsh)?)])
             }),
         ))
     }
@@ -30,10 +27,7 @@ impl Graph {
             out,
             vec![a, b],
             Box::new(move |g, _, _| {
-                Ok(vec![
-                    Some(g.reduce_to_shape(&ash)?),
-                    Some(g.scale(-1.0).reduce_to_shape(&bsh)?),
-                ])
+                Ok(vec![Some(g.reduce_to_shape(&ash)?), Some(g.scale(-1.0).reduce_to_shape(&bsh)?)])
             }),
         ))
     }
@@ -81,11 +75,7 @@ impl Graph {
     /// `s * x` for a compile-time scalar.
     pub fn scale(&self, x: Var, s: f32) -> Var {
         let out = self.value(x).scale(s);
-        self.op(
-            out,
-            vec![x],
-            Box::new(move |g, _, _| Ok(vec![Some(g.scale(s))])),
-        )
+        self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.scale(s))])))
     }
 
     /// `x + s` for a compile-time scalar.
@@ -97,17 +87,13 @@ impl Graph {
     /// Elementwise square `x * x` (single node, cheaper than `mul(x, x)`).
     pub fn square(&self, x: Var) -> Var {
         let out = self.value(x).map(|v| v * v);
-        self.op(
-            out,
-            vec![x],
-            Box::new(|g, p, _| Ok(vec![Some(g.mul(&p[0].scale(2.0))?)])),
-        )
+        self.op(out, vec![x], Box::new(|g, p, _| Ok(vec![Some(g.mul(&p[0].scale(2.0))?)])))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::gradcheck::gradcheck;
     use sthsl_tensor::Tensor;
 
@@ -144,16 +130,13 @@ mod tests {
 
     #[test]
     fn sub_scale_square_grads() {
-        gradcheck(
-            &[Tensor::from_vec(vec![1., -2., 0.5], &[3]).unwrap()],
-            |g, vars| {
-                let x = vars[0];
-                let y = g.scale(x, 3.0);
-                let z = g.sub(y, x)?;
-                let q = g.square(z);
-                let q = g.add_scalar(q, 1.0);
-                Ok(g.sum_all(q))
-            },
-        );
+        gradcheck(&[Tensor::from_vec(vec![1., -2., 0.5], &[3]).unwrap()], |g, vars| {
+            let x = vars[0];
+            let y = g.scale(x, 3.0);
+            let z = g.sub(y, x)?;
+            let q = g.square(z);
+            let q = g.add_scalar(q, 1.0);
+            Ok(g.sum_all(q))
+        });
     }
 }

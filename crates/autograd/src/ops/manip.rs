@@ -9,11 +9,7 @@ impl Graph {
         let xv = self.value(x);
         let out = xv.reshape(shape)?;
         let in_shape = xv.shape().to_vec();
-        Ok(self.op(
-            out,
-            vec![x],
-            Box::new(move |g, _, _| Ok(vec![Some(g.reshape(&in_shape)?)])),
-        ))
+        Ok(self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.reshape(&in_shape)?)]))))
     }
 
     /// Permute axes; backward applies the inverse permutation.
@@ -23,11 +19,7 @@ impl Graph {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        Ok(self.op(
-            out,
-            vec![x],
-            Box::new(move |g, _, _| Ok(vec![Some(g.permute(&inv)?)])),
-        ))
+        Ok(self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.permute(&inv)?)]))))
     }
 
     /// Concatenate along `axis`; backward splits the gradient.
@@ -99,9 +91,7 @@ impl Graph {
         Ok(self.op(
             out,
             vec![x],
-            Box::new(move |g, _, _| {
-                Ok(vec![Some(g.index_scatter_add(axis, &indices, axis_len)?)])
-            }),
+            Box::new(move |g, _, _| Ok(vec![Some(g.index_scatter_add(axis, &indices, axis_len)?)])),
         ))
     }
 }

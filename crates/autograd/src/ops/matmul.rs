@@ -29,10 +29,7 @@ impl Graph {
             Box::new(|g, p, _| {
                 let bt = p[1].permute(&[0, 2, 1])?;
                 let at = p[0].permute(&[0, 2, 1])?;
-                Ok(vec![
-                    Some(g.batched_matmul(&bt)?),
-                    Some(at.batched_matmul(g)?),
-                ])
+                Ok(vec![Some(g.batched_matmul(&bt)?), Some(at.batched_matmul(g)?)])
             }),
         ))
     }
@@ -40,11 +37,7 @@ impl Graph {
     /// 2-D transpose.
     pub fn transpose2d(&self, x: Var) -> Result<Var> {
         let out = self.value(x).transpose2d()?;
-        Ok(self.op(
-            out,
-            vec![x],
-            Box::new(|g, _, _| Ok(vec![Some(g.transpose2d()?)])),
-        ))
+        Ok(self.op(out, vec![x], Box::new(|g, _, _| Ok(vec![Some(g.transpose2d()?)]))))
     }
 }
 

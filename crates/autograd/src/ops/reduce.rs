@@ -62,9 +62,7 @@ impl Graph {
         Ok(self.op(
             out,
             vec![x],
-            Box::new(move |g, _, _| {
-                Ok(vec![Some(g.repeat_axis(axis, axis_len)?.scale(inv))])
-            }),
+            Box::new(move |g, _, _| Ok(vec![Some(g.repeat_axis(axis, axis_len)?.scale(inv))])),
         ))
     }
 

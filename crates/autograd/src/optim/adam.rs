@@ -56,23 +56,45 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Snapshot the optimizer's mutable state (step count + moment
+    /// estimates) for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState { t: self.t, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Restore state captured by [`Adam::export_state`]. The hyperparameters
+    /// (`lr`, betas, …) are not part of the state and keep their current
+    /// values.
+    pub fn import_state(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
+/// Serializable snapshot of an [`Adam`] optimizer's mutable state.
+///
+/// Slot `i` holds the first/second moment tensors for [`crate::ParamId`]`(i)`;
+/// `None` means that parameter has not yet received a gradient.
+#[derive(Clone, Default)]
+pub struct AdamState {
+    /// Number of optimizer steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates, indexed by parameter id.
+    pub m: Vec<Option<Tensor>>,
+    /// Second-moment estimates, indexed by parameter id.
+    pub v: Vec<Option<Tensor>>,
 }
 
 impl Optimizer for Adam {
-    fn step(
-        &mut self,
-        store: &mut ParamStore,
-        pv: &ParamVars,
-        grads: &Gradients,
-    ) -> Result<()> {
+    fn step(&mut self, store: &mut ParamStore, pv: &ParamVars, grads: &Gradients) -> Result<()> {
         if self.m.len() < store.len() {
             self.m.resize(store.len(), None);
             self.v.resize(store.len(), None);
         }
         self.t += 1;
-        let clip = self
-            .max_grad_norm
-            .map_or(1.0, |mx| global_clip_factor(store, pv, grads, mx));
+        let clip = self.max_grad_norm.map_or(1.0, |mx| global_clip_factor(store, pv, grads, mx));
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let ids: Vec<_> = store.ids().collect();

@@ -4,7 +4,7 @@ mod adam;
 mod schedule;
 mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;
 
@@ -15,12 +15,7 @@ use sthsl_tensor::{Result, Tensor};
 /// A gradient-descent-family optimizer.
 pub trait Optimizer {
     /// Apply one update step given the gradients of the current graph.
-    fn step(
-        &mut self,
-        store: &mut ParamStore,
-        pv: &ParamVars,
-        grads: &Gradients,
-    ) -> Result<()>;
+    fn step(&mut self, store: &mut ParamStore, pv: &ParamVars, grads: &Gradients) -> Result<()>;
 }
 
 /// Global-norm gradient clipping: returns the factor by which every gradient

@@ -28,7 +28,6 @@ pub enum LrSchedule {
     },
 }
 
-
 impl LrSchedule {
     /// Effective learning rate for `epoch` (0-based) given a base LR.
     pub fn lr_at(&self, epoch: usize, base: f32) -> f32 {

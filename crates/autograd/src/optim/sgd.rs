@@ -29,18 +29,11 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(
-        &mut self,
-        store: &mut ParamStore,
-        pv: &ParamVars,
-        grads: &Gradients,
-    ) -> Result<()> {
+    fn step(&mut self, store: &mut ParamStore, pv: &ParamVars, grads: &Gradients) -> Result<()> {
         if self.velocity.len() < store.len() {
             self.velocity.resize(store.len(), None);
         }
-        let clip = self
-            .max_grad_norm
-            .map_or(1.0, |m| global_clip_factor(store, pv, grads, m));
+        let clip = self.max_grad_norm.map_or(1.0, |m| global_clip_factor(store, pv, grads, m));
         let ids: Vec<_> = store.ids().collect();
         for id in ids {
             let Some(g) = grad_for(pv, grads, id, clip) else { continue };

@@ -7,6 +7,7 @@ use sthsl_tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub usize);
 
+#[derive(Clone)]
 struct Param {
     name: String,
     value: Tensor,
@@ -17,7 +18,7 @@ struct Param {
 /// Each step: [`ParamStore::inject`] the parameters into a fresh [`Graph`] as
 /// leaves, build the forward pass, call [`Graph::backward`], then let an
 /// optimizer consume the gradients via the returned [`ParamVars`] mapping.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
 }
@@ -72,17 +73,36 @@ impl ParamStore {
     /// Inject every parameter into `graph` as a gradient-tracked leaf and
     /// return the id → [`Var`] mapping for this step.
     pub fn inject(&self, graph: &Graph) -> ParamVars {
-        let vars = self
-            .params
-            .iter()
-            .map(|p| graph.leaf(p.value.clone()))
-            .collect();
+        let vars = self.params.iter().map(|p| graph.leaf(p.value.clone())).collect();
         ParamVars { vars }
     }
 
     /// True if any parameter contains NaN/inf (training blow-up detector).
     pub fn any_non_finite(&self) -> bool {
         self.params.iter().any(|p| p.value.has_non_finite())
+    }
+
+    /// Overwrite this store's parameter values from `other`, which must have
+    /// the same parameters (names and shapes, in order). Used to restore a
+    /// checkpoint into a freshly constructed architecture.
+    pub fn copy_values_from(&mut self, other: &ParamStore) -> Result<(), String> {
+        if other.len() != self.len() {
+            return Err(format!(
+                "parameter count mismatch: source {} vs model {}",
+                other.len(),
+                self.len()
+            ));
+        }
+        for id in 0..self.params.len() {
+            let id = ParamId(id);
+            if other.name(id) != self.name(id) || other.get(id).shape() != self.get(id).shape() {
+                return Err(format!("parameter mismatch at '{}'", self.name(id)));
+            }
+        }
+        for id in 0..self.params.len() {
+            self.params[id].value = other.params[id].value.clone();
+        }
+        Ok(())
     }
 }
 

@@ -1,93 +1,273 @@
 //! Parameter persistence: a small, dependency-free binary format so trained
 //! models can be saved and reloaded.
 //!
-//! Format (little-endian):
+//! Format v1 (little-endian):
 //! ```text
-//! magic "STHSLPRM" | u32 version | u64 param count
+//! magic "STHSLPRM" | u32 version = 1 | u64 param count
 //! per param: u64 name len | name bytes | u64 rank | u64 dims… | f32 data…
 //! ```
+//!
+//! Version 2 of the container (full training checkpoints: parameters + Adam
+//! moments + trainer counters + checksum) lives in [`crate::checkpoint`] and
+//! shares the helpers below.
+//!
+//! All loading is defensive: every length field is validated against hard
+//! caps *and* against the bytes actually remaining in the file before any
+//! allocation, so corrupted or hostile files fail with a typed
+//! [`io::Error`] instead of panicking or attempting a huge allocation.
+//! Writes are atomic (temp file + fsync + rename) so a crash mid-save can
+//! never leave a truncated file at the destination path.
 
 use crate::params::ParamStore;
-use sthsl_tensor::Tensor;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::fs::{self, File};
+use std::io::{self, Write};
 use std::path::Path;
+use sthsl_tensor::Tensor;
 
-const MAGIC: &[u8; 8] = b"STHSLPRM";
+pub(crate) const MAGIC: &[u8; 8] = b"STHSLPRM";
 const VERSION: u32 = 1;
+
+/// Hard cap on serialized parameter-name length.
+pub(crate) const MAX_NAME_LEN: usize = 1 << 12;
+/// Hard cap on serialized tensor rank.
+pub(crate) const MAX_RANK: usize = 16;
+/// Hard cap on serialized tensor element count.
+pub(crate) const MAX_ELEMS: usize = 1 << 30;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Bounds-checked little-endian cursor over an in-memory file image.
+///
+/// Every read checks the remaining byte count first, so parsing code can
+/// never run past the end of a truncated file.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes or fail with a truncation error.
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(bad(format!(
+                "truncated file: {what} needs {n} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> io::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> io::Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> io::Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn f32(&mut self, what: &str) -> io::Result<f32> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> io::Result<f64> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// A `u64` length field validated against a cap and the remaining bytes
+    /// (at `min_bytes_per_item` each) *before* anything is allocated.
+    pub(crate) fn checked_len(
+        &mut self,
+        cap: usize,
+        min_bytes_per_item: usize,
+        what: &str,
+    ) -> io::Result<usize> {
+        let n = self.u64(what)?;
+        if n > cap as u64 {
+            return Err(bad(format!("implausible {what}: {n} exceeds cap {cap}")));
+        }
+        let n = n as usize;
+        if n.saturating_mul(min_bytes_per_item) > self.remaining() {
+            return Err(bad(format!(
+                "truncated file: {what} {n} implies more bytes than the {} remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Fail if any unconsumed bytes remain.
+    pub(crate) fn finish(&self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(bad(format!("{} trailing bytes after end of data", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+/// Append one tensor (rank, dims, f32 data) to `out`.
+pub(crate) fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.ndim() as u64).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Parse one tensor written by [`write_tensor`], validating rank, dims and
+/// element count against caps and remaining file size before allocating.
+pub(crate) fn read_tensor(r: &mut ByteReader) -> io::Result<Tensor> {
+    let rank = r.checked_len(MAX_RANK, 8, "tensor rank")?;
+    let mut shape = Vec::with_capacity(rank);
+    let mut elems: usize = 1;
+    for i in 0..rank {
+        let d = r.u64(&format!("tensor dim {i}"))? as usize;
+        elems = elems
+            .checked_mul(d)
+            .filter(|&e| e <= MAX_ELEMS)
+            .ok_or_else(|| bad("implausible tensor size: element count overflows cap"))?;
+        shape.push(d);
+    }
+    if elems.saturating_mul(4) > r.remaining() {
+        return Err(bad(format!(
+            "truncated file: tensor of {elems} elements exceeds the {} bytes remaining",
+            r.remaining()
+        )));
+    }
+    let raw = r.take(elems * 4, "tensor data")?;
+    let data: Vec<f32> =
+        raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+    Tensor::from_vec(data, &shape).map_err(|e| bad(e.to_string()))
+}
+
+/// Append every parameter (count, then name/shape/data records) to `out`.
+pub(crate) fn write_params(out: &mut Vec<u8>, store: &ParamStore) {
+    out.extend_from_slice(&(store.len() as u64).to_le_bytes());
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        out.extend_from_slice(name);
+        write_tensor(out, store.get(id));
+    }
+}
+
+/// Parse a parameter section written by [`write_params`].
+pub(crate) fn read_params(r: &mut ByteReader) -> io::Result<ParamStore> {
+    // Each param record is at least 16 bytes (name len + rank fields).
+    let count = r.checked_len(usize::MAX / 16, 16, "parameter count")?;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = r.checked_len(MAX_NAME_LEN, 1, "parameter name length")?;
+        let name = std::str::from_utf8(r.take(name_len, "parameter name")?)
+            .map_err(|e| bad(format!("parameter name is not UTF-8: {e}")))?
+            .to_string();
+        let tensor = read_tensor(r)?;
+        store.register(name, tensor);
+    }
+    Ok(store)
+}
+
+/// 64-bit FNV-1a hash, used as the checkpoint integrity checksum.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Write `bytes` to `path` atomically: a unique temp file in the same
+/// directory is written, fsynced, then renamed over the destination, so the
+/// destination is always either the old complete file or the new complete
+/// file — never a torn write.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| bad("atomic_write: path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{file_name}.tmp-{}", std::process::id())),
+        None => Path::new(&format!(".{file_name}.tmp-{}", std::process::id())).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself; not all filesystems support opening a
+        // directory for sync, so failure here is not fatal.
+        if let Some(d) = dir {
+            if let Ok(df) = File::open(d) {
+                let _ = df.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
 
 impl ParamStore {
     /// Serialise every parameter (names, shapes, values) to `path`.
+    ///
+    /// The write is atomic: a crash mid-save leaves any previous file at
+    /// `path` intact.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.len() as u64).to_le_bytes())?;
-        for id in self.ids() {
-            let name = self.name(id).as_bytes();
-            w.write_all(&(name.len() as u64).to_le_bytes())?;
-            w.write_all(name)?;
-            let t = self.get(id);
-            w.write_all(&(t.ndim() as u64).to_le_bytes())?;
-            for &d in t.shape() {
-                w.write_all(&(d as u64).to_le_bytes())?;
-            }
-            for &v in t.data() {
-                w.write_all(&v.to_le_bytes())?;
-            }
-        }
-        w.flush()
+        let mut out = Vec::with_capacity(16 + self.num_scalars() * 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        write_params(&mut out, self);
+        atomic_write(path.as_ref(), &out)
     }
 
     /// Load a parameter file saved by [`ParamStore::save`]. Returns a fresh
     /// store with parameters in their original registration order.
+    ///
+    /// Corrupted, truncated or oversized files are rejected with
+    /// [`io::ErrorKind::InvalidData`]; no length field is trusted before it
+    /// has been checked against the actual file size.
     pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ST-HSL parameter file"));
+        let bytes = fs::read(path)?;
+        let mut r = ByteReader::new(&bytes);
+        if r.take(8, "magic")? != MAGIC {
+            return Err(bad("not an ST-HSL parameter file"));
         }
-        let version = read_u32(&mut r)?;
+        let version = r.u32("version")?;
         if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported parameter file version {version}"),
-            ));
+            return Err(bad(format!(
+                "unsupported parameter file version {version} (checkpoints are loaded via Checkpoint::load)"
+            )));
         }
-        let count = read_u64(&mut r)? as usize;
-        let mut store = ParamStore::new();
-        for _ in 0..count {
-            let name_len = read_u64(&mut r)? as usize;
-            if name_len > 1 << 20 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible name length"));
-            }
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
-            let name = String::from_utf8(name)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            let rank = read_u64(&mut r)? as usize;
-            if rank > 16 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor rank"));
-            }
-            let mut shape = Vec::with_capacity(rank);
-            for _ in 0..rank {
-                shape.push(read_u64(&mut r)? as usize);
-            }
-            let len: usize = shape.iter().product();
-            if len > 1 << 30 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible tensor size"));
-            }
-            let mut data = vec![0.0f32; len];
-            for v in &mut data {
-                let mut b = [0u8; 4];
-                r.read_exact(&mut b)?;
-                *v = f32::from_le_bytes(b);
-            }
-            let tensor = Tensor::from_vec(data, &shape)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            store.register(name, tensor);
-        }
+        let store = read_params(&mut r)?;
+        r.finish()?;
         Ok(store)
     }
 
@@ -96,36 +276,8 @@ impl ParamStore {
     /// trained model into a freshly constructed architecture.
     pub fn restore_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let loaded = ParamStore::load(path)?;
-        if loaded.len() != self.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("parameter count mismatch: file {} vs model {}", loaded.len(), self.len()),
-            ));
-        }
-        let ids: Vec<_> = self.ids().collect();
-        for id in ids {
-            if loaded.name(id) != self.name(id) || loaded.get(id).shape() != self.get(id).shape() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("parameter mismatch at '{}'", self.name(id)),
-                ));
-            }
-            *self.get_mut(id) = loaded.get(id).clone();
-        }
-        Ok(())
+        self.copy_values_from(&loaded).map_err(bad)
     }
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -187,6 +339,88 @@ mod tests {
         let path = tmp("garbage.bin");
         std::fs::write(&path, b"definitely not a parameter file").unwrap();
         assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_never_panics_on_corrupted_or_truncated_bytes() {
+        // Build one valid file, then attack it: truncate at every length,
+        // flip bytes at every offset. Every variant must yield Err, never a
+        // panic or a huge allocation.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        store.register("weight", Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng));
+        store.register("bias", Tensor::rand_normal(&[3], 0.0, 1.0, &mut rng));
+        let path = tmp("fuzz.bin");
+        store.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let attack = tmp("fuzz_attack.bin");
+        for cut in 0..good.len() {
+            std::fs::write(&attack, &good[..cut]).unwrap();
+            assert!(ParamStore::load(&attack).is_err(), "truncation at {cut} accepted");
+        }
+        for (i, step) in (0..good.len()).step_by(3).enumerate() {
+            let mut evil = good.clone();
+            evil[step] ^= 0x80 | (i as u8 & 0x7f);
+            std::fs::write(&attack, &evil).unwrap();
+            // A flip may land in tensor payload (still a valid file), but it
+            // must never panic; parsing either succeeds or errors cleanly.
+            let _ = ParamStore::load(&attack);
+        }
+        // Trailing junk after a valid image is rejected.
+        let mut padded = good.clone();
+        padded.extend_from_slice(b"junk");
+        std::fs::write(&attack, &padded).unwrap();
+        assert!(ParamStore::load(&attack).is_err());
+
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(attack).ok();
+    }
+
+    #[test]
+    fn load_rejects_giant_claimed_sizes_without_allocating() {
+        // A file claiming 2^60 parameters / elements must be rejected by the
+        // size-vs-file check, not by attempting the allocation.
+        let path = tmp("giant.bin");
+        let mut evil = Vec::new();
+        evil.extend_from_slice(MAGIC);
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&(1u64 << 60).to_le_bytes()); // param count
+        std::fs::write(&path, &evil).unwrap();
+        assert!(ParamStore::load(&path).is_err());
+
+        // Same for a giant name length inside an otherwise sane header.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(MAGIC);
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&1u64.to_le_bytes()); // one param
+        evil.extend_from_slice(&(1u64 << 40).to_le_bytes()); // name length
+        std::fs::write(&path, &evil).unwrap();
+        assert!(ParamStore::load(&path).is_err());
+
+        // And a giant tensor dim whose product overflows usize.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(MAGIC);
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&1u64.to_le_bytes());
+        evil.extend_from_slice(&1u64.to_le_bytes());
+        evil.push(b'w');
+        evil.extend_from_slice(&2u64.to_le_bytes()); // rank 2
+        evil.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        evil.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        std::fs::write(&path, &evil).unwrap();
+        assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_or_preserves() {
+        let path = tmp("atomic.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
         std::fs::remove_file(path).ok();
     }
 }

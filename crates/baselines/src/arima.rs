@@ -7,10 +7,10 @@
 //! window through the fitted model to reconstruct recent innovations.
 
 use crate::common::BaselineConfig;
+use std::time::Instant;
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
-use std::time::Instant;
 
 /// Fitted per-series coefficients.
 #[derive(Debug, Clone)]
@@ -167,15 +167,15 @@ impl Predictor for Arima {
         let (r, t, c) = (data.num_regions(), data.num_days(), data.num_categories());
         self.num_categories = c;
         // Fit on the raw training portion (train + val days).
-        let train_days = data.target_days(Split::Train).len() + data.target_days(Split::Val).len()
+        let train_days = data.target_days(Split::Train).len()
+            + data.target_days(Split::Val).len()
             + data.config.window;
         let t_fit = train_days.min(t);
         self.coefs = Vec::with_capacity(r * c);
         for ri in 0..r {
             for ci in 0..c {
-                let series: Vec<f32> = (0..t_fit)
-                    .map(|ti| data.tensor.data()[(ri * t + ti) * c + ci])
-                    .collect();
+                let series: Vec<f32> =
+                    (0..t_fit).map(|ti| data.tensor.data()[(ri * t + ti) * c + ci]).collect();
                 self.coefs.push(self.fit_series(&series));
             }
         }
@@ -193,9 +193,8 @@ impl Predictor for Arima {
         let mut out = vec![0.0f32; r * c];
         for ri in 0..r {
             for ci in 0..c {
-                let series: Vec<f32> = (0..tw)
-                    .map(|ti| window.data()[(ri * tw + ti) * c + ci])
-                    .collect();
+                let series: Vec<f32> =
+                    (0..tw).map(|ti| window.data()[(ri * tw + ti) * c + ci]).collect();
                 out[ri * c + ci] = self.forecast(&self.coefs[ri * c + ci], &series);
             }
         }

@@ -3,11 +3,11 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 use sthsl_autograd::optim::{Adam, Optimizer};
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::{CrimeDataset, FitReport, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
-use std::time::Instant;
 
 /// Hyperparameters shared by all neural baselines. Models take what they
 /// need; classic baselines (ARIMA, SVR) reuse `epochs`/`seed` semantics where

@@ -21,14 +21,7 @@ struct DcGruCell {
 }
 
 impl DcGruCell {
-    fn step(
-        &self,
-        g: &Graph,
-        pv: &ParamVars,
-        supports: &[Tensor],
-        x: Var,
-        h: Var,
-    ) -> Result<Var> {
+    fn step(&self, g: &Graph, pv: &ParamVars, supports: &[Tensor], x: Var, h: Var) -> Result<Var> {
         let xh = g.concat(&[x, h], 1)?;
         let z = g.sigmoid(self.gate_z.forward(g, pv, supports, xh)?);
         let r = g.sigmoid(self.gate_r.forward(g, pv, supports, xh)?);

@@ -97,8 +97,26 @@ impl GraphWaveNet {
             .map(|i| {
                 let dil = 1usize << i;
                 TcnLayer {
-                    filter: Conv1d::causal(&mut store, &format!("gwn.{i}.f"), h, h, 2, dil, true, &mut rng),
-                    gate: Conv1d::causal(&mut store, &format!("gwn.{i}.g"), h, h, 2, dil, true, &mut rng),
+                    filter: Conv1d::causal(
+                        &mut store,
+                        &format!("gwn.{i}.f"),
+                        h,
+                        h,
+                        2,
+                        dil,
+                        true,
+                        &mut rng,
+                    ),
+                    gate: Conv1d::causal(
+                        &mut store,
+                        &format!("gwn.{i}.g"),
+                        h,
+                        h,
+                        2,
+                        dil,
+                        true,
+                        &mut rng,
+                    ),
                     skip: Linear::new(&mut store, &format!("gwn.{i}.s"), h, h, true, &mut rng),
                 }
             })

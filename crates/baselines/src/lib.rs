@@ -51,10 +51,7 @@ pub use common::BaselineConfig;
 use sthsl_data::{CrimeDataset, Predictor, Result};
 
 /// Instantiate every baseline for a dataset, in the paper's Table III order.
-pub fn all_baselines(
-    cfg: &BaselineConfig,
-    data: &CrimeDataset,
-) -> Result<Vec<Box<dyn Predictor>>> {
+pub fn all_baselines(cfg: &BaselineConfig, data: &CrimeDataset) -> Result<Vec<Box<dyn Predictor>>> {
     Ok(vec![
         Box::new(arima::Arima::new(cfg.clone())),
         Box::new(svr::Svr::new(cfg.clone())),

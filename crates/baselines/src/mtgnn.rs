@@ -63,7 +63,7 @@ impl Net {
         let t3 = g.relu(self.incept_k3.forward(g, pv, xt)?);
         let t = g.add(t2, t3)?;
         let pooled = g.mean_axis(t, 2)?; // [R, h]
-        // Graph module.
+                                         // Graph module.
         let a = self.learned_graph(g, pv)?;
         let mixed = g.relu(self.mix_hop(g, a, pooled, pv)?);
         let fused = g.add(mixed, pooled)?;

@@ -29,12 +29,7 @@ struct Net {
 impl Net {
     /// Stack the last `closeness` days (and `periods` same-weekday days) as
     /// conv channels: `[1, C·L, I, J]`.
-    fn branch_input(
-        &self,
-        g: &Graph,
-        z: &Tensor,
-        offsets: &[usize],
-    ) -> Result<Var> {
+    fn branch_input(&self, g: &Graph, z: &Tensor, offsets: &[usize]) -> Result<Var> {
         let (r, tw, c) = (z.shape()[0], z.shape()[1], z.shape()[2]);
         let mut channels = Vec::with_capacity(offsets.len());
         for &off in offsets {
@@ -51,13 +46,7 @@ impl Net {
         Ok(g.constant(img))
     }
 
-    fn run_branch(
-        &self,
-        g: &Graph,
-        pv: &ParamVars,
-        input: Var,
-        entry: &Conv2d,
-    ) -> Result<Var> {
+    fn run_branch(&self, g: &Graph, pv: &ParamVars, input: Var, entry: &Conv2d) -> Result<Var> {
         let mut h = g.relu(entry.forward(g, pv, input)?);
         for (c1, c2) in &self.res_blocks {
             let y = g.relu(c1.forward(g, pv, h)?);
@@ -72,11 +61,9 @@ impl Net {
         let tw = z.shape()[1];
         // Offsets clamp to the window so channel counts always match the
         // registered conv weights, even for short windows.
-        let close_offsets: Vec<usize> =
-            (0..self.closeness).map(|o| o.min(tw - 1)).collect();
-        let period_offsets: Vec<usize> = (1..=self.periods)
-            .map(|k| (k * self.period_stride).min(tw - 1))
-            .collect();
+        let close_offsets: Vec<usize> = (0..self.closeness).map(|o| o.min(tw - 1)).collect();
+        let period_offsets: Vec<usize> =
+            (1..=self.periods).map(|k| (k * self.period_stride).min(tw - 1)).collect();
 
         let xc = self.branch_input(g, z, &close_offsets)?;
         let xp = self.branch_input(g, z, &period_offsets)?;
@@ -109,11 +96,13 @@ impl StResNet {
         let h = cfg.hidden.max(c);
         let closeness = 3usize;
         let periods = 2usize;
-        let close_in = Conv2d::same(&mut store, "resnet.close_in", c * closeness, h, 3, true, &mut rng);
+        let close_in =
+            Conv2d::same(&mut store, "resnet.close_in", c * closeness, h, 3, true, &mut rng);
         // Period branch channel count depends on how many weekly offsets fit;
         // we fix `periods` channels and clamp offsets at forward time, so use
         // the worst case (periods) and pad-by-reuse when the window is short.
-        let period_in = Conv2d::same(&mut store, "resnet.period_in", c * periods, h, 3, true, &mut rng);
+        let period_in =
+            Conv2d::same(&mut store, "resnet.period_in", c * periods, h, 3, true, &mut rng);
         let res_blocks = (0..2)
             .map(|i| {
                 (

@@ -19,7 +19,14 @@ struct GatedTemporalConv {
 }
 
 impl GatedTemporalConv {
-    fn new(store: &mut ParamStore, name: &str, in_ch: usize, out_ch: usize, k: usize, rng: &mut StdRng) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         GatedTemporalConv {
             conv: Conv1d::same(store, name, in_ch, 2 * out_ch, k, true, rng),
             out_ch,
@@ -68,7 +75,7 @@ impl Net {
                 per_t.push(g.relu(yt));
             }
             let stacked = g.stack(&per_t)?; // [Tw, R, hidden]
-            // Back to [R, hidden, Tw].
+                                            // Back to [R, hidden, Tw].
             let back = g.permute(stacked, &[1, 2, 0])?;
             // Temporal gate 2.
             h = block.t2.forward(g, pv, back)?;
@@ -102,7 +109,14 @@ impl Stgcn {
         let mut in_ch = c;
         for i in 0..2 {
             blocks.push(StBlock {
-                t1: GatedTemporalConv::new(&mut store, &format!("stgcn.{i}.t1"), in_ch, h, 3, &mut rng),
+                t1: GatedTemporalConv::new(
+                    &mut store,
+                    &format!("stgcn.{i}.t1"),
+                    in_ch,
+                    h,
+                    3,
+                    &mut rng,
+                ),
                 spatial: GraphConv::new(&mut store, &format!("stgcn.{i}.sp"), 3, h, h, &mut rng),
                 t2: GatedTemporalConv::new(&mut store, &format!("stgcn.{i}.t2"), h, h, 3, &mut rng),
             });

@@ -25,12 +25,12 @@ impl Net {
     fn forward(&self, g: &Graph, pv: &ParamVars, z: &Tensor) -> Result<Var> {
         let (r, _tw, _c) = (z.shape()[0], z.shape()[1], z.shape()[2]);
         let x = self.input_proj.forward(g, pv, g.constant(z.clone()))?; // [R,Tw,h]
-        // Temporal conv first: [R,Tw,h] → [R,h,Tw] → conv → pool.
+                                                                        // Temporal conv first: [R,Tw,h] → [R,h,Tw] → conv → pool.
         let xt = g.permute(x, &[0, 2, 1])?;
         let t = g.relu(self.tconv.forward(g, pv, xt)?);
         let mut h = g.mean_axis(t, 2)?; // [R, h]
-        // Two spatial path-aggregation layers over the static hypergraph:
-        // node → hyperedge → node with a projection per layer.
+                                        // Two spatial path-aggregation layers over the static hypergraph:
+                                        // node → hyperedge → node with a projection per layer.
         let hy = pv.var(self.hyper); // [He, R]
         let hyt = g.transpose2d(hy)?;
         for proj in &self.path_proj {
@@ -65,7 +65,10 @@ impl Stshn {
         let hyperedges = (cfg.hidden * 2).max(4);
         let net = Net {
             input_proj: Linear::new(&mut store, "stshn.in", c, h, true, &mut rng),
-            hyper: store.register("stshn.hyper", Tensor::rand_normal(&[hyperedges, r], 0.0, 0.05, &mut rng)),
+            hyper: store.register(
+                "stshn.hyper",
+                Tensor::rand_normal(&[hyperedges, r], 0.0, 0.05, &mut rng),
+            ),
             path_proj: (0..2)
                 .map(|i| Linear::new(&mut store, &format!("stshn.path{i}"), h, h, false, &mut rng))
                 .collect(),

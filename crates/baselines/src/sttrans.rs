@@ -59,11 +59,11 @@ impl Net {
     fn forward(&self, g: &Graph, pv: &ParamVars, z: &Tensor) -> Result<Var> {
         let (r, tw, _c) = (z.shape()[0], z.shape()[1], z.shape()[2]);
         let x = self.input_proj.forward(g, pv, g.constant(z.clone()))?; // [R,Tw,h]
-        // Temporal transformer per region, batched via a single [R·Tw, h]
-        // reshuffle: attention must stay within each region's window, so run
-        // the layer on the mean-free per-region slices. For tractability we
-        // attend over time on the region-averaged sequence, and over space on
-        // the time-averaged sequence — the two stacked views of STtrans.
+                                                                        // Temporal transformer per region, batched via a single [R·Tw, h]
+                                                                        // reshuffle: attention must stay within each region's window, so run
+                                                                        // the layer on the mean-free per-region slices. For tractability we
+                                                                        // attend over time on the region-averaged sequence, and over space on
+                                                                        // the time-averaged sequence — the two stacked views of STtrans.
         let time_seq = g.mean_axis(x, 0)?; // [Tw, h]
         let mut t = time_seq;
         for layer in &self.temporal {

@@ -6,10 +6,10 @@ use crate::common::BaselineConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
-use std::time::Instant;
 
 /// Linear SVR per category over lagged count features.
 pub struct Svr {
@@ -32,9 +32,8 @@ impl Svr {
 
     fn features(&self, series: &[f32]) -> Vec<f32> {
         let n = series.len();
-        let mut f: Vec<f32> = (1..=self.lags)
-            .map(|l| if l <= n { series[n - l] } else { 0.0 })
-            .collect();
+        let mut f: Vec<f32> =
+            (1..=self.lags).map(|l| if l <= n { series[n - l] } else { 0.0 }).collect();
         let mean = series.iter().sum::<f32>() / n.max(1) as f32;
         f.push(mean);
         f.push(1.0); // bias feature
@@ -71,9 +70,7 @@ impl Predictor for Svr {
                     let lo = day - self.lags.min(day);
                     let series: Vec<f32> = (lo..day)
                         .map(|ti| {
-                            (0..c)
-                                .map(|ci| data.tensor.data()[(ri * t + ti) * c + ci])
-                                .sum::<f32>()
+                            (0..c).map(|ci| data.tensor.data()[(ri * t + ti) * c + ci]).sum::<f32>()
                         })
                         .collect();
                     for ci in 0..c {
@@ -117,9 +114,8 @@ impl Predictor for Svr {
         let mut out = vec![0.0f32; r * c];
         for ri in 0..r {
             for ci in 0..c {
-                let series: Vec<f32> = (0..tw)
-                    .map(|ti| window.data()[(ri * tw + ti) * c + ci])
-                    .collect();
+                let series: Vec<f32> =
+                    (0..tw).map(|ti| window.data()[(ri * tw + ti) * c + ci]).collect();
                 let x = self.features(&series);
                 out[ri * c + ci] = Self::dot(&self.weights[ci], &x);
             }

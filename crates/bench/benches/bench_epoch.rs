@@ -4,21 +4,16 @@
 //! quantity via wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use sthsl_baselines::{
-    deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, sttrans::StTrans,
-    BaselineConfig,
+    deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, sttrans::StTrans, BaselineConfig,
 };
 use sthsl_bench::{City, Scale};
 use sthsl_core::{StHsl, StHslConfig};
 use sthsl_data::{CrimeDataset, Predictor};
-use std::hint::black_box;
 
 fn one_epoch_cfg() -> BaselineConfig {
-    BaselineConfig {
-        epochs: 1,
-        max_batches_per_epoch: Some(4),
-        ..BaselineConfig::quick()
-    }
+    BaselineConfig { epochs: 1, max_batches_per_epoch: Some(4), ..BaselineConfig::quick() }
 }
 
 fn dataset() -> CrimeDataset {
@@ -49,11 +44,7 @@ fn bench_epochs(c: &mut Criterion) {
     bench_model!(
         "ST-HSL",
         StHsl::new(
-            StHslConfig {
-                epochs: 1,
-                max_batches_per_epoch: Some(4),
-                ..StHslConfig::quick()
-            },
+            StHslConfig { epochs: 1, max_batches_per_epoch: Some(4), ..StHslConfig::quick() },
             &data,
         )
         .unwrap()

@@ -6,18 +6,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
 use sthsl_autograd::Graph;
 use sthsl_tensor::ops::conv::Pad1d;
 use sthsl_tensor::Tensor;
-use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Tensor::rand_normal(&[128, 256], 0.0, 1.0, &mut rng);
     let b = Tensor::rand_normal(&[256, 64], 0.0, 1.0, &mut rng);
-    c.bench_function("matmul_128x256x64", |bench| {
-        bench.iter(|| black_box(a.matmul(&b).unwrap()))
-    });
+    c.bench_function("matmul_128x256x64", |bench| bench.iter(|| black_box(a.matmul(&b).unwrap())));
 }
 
 fn bench_conv(c: &mut Criterion) {

@@ -6,9 +6,9 @@
 //! Prints the theoretical curve next to gradient norms *measured* through
 //! the actual autograd stack, and their correlation.
 
+use sthsl_autograd::Graph;
 use sthsl_bench::{write_csv, MarkdownTable};
 use sthsl_core::contrastive::{contrastive_loss, hard_negative_weight};
-use sthsl_autograd::Graph;
 use sthsl_tensor::Tensor;
 
 /// Measured gradient norm on a negative with controlled similarity `s`.
@@ -33,11 +33,8 @@ fn measured_grad_norm(s: f32, tau: f32) -> f32 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tau = 0.5f32;
     println!("== Section III-F analysis: hard-negative gradient adaptivity (τ = {tau}) ==\n");
-    let mut table = MarkdownTable::new(&[
-        "similarity s",
-        "theory √(1−s²)·e^{s/τ}",
-        "measured ‖∂L/∂neg‖",
-    ]);
+    let mut table =
+        MarkdownTable::new(&["similarity s", "theory √(1−s²)·e^{s/τ}", "measured ‖∂L/∂neg‖"]);
     let mut theory = Vec::new();
     let mut measured = Vec::new();
     for i in 0..=18 {
@@ -46,24 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let m = measured_grad_norm(s, tau);
         theory.push(f64::from(w));
         measured.push(f64::from(m));
-        table.add_row(vec![
-            format!("{s:+.1}"),
-            format!("{w:.4}"),
-            format!("{m:.6}"),
-        ]);
+        table.add_row(vec![format!("{s:+.1}"), format!("{w:.4}"), format!("{m:.6}")]);
     }
     println!("{}", table.render());
     // Pearson correlation between theory and measurement.
     let n = theory.len() as f64;
-    let (mt, mm) = (
-        theory.iter().sum::<f64>() / n,
-        measured.iter().sum::<f64>() / n,
-    );
-    let cov: f64 = theory
-        .iter()
-        .zip(&measured)
-        .map(|(a, b)| (a - mt) * (b - mm))
-        .sum();
+    let (mt, mm) = (theory.iter().sum::<f64>() / n, measured.iter().sum::<f64>() / n);
+    let cov: f64 = theory.iter().zip(&measured).map(|(a, b)| (a - mt) * (b - mm)).sum();
     let (vt, vm): (f64, f64) = (
         theory.iter().map(|a| (a - mt).powi(2)).sum(),
         measured.iter().map(|b| (b - mm).powi(2)).sum(),

@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_csv("table2_datasets.csv", &t2)?;
     write_csv("fig1_density.csv", &fig1)?;
     write_csv("fig2_skew.csv", &fig2)?;
-    println!("Figure 2 series written to results/fig2_skew.csv ({} rows).", fig2.to_csv().lines().count() - 1);
+    println!(
+        "Figure 2 series written to results/fig2_skew.csv ({} rows).",
+        fig2.to_csv().lines().count() - 1
+    );
     Ok(())
 }

@@ -2,8 +2,8 @@
 //! urban grid for ST-HSL and representative baselines. Emits one CSV row per
 //! (model, region) with the grid coordinates, ready for heat-mapping.
 
-use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
 use sthsl_baselines::{gman::Gman, stshn::Stshn, BaselineConfig};
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
 use sthsl_core::StHsl;
 use sthsl_data::Predictor;
 
@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Box::new(Stshn::new(bcfg.clone(), &data)?),
             Box::new(StHsl::new(args.scale.sthsl_config(args.seed), &data)?),
         ];
-        let mut table =
-            MarkdownTable::new(&["Model", "Region", "Row", "Col", "MAPE", "MAE"]);
+        let mut table = MarkdownTable::new(&["Model", "Region", "Row", "Col", "MAPE", "MAE"]);
         let mut summary = MarkdownTable::new(&["Model", "Mean region MAPE", "Worst region MAPE"]);
         for model in &mut models {
             model.fit(&data)?;
@@ -45,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
             eprintln!("  {} done", model.name());
         }
-        println!("\n== Figure 4 ({}, scale {:?}): per-region MAPE summary ==\n", city.name(), args.scale);
+        println!(
+            "\n== Figure 4 ({}, scale {:?}): per-region MAPE summary ==\n",
+            city.name(),
+            args.scale
+        );
         println!("{}", summary.render());
         write_csv(&format!("fig4_map_{}.csv", city.name().to_lowercase()), &table)?;
         write_csv(&format!("fig4_summary_{}.csv", city.name().to_lowercase()), &summary)?;

@@ -2,10 +2,10 @@
 //! groups bucketed by crime-sequence density degree (0, 0.25] and
 //! (0.25, 0.5], for ST-HSL against representative baselines.
 
-use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
 use sthsl_baselines::{
     deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, BaselineConfig,
 };
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
 use sthsl_core::StHsl;
 use sthsl_data::metrics::{density_bucket, DensityBucket};
 use sthsl_data::{CrimeDataset, Predictor};

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (_, data) = args.scale.build_dataset(city, args.seed)?;
         println!("\n== Figure 7 ({}, scale {:?}) ==\n", city.name(), args.scale);
         let mut table = MarkdownTable::new(&["Parameter", "Value", "MAE", "MAPE"]);
-        let sweep = |param: &str, values: &[usize], table: &mut MarkdownTable| -> Result<(), Box<dyn std::error::Error>> {
+        let sweep = |param: &str,
+                     values: &[usize],
+                     table: &mut MarkdownTable|
+         -> Result<(), Box<dyn std::error::Error>> {
             for &v in values {
                 let mut cfg = args.scale.sthsl_config(args.seed);
                 // The sweep's 32 configurations only need to expose each

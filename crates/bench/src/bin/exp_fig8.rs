@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (synth, data) = args.scale.build_dataset(city, args.seed)?;
         let mut model = StHsl::new(args.scale.sthsl_config(args.seed), &data)?;
         model.fit(&data)?;
-        println!("\n== Figure 8 ({}, scale {:?}): hyperedge case study ==\n", city.name(), args.scale);
+        println!(
+            "\n== Figure 8 ({}, scale {:?}): hyperedge case study ==\n",
+            city.name(),
+            args.scale
+        );
         let mut table = MarkdownTable::new(&[
             "Hyperedge",
             "Rank",
@@ -35,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let top = model.top_regions_for_hyperedge(h, 3)?;
             for (rank, (region, score)) in top.iter().enumerate() {
                 let func = synth.region_function[*region];
-                let mean_daily: f64 = synth
-                    .tensor
-                    .slice_axis(0, *region, 1)?
-                    .mean_all()
-                    .into();
+                let mean_daily: f64 = synth.tensor.slice_axis(0, *region, 1)?.mean_all().into();
                 table.add_row(vec![
                     format!("e{h}"),
                     (rank + 1).to_string(),

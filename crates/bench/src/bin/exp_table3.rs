@@ -2,8 +2,8 @@
 //! on both cities, MAE and masked MAPE per crime category, averaged over all
 //! test days.
 
-use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
 use sthsl_baselines::all_baselines;
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

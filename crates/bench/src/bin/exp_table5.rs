@@ -3,8 +3,8 @@
 //! machine (single CPU core) rather than the paper's GTX 1080 Ti; the
 //! *relative* ordering is the comparable quantity.
 
-use sthsl_bench::{parse_args, write_csv, MarkdownTable};
 use sthsl_baselines::all_baselines;
+use sthsl_bench::{parse_args, write_csv, MarkdownTable};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

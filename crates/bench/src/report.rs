@@ -15,10 +15,7 @@ pub struct MarkdownTable {
 impl MarkdownTable {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        MarkdownTable {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        MarkdownTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Append a data row (must match the header width).
@@ -67,7 +64,8 @@ impl MarkdownTable {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

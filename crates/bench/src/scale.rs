@@ -209,7 +209,9 @@ mod tests {
         assert_eq!(d.scale, Scale::Quick);
         assert_eq!(d.cities.len(), 2);
         assert_eq!(d.seed, 7);
-        let a = parse_args_from(&to_vec(&["prog", "--scale", "paper", "--city", "nyc", "--seed", "42"]));
+        let a = parse_args_from(&to_vec(&[
+            "prog", "--scale", "paper", "--city", "nyc", "--seed", "42",
+        ]));
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.cities, vec![City::Nyc]);
         assert_eq!(a.seed, 42);

@@ -96,12 +96,7 @@ impl Ablation {
 
     /// "w/o Global" (Table IV): local-only prediction, no SSL.
     pub fn without_global() -> Self {
-        Ablation {
-            global_branch: false,
-            infomax: false,
-            contrastive: false,
-            ..Ablation::full()
-        }
+        Ablation { global_branch: false, infomax: false, contrastive: false, ..Ablation::full() }
     }
 
     /// "Fusion w/o ConL" (Table IV): fusion layer instead of contrastive.

@@ -18,11 +18,14 @@ pub struct CrimeEmbedding {
 
 impl CrimeEmbedding {
     /// Register the category table, initialised `N(0, 0.1)`.
-    pub fn new(store: &mut ParamStore, num_categories: usize, d: usize, rng: &mut impl Rng) -> Self {
-        let e_c = store.register(
-            "embedding.e_c",
-            Tensor::rand_normal(&[num_categories, d], 0.0, 0.1, rng),
-        );
+    pub fn new(
+        store: &mut ParamStore,
+        num_categories: usize,
+        d: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let e_c = store
+            .register("embedding.e_c", Tensor::rand_normal(&[num_categories, d], 0.0, 0.1, rng));
         CrimeEmbedding { e_c, num_categories, d }
     }
 

@@ -89,9 +89,7 @@ impl HypergraphEncoder {
         let raw = store.get(self.hyp);
         if self.time_dependent {
             let slice = raw.slice_axis(0, t.min(self.window - 1), 1)?;
-            Ok(slice
-                .reshape(&[self.num_hyperedges, self.num_nodes])?
-                .map(f32::abs))
+            Ok(slice.reshape(&[self.num_hyperedges, self.num_nodes])?.map(f32::abs))
         } else {
             Ok(raw.map(f32::abs))
         }

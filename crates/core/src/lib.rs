@@ -50,5 +50,9 @@ pub mod trainer;
 
 pub use config::{Ablation, StHslConfig};
 pub use model::StHsl;
+pub use trainer::{
+    BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, TrainHooks, TrainLoop,
+    TrainOptions, TrainOutcome,
+};
 
 pub use sthsl_tensor::{Result, Tensor, TensorError};

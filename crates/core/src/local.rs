@@ -221,11 +221,7 @@ mod tests {
         // other region's spatial-view output. Disable temporal conv too so
         // nothing else mixes positions (temporal conv does not mix regions
         // anyway, but keep the probe sharp).
-        let ab = Ablation {
-            spatial_conv: false,
-            temporal_conv: false,
-            ..Ablation::full()
-        };
+        let ab = Ablation { spatial_conv: false, temporal_conv: false, ..Ablation::full() };
         let (store, enc) = encoder(ab);
         let run = |bump: f32| {
             let g = Graph::new();
@@ -239,16 +235,12 @@ mod tests {
         let a = run(0.0);
         let b = run(3.0);
         // Region 0 output changes…
-        let changed_r0 = (0..a.len() / 9)
-            .any(|i| (a.data()[i] - b.data()[i]).abs() > 1e-6);
+        let changed_r0 = (0..a.len() / 9).any(|i| (a.data()[i] - b.data()[i]).abs() > 1e-6);
         assert!(changed_r0);
         // …while every other region's output is bit-identical.
         let per_region = a.len() / 9;
         for i in per_region..a.len() {
-            assert!(
-                (a.data()[i] - b.data()[i]).abs() < 1e-7,
-                "region leak at flat index {i}"
-            );
+            assert!((a.data()[i] - b.data()[i]).abs() < 1e-7, "region leak at flat index {i}");
         }
     }
 
@@ -269,8 +261,8 @@ mod tests {
         let b = run(3.0);
         let per_region = a.len() / 9;
         // Region 1 (a grid neighbour of region 0) must see the change.
-        let changed = (per_region..2 * per_region)
-            .any(|i| (a.data()[i] - b.data()[i]).abs() > 1e-6);
+        let changed =
+            (per_region..2 * per_region).any(|i| (a.data()[i] - b.data()[i]).abs() > 1e-6);
         assert!(changed, "spatial conv failed to propagate to neighbour");
     }
 
@@ -323,11 +315,7 @@ mod tests {
         let loss = g.sum_all(sq);
         let grads = g.backward(loss).unwrap();
         for id in store.ids() {
-            assert!(
-                pv.grad(&grads, id).is_some(),
-                "no grad for {}",
-                store.name(id)
-            );
+            assert!(pv.grad(&grads, id).is_some(), "no grad for {}", store.name(id));
         }
     }
 }

@@ -103,11 +103,7 @@ impl StHsl {
         corrupt_perm: Option<&[usize]>,
     ) -> Result<ForwardArtifacts> {
         let ab = &self.cfg.ablation;
-        let (r, tw, c) = (
-            self.rows * self.cols,
-            zscored.shape()[1],
-            self.num_categories,
-        );
+        let (r, tw, c) = (self.rows * self.cols, zscored.shape()[1], self.num_categories);
         if zscored.shape() != [r, tw, c] {
             return Err(TensorError::Invalid(format!(
                 "StHsl::forward: window shape {:?}, expected [{r}, {tw}, {c}]",
@@ -172,19 +168,13 @@ impl StHsl {
                     let e_cor_flat = flat(e_cor)?;
                     let mixed_cor = self.hypergraph.forward(g, pv, e_cor_flat)?;
                     let gamma_cor = g.add(mixed_cor, e_cor_flat)?;
-                    infomax_loss =
-                        Some(self.infomax.loss(g, pv, gamma_r, gamma_cor, r, c)?);
+                    infomax_loss = Some(self.infomax.loss(g, pv, gamma_r, gamma_cor, r, c)?);
                 }
             }
 
             // (4b) Cross-view contrastive, Eq. 8.
             if ab.contrastive && ab.local_encoder {
-                contrastive = Some(contrastive_loss(
-                    g,
-                    local_pooled,
-                    global_pooled,
-                    self.cfg.tau,
-                )?);
+                contrastive = Some(contrastive_loss(g, local_pooled, global_pooled, self.cfg.tau)?);
             }
 
             // (5) Prediction, Eq. 9.
@@ -240,7 +230,11 @@ impl StHsl {
 
     /// Top-k most relevant regions for a hyperedge (scores summed over
     /// categories), as `(region, score)` pairs sorted descending.
-    pub fn top_regions_for_hyperedge(&self, hyperedge: usize, k: usize) -> Result<Vec<(usize, f32)>> {
+    pub fn top_regions_for_hyperedge(
+        &self,
+        hyperedge: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>> {
         let rel = self.hyperedge_relevance()?;
         let h = rel.shape()[0];
         if hyperedge >= h {
@@ -275,6 +269,18 @@ impl StHsl {
     /// restore.
     pub fn restore(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         self.store.restore_from(path)
+    }
+
+    /// Train with the full fault-tolerant runtime: checkpointing, resume,
+    /// divergence self-healing and early stopping per `opts`, with `hooks`
+    /// observing the loop. [`Predictor::fit`] is the no-frills equivalent.
+    pub fn fit_with(
+        &mut self,
+        data: &CrimeDataset,
+        opts: crate::trainer::TrainOptions,
+        hooks: &mut dyn crate::trainer::TrainHooks,
+    ) -> Result<crate::trainer::TrainOutcome> {
+        crate::trainer::TrainLoop::new(opts).run(self, data, hooks)
     }
 }
 
@@ -416,7 +422,7 @@ mod tests {
     #[test]
     fn save_restore_preserves_predictions() {
         let data = tiny_dataset();
-        let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
         // Perturb away from init so restore is observable.
         let sample = data.sample(20).unwrap();
         let before = model.predict(&data, &sample.input).unwrap();

@@ -21,10 +21,7 @@ impl PredictionHead {
     /// Register a head reading `in_dim`-wide pooled embeddings (= `d`, or
     /// `2d` for the fusion variant).
     pub fn new(store: &mut ParamStore, in_dim: usize, rng: &mut impl Rng) -> Self {
-        PredictionHead {
-            proj: Linear::new(store, "predict.head", in_dim, 1, true, rng),
-            in_dim,
-        }
+        PredictionHead { proj: Linear::new(store, "predict.head", in_dim, 1, true, rng), in_dim }
     }
 
     /// `pooled: [R, C, in_dim] → X̂: [R, C]`.

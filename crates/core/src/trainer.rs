@@ -1,83 +1,490 @@
-//! Training loop for ST-HSL (paper Alg. 1): Adam over the joint objective,
-//! mini-batched over training days, with NaN protection.
+//! Resumable, self-healing training runtime for ST-HSL (paper Alg. 1).
+//!
+//! [`TrainLoop`] drives Adam over the joint objective, mini-batched over
+//! training days, and layers the fault-tolerance machinery on top:
+//!
+//! * **Checkpointing** — with a [`TrainOptions::checkpoint_dir`], the loop
+//!   periodically writes [`Checkpoint`]s (format v2: parameters, Adam
+//!   moments, trainer counters) atomically, pruning old ones down to
+//!   [`TrainOptions::keep_last`].
+//! * **Resume** — [`TrainOptions::resume_from`] restores a checkpoint and
+//!   continues mid-epoch. Every random choice is derived from
+//!   `(seed, epoch, global_step)` counters rather than a long-lived RNG, so
+//!   a resumed run is **bit-identical** to an uninterrupted one.
+//! * **Divergence self-healing** — on a non-finite loss the loop restores
+//!   the last epoch-start snapshot, halves the learning-rate scale and
+//!   retries, up to [`TrainOptions::max_divergence_retries`]; when the
+//!   budget is exhausted it stops gracefully with the last good parameters.
+//! * **Early stopping** — with [`TrainOptions::patience`], validation loss
+//!   is tracked each epoch, the best parameters are kept (in memory and as
+//!   `best.params` in the checkpoint dir) and restored when training ends.
+//!
+//! [`TrainHooks`] exposes the loop's seams (fault injection, batch/epoch
+//! boundaries, divergence events, checkpoint writes) for tests and drivers;
+//! the plain [`train`] entry point is a thin wrapper for callers that want
+//! none of this.
 
 use crate::infomax::corruption_permutation;
 use crate::model::StHsl;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sthsl_autograd::optim::{Adam, Optimizer};
-use sthsl_autograd::Graph;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use sthsl_autograd::checkpoint::{
+    checkpoint_file_name, prune_checkpoints, Checkpoint, TrainerState,
+};
+use sthsl_autograd::optim::{Adam, AdamState, Optimizer};
+use sthsl_autograd::{Graph, ParamStore};
 use sthsl_data::{CrimeDataset, FitReport, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
-use std::time::Instant;
+
+/// Domain-mixing salts so each consumer of the seed gets an independent
+/// stream.
+const SHUFFLE_SALT: u64 = 0x5348_5546_464c_4531; // "SHUFFLE1"
+const PERM_SALT: u64 = 0x434f_5252_5550_5431; // "CORRUPT1"
+
+/// Derive an independent sub-seed from `(seed, salt, counter)` (splitmix64
+/// finalizer). Making all randomness a pure function of counters is what
+/// lets a checkpoint capture "RNG state" as three integers.
+fn mix(seed: u64, salt: u64, counter: u64) -> u64 {
+    let mut z = seed ^ salt.rotate_left(17) ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault a [`TrainHooks`] implementation can inject at a batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Force this batch's loss to NaN, exercising the divergence-recovery
+    /// path exactly as a real blow-up would.
+    NanLoss,
+}
+
+/// What the loop should do after a hook observes a boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HookAction {
+    /// Keep training.
+    #[default]
+    Continue,
+    /// Write a checkpoint now (no-op without a checkpoint dir), then keep
+    /// training.
+    Checkpoint,
+    /// Write a final checkpoint (if a dir is set) and stop training — the
+    /// outcome reports `interrupted = true`.
+    Stop,
+}
+
+/// Context passed to batch-level hooks.
+#[derive(Debug, Clone)]
+pub struct BatchCtx {
+    /// Epoch in progress (0-based).
+    pub epoch: usize,
+    /// Index of this batch within the epoch (0-based).
+    pub batch_in_epoch: u64,
+    /// Optimizer steps completed including this batch.
+    pub global_step: u64,
+    /// This batch's mean loss.
+    pub loss: f64,
+}
+
+/// Context passed to [`TrainHooks::on_epoch_end`].
+#[derive(Debug, Clone)]
+pub struct EpochCtx {
+    /// The epoch that just completed (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Mean validation loss, when validation ran this epoch.
+    pub val_loss: Option<f64>,
+    /// Effective learning rate used this epoch (schedule × backoff scale).
+    pub lr: f32,
+}
+
+/// Context passed to [`TrainHooks::on_divergence`].
+#[derive(Debug, Clone)]
+pub struct DivergenceCtx {
+    /// Epoch in which the non-finite loss appeared.
+    pub epoch: usize,
+    /// Global step of the offending batch.
+    pub global_step: u64,
+    /// The non-finite loss value observed.
+    pub loss: f64,
+    /// Recoveries consumed so far, including this one.
+    pub retries_used: u32,
+    /// Learning-rate scale after the backoff.
+    pub lr_scale: f32,
+}
+
+/// Observation and intervention points exposed by [`TrainLoop`].
+///
+/// All methods have no-op defaults; implement only what you need.
+pub trait TrainHooks {
+    /// Called after each batch's loss is computed, before it is used.
+    /// Returning a [`Fault`] injects it — the loop cannot distinguish an
+    /// injected NaN from a real one, which is the point.
+    fn inject_fault(&mut self, _ctx: &BatchCtx) -> Option<Fault> {
+        None
+    }
+
+    /// Called after each successful optimizer step.
+    fn on_batch_end(&mut self, _ctx: &BatchCtx) -> HookAction {
+        HookAction::Continue
+    }
+
+    /// Called after each completed epoch (post-validation).
+    fn on_epoch_end(&mut self, _ctx: &EpochCtx) -> HookAction {
+        HookAction::Continue
+    }
+
+    /// Called when a non-finite loss triggered snapshot restore + backoff.
+    fn on_divergence(&mut self, _ctx: &DivergenceCtx) {}
+
+    /// Called after every checkpoint file is durably written.
+    fn on_checkpoint(&mut self, _path: &Path) {}
+}
+
+/// The do-nothing hook set.
+pub struct NoHooks;
+
+impl TrainHooks for NoHooks {}
+
+/// Fault-tolerance configuration for a [`TrainLoop`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Directory for checkpoints and `best.params`; `None` disables
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every N optimizer steps (0 = only at epoch ends
+    /// and on [`HookAction::Checkpoint`]/[`HookAction::Stop`]).
+    pub checkpoint_every: usize,
+    /// How many most-recent checkpoints to retain (0 is treated as 1; the
+    /// newest is never deleted). `best.params` is always kept.
+    pub keep_last: usize,
+    /// Resume from this checkpoint file instead of starting fresh.
+    pub resume_from: Option<PathBuf>,
+    /// Early-stopping patience in epochs; `None` disables early stopping.
+    pub patience: Option<usize>,
+    /// Divergence recoveries allowed before training stops gracefully.
+    pub max_divergence_retries: u32,
+    /// Compute validation loss each epoch even without `patience`.
+    pub validate: bool,
+}
+
+impl TrainOptions {
+    /// Defaults tuned for unattended runs: retain 3 checkpoints, allow 3
+    /// divergence recoveries, no checkpoint dir until one is supplied.
+    pub fn resilient() -> Self {
+        TrainOptions { keep_last: 3, max_divergence_retries: 3, ..Default::default() }
+    }
+}
+
+/// What a [`TrainLoop`] run produced, beyond the plain [`FitReport`].
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Epochs completed, final loss, wall-clock time (this process only).
+    pub report: FitReport,
+    /// True when a hook's [`HookAction::Stop`] ended training early.
+    pub interrupted: bool,
+    /// True when early stopping triggered.
+    pub early_stopped: bool,
+    /// Divergence recoveries that fired during this run.
+    pub divergence_events: u32,
+    /// Best validation loss seen, when validation ran.
+    pub best_val: Option<f64>,
+    /// `(epoch, batch_in_epoch)` this run resumed from, if it resumed.
+    pub resumed_at: Option<(u64, u64)>,
+}
+
+/// Epoch-start snapshot used for divergence recovery.
+struct Snapshot {
+    params: ParamStore,
+    adam: AdamState,
+    global_step: u64,
+    batch_start: u64,
+    epoch_loss_accum: f64,
+}
+
+/// The resumable training loop. See the module docs for the feature set.
+pub struct TrainLoop {
+    opts: TrainOptions,
+}
+
+impl TrainLoop {
+    /// A loop with the given fault-tolerance options.
+    pub fn new(opts: TrainOptions) -> Self {
+        TrainLoop { opts }
+    }
+
+    /// Train `model` on `data`'s training split.
+    pub fn run(
+        &self,
+        model: &mut StHsl,
+        data: &CrimeDataset,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<TrainOutcome> {
+        let cfg = model.cfg.clone();
+        let r = data.num_regions();
+        let mut opt = Adam::with_weight_decay(cfg.lr, 2.0 * cfg.lambda3);
+        opt.max_grad_norm = Some(5.0);
+
+        let sorted_days = data.target_days(Split::Train);
+        if sorted_days.is_empty() {
+            return Err(TensorError::Invalid("train: no training days available".into()));
+        }
+        let val_days = data.target_days(Split::Val);
+        let want_val = self.opts.patience.is_some() || self.opts.validate;
+
+        let mut state = TrainerState { seed: cfg.seed, ..TrainerState::default() };
+        let mut resumed_at = None;
+        let mut best_params: Option<ParamStore> = None;
+        if let Some(path) = &self.opts.resume_from {
+            let ck = Checkpoint::load(path).map_err(ckpt_err)?;
+            if ck.trainer.seed != cfg.seed {
+                return Err(TensorError::Invalid(format!(
+                    "resume: checkpoint was trained with seed {} but config has seed {} — \
+                     resuming would not reproduce the original run",
+                    ck.trainer.seed, cfg.seed
+                )));
+            }
+            model.store.copy_values_from(&ck.params).map_err(TensorError::Invalid)?;
+            opt.import_state(ck.adam);
+            state = ck.trainer;
+            resumed_at = Some((state.epoch, state.batch_in_epoch));
+            if let Some(dir) = &self.opts.checkpoint_dir {
+                let best_path = dir.join("best.params");
+                if best_path.exists() {
+                    best_params = Some(ParamStore::load(&best_path).map_err(ckpt_err)?);
+                }
+            }
+        }
+
+        let start = Instant::now();
+        let mut interrupted = false;
+        let mut early_stopped = false;
+        let mut divergence_events = 0u32;
+
+        'training: while state.epoch < cfg.epochs as u64 {
+            let epoch = state.epoch as usize;
+            let lr_sched = cfg.lr_schedule.lr_at(epoch, cfg.lr);
+
+            // Per-epoch day order: a fresh shuffle of the sorted list, seeded
+            // by (seed, epoch) — independent of any earlier history, so a
+            // resume re-derives it exactly.
+            let mut days = sorted_days.clone();
+            days.shuffle(&mut StdRng::seed_from_u64(mix(cfg.seed, SHUFFLE_SALT, state.epoch)));
+            let mut chunks: Vec<&[usize]> = days.chunks(cfg.batch_size.max(1)).collect();
+            if let Some(max) = cfg.max_batches_per_epoch {
+                chunks.truncate(max);
+            }
+
+            'attempt: loop {
+                let snap = Snapshot {
+                    params: model.store.clone(),
+                    adam: opt.export_state(),
+                    global_step: state.global_step,
+                    batch_start: state.batch_in_epoch,
+                    epoch_loss_accum: state.epoch_loss_accum,
+                };
+                opt.lr = lr_sched * state.lr_scale;
+
+                for (bi, chunk) in chunks.iter().enumerate() {
+                    if (bi as u64) < state.batch_in_epoch {
+                        continue;
+                    }
+                    state.global_step += 1;
+                    let g = Graph::training(cfg.seed ^ state.global_step);
+                    let pv = model.store.inject(&g);
+                    // Corruption permutations come from a per-batch RNG seeded
+                    // by (seed, global_step): replayable from the counters.
+                    let mut perm_rng =
+                        StdRng::seed_from_u64(mix(cfg.seed, PERM_SALT, state.global_step));
+                    let mut loss = g.constant(Tensor::scalar(0.0));
+                    for &day in *chunk {
+                        let sample = data.sample(day)?;
+                        let z = data.zscore(&sample.input);
+                        let perm = corruption_permutation(r, &mut perm_rng);
+                        let l = model.sample_loss(&g, &pv, &z, &sample.target, Some(&perm))?;
+                        loss = g.add(loss, l)?;
+                    }
+                    let loss = g.scale(loss, 1.0 / chunk.len() as f32);
+                    let mut lv = g.value(loss).item()?;
+
+                    let ctx = BatchCtx {
+                        epoch,
+                        batch_in_epoch: bi as u64,
+                        global_step: state.global_step,
+                        loss: f64::from(lv),
+                    };
+                    if hooks.inject_fault(&ctx) == Some(Fault::NanLoss) {
+                        lv = f32::NAN;
+                    }
+
+                    if !lv.is_finite() {
+                        // Restore the snapshot; either back off and retry or,
+                        // with the budget spent, stop with the last good
+                        // parameters.
+                        model.store.copy_values_from(&snap.params).map_err(TensorError::Invalid)?;
+                        opt.import_state(snap.adam.clone());
+                        state.global_step = snap.global_step;
+                        state.batch_in_epoch = snap.batch_start;
+                        state.epoch_loss_accum = snap.epoch_loss_accum;
+                        if state.divergence_retries >= self.opts.max_divergence_retries {
+                            break 'training;
+                        }
+                        state.divergence_retries += 1;
+                        state.lr_scale *= 0.5;
+                        divergence_events += 1;
+                        hooks.on_divergence(&DivergenceCtx {
+                            epoch,
+                            global_step: ctx.global_step,
+                            loss: ctx.loss,
+                            retries_used: state.divergence_retries,
+                            lr_scale: state.lr_scale,
+                        });
+                        continue 'attempt;
+                    }
+
+                    let grads = g.backward(loss)?;
+                    opt.step(&mut model.store, &pv, &grads)?;
+                    state.batch_in_epoch = bi as u64 + 1;
+                    state.epoch_loss_accum += f64::from(lv);
+
+                    let periodic = self.opts.checkpoint_every > 0
+                        && state.global_step.is_multiple_of(self.opts.checkpoint_every as u64);
+                    let action = hooks.on_batch_end(&ctx);
+                    if periodic || action != HookAction::Continue {
+                        self.write_checkpoint(model, &opt, &state, hooks)?;
+                    }
+                    if action == HookAction::Stop {
+                        interrupted = true;
+                        break 'training;
+                    }
+                }
+                break 'attempt;
+            }
+
+            // Epoch completed.
+            let batches = state.batch_in_epoch.max(1);
+            state.last_train_loss = state.epoch_loss_accum / batches as f64;
+            let mut val_loss = None;
+            if want_val && !val_days.is_empty() {
+                let v = self.validation_loss(model, data, &val_days)?;
+                val_loss = Some(v);
+                if state.best_val.is_nan() || v < state.best_val {
+                    state.best_val = v;
+                    state.epochs_since_improve = 0;
+                    best_params = Some(model.store.clone());
+                    if let Some(dir) = &self.opts.checkpoint_dir {
+                        std::fs::create_dir_all(dir).map_err(ckpt_err)?;
+                        model.store.save(dir.join("best.params")).map_err(ckpt_err)?;
+                    }
+                } else {
+                    state.epochs_since_improve += 1;
+                }
+            }
+            state.epoch += 1;
+            state.batch_in_epoch = 0;
+            state.epoch_loss_accum = 0.0;
+
+            let action = hooks.on_epoch_end(&EpochCtx {
+                epoch,
+                train_loss: state.last_train_loss,
+                val_loss,
+                lr: lr_sched * state.lr_scale,
+            });
+            if self.opts.checkpoint_dir.is_some() || action == HookAction::Checkpoint {
+                self.write_checkpoint(model, &opt, &state, hooks)?;
+            }
+            if action == HookAction::Stop {
+                interrupted = true;
+                break 'training;
+            }
+            if let Some(patience) = self.opts.patience {
+                if state.epochs_since_improve as usize >= patience {
+                    early_stopped = true;
+                    break 'training;
+                }
+            }
+        }
+
+        // With early stopping active, hand back the best-validation model.
+        if self.opts.patience.is_some() {
+            if let Some(best) = &best_params {
+                model.store.copy_values_from(best).map_err(TensorError::Invalid)?;
+            }
+        }
+
+        let epochs_done = (state.epoch as usize).max(1);
+        Ok(TrainOutcome {
+            report: FitReport::new(
+                epochs_done,
+                state.last_train_loss,
+                start.elapsed().as_secs_f64(),
+            ),
+            interrupted,
+            early_stopped,
+            divergence_events,
+            best_val: if state.best_val.is_nan() { None } else { Some(state.best_val) },
+            resumed_at,
+        })
+    }
+
+    /// Mean loss over the validation split, computed deterministically (no
+    /// dropout, no corruption branch).
+    fn validation_loss(
+        &self,
+        model: &StHsl,
+        data: &CrimeDataset,
+        val_days: &[usize],
+    ) -> Result<f64> {
+        let mut total = 0.0f64;
+        for &day in val_days {
+            let g = Graph::new();
+            let pv = model.store.inject(&g);
+            let sample = data.sample(day)?;
+            let z = data.zscore(&sample.input);
+            let l = model.sample_loss(&g, &pv, &z, &sample.target, None)?;
+            total += f64::from(g.value(l).item()?);
+        }
+        Ok(total / val_days.len() as f64)
+    }
+
+    fn write_checkpoint(
+        &self,
+        model: &StHsl,
+        opt: &Adam,
+        state: &TrainerState,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<()> {
+        let Some(dir) = &self.opts.checkpoint_dir else { return Ok(()) };
+        std::fs::create_dir_all(dir).map_err(ckpt_err)?;
+        let path = dir.join(checkpoint_file_name(state.global_step));
+        let ck = Checkpoint {
+            params: model.store.clone(),
+            adam: opt.export_state(),
+            trainer: state.clone(),
+        };
+        ck.save(&path).map_err(ckpt_err)?;
+        prune_checkpoints(dir, self.opts.keep_last.max(1)).map_err(ckpt_err)?;
+        hooks.on_checkpoint(&path);
+        Ok(())
+    }
+}
+
+fn ckpt_err(e: std::io::Error) -> TensorError {
+    TensorError::Invalid(format!("checkpoint: {e}"))
+}
 
 /// Train `model` on `data`'s training split, returning the fit report.
+///
+/// Thin driver over [`TrainLoop`] with no checkpointing, no hooks and the
+/// default divergence-recovery budget.
 pub fn train(model: &mut StHsl, data: &CrimeDataset) -> Result<FitReport> {
-    let cfg = model.cfg.clone();
-    let r = data.num_regions();
-    let mut opt = Adam::with_weight_decay(cfg.lr, 2.0 * cfg.lambda3);
-    opt.max_grad_norm = Some(5.0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9));
-    let mut days = data.target_days(Split::Train);
-    if days.is_empty() {
-        return Err(TensorError::Invalid("train: no training days available".into()));
-    }
-    let start = Instant::now();
-    let mut final_loss = f64::NAN;
-    let mut step: u64 = 0;
-    for epoch in 0..cfg.epochs {
-        opt.lr = cfg.lr_schedule.lr_at(epoch, cfg.lr);
-        days.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f64;
-        let mut batches = 0usize;
-        // Snapshot for NaN recovery: cheap relative to an epoch of training.
-        let snapshot: Vec<Tensor> = model
-            .store
-            .ids()
-            .map(|id| model.store.get(id).clone())
-            .collect();
-        for chunk in days.chunks(cfg.batch_size.max(1)) {
-            if let Some(max) = cfg.max_batches_per_epoch {
-                if batches >= max {
-                    break;
-                }
-            }
-            step += 1;
-            let g = Graph::training(cfg.seed ^ step);
-            let pv = model.store.inject(&g);
-            let mut loss = g.constant(Tensor::scalar(0.0));
-            for &day in chunk {
-                let sample = data.sample(day)?;
-                let z = data.zscore(&sample.input);
-                let perm = corruption_permutation(r, &mut rng);
-                let l = model.sample_loss(&g, &pv, &z, &sample.target, Some(&perm))?;
-                loss = g.add(loss, l)?;
-            }
-            let loss = g.scale(loss, 1.0 / chunk.len() as f32);
-            let lv = g.value(loss).item()?;
-            if !lv.is_finite() {
-                // Restore the snapshot and stop this epoch: better a
-                // conservative model than NaN weights.
-                for (id, snap) in model.store.ids().collect::<Vec<_>>().into_iter().zip(snapshot) {
-                    *model.store.get_mut(id) = snap;
-                }
-                return Ok(FitReport::new(
-                    epoch.max(1),
-                    final_loss,
-                    start.elapsed().as_secs_f64(),
-                ));
-            }
-            epoch_loss += f64::from(lv);
-            batches += 1;
-            let grads = g.backward(loss)?;
-            opt.step(&mut model.store, &pv, &grads)?;
-        }
-        if batches > 0 {
-            final_loss = epoch_loss / batches as f64;
-        }
-    }
-    Ok(FitReport::new(cfg.epochs, final_loss, start.elapsed().as_secs_f64()))
+    TrainLoop::new(TrainOptions::resilient())
+        .run(model, data, &mut NoHooks)
+        .map(|outcome| outcome.report)
 }
 
 #[cfg(test)]
@@ -128,10 +535,7 @@ mod tests {
         let after = probe(&model);
         assert!(report.epochs >= 1);
         assert!(report.train_seconds > 0.0);
-        assert!(
-            after < before,
-            "training did not reduce loss: {before} → {after}"
-        );
+        assert!(after < before, "training did not reduce loss: {before} → {after}");
     }
 
     #[test]
@@ -153,5 +557,119 @@ mod tests {
         let mut model = StHsl::new(cfg(), &data).unwrap();
         model.fit(&data).unwrap();
         assert!(!model.store.any_non_finite());
+    }
+
+    #[test]
+    fn hooks_observe_batches_and_epochs() {
+        struct Counting {
+            batches: usize,
+            epochs: usize,
+            val_seen: bool,
+        }
+        impl TrainHooks for Counting {
+            fn on_batch_end(&mut self, _ctx: &BatchCtx) -> HookAction {
+                self.batches += 1;
+                HookAction::Continue
+            }
+            fn on_epoch_end(&mut self, ctx: &EpochCtx) -> HookAction {
+                self.epochs += 1;
+                self.val_seen |= ctx.val_loss.is_some();
+                HookAction::Continue
+            }
+        }
+        let data = dataset();
+        let mut model = StHsl::new(cfg(), &data).unwrap();
+        let mut hooks = Counting { batches: 0, epochs: 0, val_seen: false };
+        let opts = TrainOptions { validate: true, ..TrainOptions::resilient() };
+        let outcome = TrainLoop::new(opts).run(&mut model, &data, &mut hooks).unwrap();
+        assert_eq!(hooks.epochs, 3);
+        assert_eq!(hooks.batches, 12); // 3 epochs × 4 capped batches
+        assert!(hooks.val_seen);
+        assert!(outcome.best_val.is_some());
+        assert!(!outcome.interrupted && !outcome.early_stopped);
+    }
+
+    #[test]
+    fn stop_action_interrupts_training() {
+        struct StopAfter(usize);
+        impl TrainHooks for StopAfter {
+            fn on_batch_end(&mut self, ctx: &BatchCtx) -> HookAction {
+                if ctx.global_step as usize >= self.0 {
+                    HookAction::Stop
+                } else {
+                    HookAction::Continue
+                }
+            }
+        }
+        let data = dataset();
+        let mut model = StHsl::new(cfg(), &data).unwrap();
+        let outcome = TrainLoop::new(TrainOptions::resilient())
+            .run(&mut model, &data, &mut StopAfter(2))
+            .unwrap();
+        assert!(outcome.interrupted);
+    }
+
+    #[test]
+    fn divergence_injection_heals_with_lr_backoff() {
+        struct InjectOnce {
+            fired: bool,
+            divergences: Vec<DivergenceCtx>,
+        }
+        impl TrainHooks for InjectOnce {
+            fn inject_fault(&mut self, ctx: &BatchCtx) -> Option<Fault> {
+                if !self.fired && ctx.global_step == 3 {
+                    self.fired = true;
+                    return Some(Fault::NanLoss);
+                }
+                None
+            }
+            fn on_divergence(&mut self, ctx: &DivergenceCtx) {
+                self.divergences.push(ctx.clone());
+            }
+        }
+        let data = dataset();
+        let mut model = StHsl::new(cfg(), &data).unwrap();
+        let mut hooks = InjectOnce { fired: false, divergences: Vec::new() };
+        let outcome =
+            TrainLoop::new(TrainOptions::resilient()).run(&mut model, &data, &mut hooks).unwrap();
+        assert_eq!(outcome.divergence_events, 1);
+        assert_eq!(hooks.divergences.len(), 1);
+        assert!((hooks.divergences[0].lr_scale - 0.5).abs() < 1e-6);
+        assert!(outcome.report.final_loss.is_finite());
+        assert!(!model.store.any_non_finite());
+    }
+
+    #[test]
+    fn exhausted_divergence_budget_stops_with_last_good_params() {
+        struct AlwaysNan;
+        impl TrainHooks for AlwaysNan {
+            fn inject_fault(&mut self, _ctx: &BatchCtx) -> Option<Fault> {
+                Some(Fault::NanLoss)
+            }
+        }
+        let data = dataset();
+        let mut model = StHsl::new(cfg(), &data).unwrap();
+        let opts = TrainOptions { max_divergence_retries: 2, ..TrainOptions::resilient() };
+        let outcome = TrainLoop::new(opts).run(&mut model, &data, &mut AlwaysNan).unwrap();
+        // Every batch NaNs, so no step ever completes; training gives up
+        // after the budget and the (initial) parameters stay finite.
+        assert_eq!(outcome.divergence_events, 2);
+        assert!(!model.store.any_non_finite());
+    }
+
+    #[test]
+    fn early_stopping_restores_best_model() {
+        let data = dataset();
+        let cfg = StHslConfig { epochs: 6, ..cfg() };
+        let mut model = StHsl::new(cfg, &data).unwrap();
+        let opts = TrainOptions { patience: Some(1), ..TrainOptions::resilient() };
+        let outcome = TrainLoop::new(opts).run(&mut model, &data, &mut NoHooks).unwrap();
+        let best = outcome.best_val.expect("validation must have run");
+        assert!(best.is_finite());
+        // The restored model's validation loss equals the reported best.
+        let val_days = data.target_days(Split::Val);
+        let loop_ = TrainLoop::new(TrainOptions::default());
+        let v = loop_.validation_loss(&model, &data, &val_days).unwrap();
+        assert!((v - best).abs() < 1e-9, "restored val {v} != best {best}");
     }
 }

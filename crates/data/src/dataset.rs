@@ -67,13 +67,7 @@ pub struct CrimeDataset {
 impl CrimeDataset {
     /// Build a dataset from a simulated city.
     pub fn from_city(city: &SynthCity, config: DatasetConfig) -> Result<Self> {
-        Self::new(
-            city.tensor.clone(),
-            city.rows,
-            city.cols,
-            city.category_names.clone(),
-            config,
-        )
+        Self::new(city.tensor.clone(), city.rows, city.cols, city.category_names.clone(), config)
     }
 
     /// Build from a raw `[R, T, C]` tensor.
@@ -187,10 +181,7 @@ impl CrimeDataset {
     pub fn sample(&self, target_day: usize) -> Result<Sample> {
         let w = self.config.window;
         if target_day < w || target_day >= self.num_days() {
-            return Err(TensorError::IndexOutOfRange {
-                index: target_day,
-                len: self.num_days(),
-            });
+            return Err(TensorError::IndexOutOfRange { index: target_day, len: self.num_days() });
         }
         let input = self.tensor.slice_axis(1, target_day - w, w)?;
         let target = self
@@ -219,9 +210,8 @@ impl CrimeDataset {
         let (r, t, c) = (self.num_regions(), self.num_days(), self.num_categories());
         (0..r)
             .map(|ri| {
-                let nonzero = (0..t * c)
-                    .filter(|&i| self.tensor.data()[ri * t * c + i] > 0.0)
-                    .count();
+                let nonzero =
+                    (0..t * c).filter(|&i| self.tensor.data()[ri * t * c + i] > 0.0).count();
                 nonzero as f32 / (t * c) as f32
             })
             .collect()
@@ -229,9 +219,7 @@ impl CrimeDataset {
 
     /// Ground-truth matrix `[R, C]` for one day.
     pub fn day(&self, day: usize) -> Result<Tensor> {
-        self.tensor
-            .slice_axis(1, day, 1)?
-            .reshape(&[self.num_regions(), self.num_categories()])
+        self.tensor.slice_axis(1, day, 1)?.reshape(&[self.num_regions(), self.num_categories()])
     }
 }
 
@@ -242,8 +230,11 @@ mod tests {
 
     fn dataset() -> CrimeDataset {
         let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(6, 6, 160)).unwrap();
-        CrimeDataset::from_city(&city, DatasetConfig { window: 14, val_days: 10, train_fraction: 7.0 / 8.0 })
-            .unwrap()
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig { window: 14, val_days: 10, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -307,9 +298,19 @@ mod tests {
     #[test]
     fn rejects_mismatched_construction() {
         let t = Tensor::zeros(&[10, 50, 2]);
-        assert!(CrimeDataset::new(t.clone(), 3, 3, vec!["a".into(), "b".into()], DatasetConfig::default()).is_err());
-        assert!(CrimeDataset::new(t.clone(), 2, 5, vec!["a".into()], DatasetConfig::default()).is_err());
+        assert!(CrimeDataset::new(
+            t.clone(),
+            3,
+            3,
+            vec!["a".into(), "b".into()],
+            DatasetConfig::default()
+        )
+        .is_err());
+        assert!(
+            CrimeDataset::new(t.clone(), 2, 5, vec!["a".into()], DatasetConfig::default()).is_err()
+        );
         // Span too short for the default 30-day window.
-        assert!(CrimeDataset::new(t, 2, 5, vec!["a".into(), "b".into()], DatasetConfig::default()).is_err());
+        assert!(CrimeDataset::new(t, 2, 5, vec!["a".into(), "b".into()], DatasetConfig::default())
+            .is_err());
     }
 }

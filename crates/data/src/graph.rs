@@ -156,10 +156,7 @@ pub fn normalize_rows(a: &Tensor) -> Result<Tensor> {
 
 fn square_dim(a: &Tensor) -> Result<usize> {
     if a.ndim() != 2 || a.shape()[0] != a.shape()[1] {
-        return Err(TensorError::Invalid(format!(
-            "expected square matrix, got {:?}",
-            a.shape()
-        )));
+        return Err(TensorError::Invalid(format!("expected square matrix, got {:?}", a.shape())));
     }
     Ok(a.shape()[0])
 }

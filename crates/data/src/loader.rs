@@ -8,9 +8,9 @@
 //! on its coordinates", daily resolution, even grid partitioning).
 
 use crate::dataset::{CrimeDataset, DatasetConfig};
-use sthsl_tensor::{Result, Tensor, TensorError};
 use std::collections::BTreeMap;
 use std::io::BufRead;
+use sthsl_tensor::{Result, Tensor, TensorError};
 
 /// One parsed crime report.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,41 +71,96 @@ pub struct LoadStats {
     pub unknown_category: usize,
     /// Records outside the observation span.
     pub out_of_span: usize,
+    /// CSV lines that failed to parse (lenient loading only; strict
+    /// [`parse_csv`] errors out instead).
+    pub malformed: usize,
 }
 
-/// Parse a headerless CSV of `category,day,lon,lat` rows.
+/// Output of [`parse_csv_lenient`]: the parseable records plus a full
+/// account of what was skipped — nothing is dropped silently.
+#[derive(Debug, Clone, Default)]
+pub struct ParseReport {
+    /// Successfully parsed records.
+    pub records: Vec<CrimeRecord>,
+    /// Total number of malformed lines skipped.
+    pub malformed_total: usize,
+    /// Per-line diagnostics (1-based line numbers) for the first
+    /// [`ParseReport::MAX_DIAGNOSTICS`] malformed lines.
+    pub malformed: Vec<String>,
+}
+
+impl ParseReport {
+    /// Diagnostics kept before truncating (the total is always exact).
+    pub const MAX_DIAGNOSTICS: usize = 100;
+}
+
+/// Parse one CSV line. `Ok(None)` for blanks/comments; `Err` carries the
+/// 1-based line number so every diagnostic points at the offending row.
+fn parse_line(
+    lineno_1based: usize,
+    line: &str,
+) -> std::result::Result<Option<CrimeRecord>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(format!(
+            "line {lineno_1based}: expected 4 fields (category,day,lon,lat), got {}",
+            fields.len()
+        ));
+    }
+    let day: usize =
+        fields[1].parse().map_err(|_| format!("line {lineno_1based}: bad day '{}'", fields[1]))?;
+    let lon: f64 = fields[2]
+        .parse()
+        .map_err(|_| format!("line {lineno_1based}: bad longitude '{}'", fields[2]))?;
+    let lat: f64 = fields[3]
+        .parse()
+        .map_err(|_| format!("line {lineno_1based}: bad latitude '{}'", fields[3]))?;
+    Ok(Some(CrimeRecord { category: fields[0].to_string(), day, lon, lat }))
+}
+
+/// Parse a headerless CSV of `category,day,lon,lat` rows, strictly.
 ///
 /// `day` may be any non-negative integer the caller has pre-computed (days
-/// since the span start); malformed rows are returned as errors with their
-/// line number rather than silently skipped.
+/// since the span start); the first malformed row aborts parsing with an
+/// error carrying its 1-based line number. For messy real-world extracts,
+/// use [`parse_csv_lenient`].
 pub fn parse_csv(reader: impl BufRead) -> Result<Vec<CrimeRecord>> {
     let mut out = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| TensorError::Invalid(format!("line {}: {e}", lineno + 1)))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        if let Some(rec) = parse_line(lineno + 1, &line).map_err(TensorError::Invalid)? {
+            out.push(rec);
         }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        if fields.len() != 4 {
-            return Err(TensorError::Invalid(format!(
-                "line {}: expected 4 fields (category,day,lon,lat), got {}",
-                lineno + 1,
-                fields.len()
-            )));
-        }
-        let day: usize = fields[1].parse().map_err(|_| {
-            TensorError::Invalid(format!("line {}: bad day '{}'", lineno + 1, fields[1]))
-        })?;
-        let lon: f64 = fields[2].parse().map_err(|_| {
-            TensorError::Invalid(format!("line {}: bad longitude '{}'", lineno + 1, fields[2]))
-        })?;
-        let lat: f64 = fields[3].parse().map_err(|_| {
-            TensorError::Invalid(format!("line {}: bad latitude '{}'", lineno + 1, fields[3]))
-        })?;
-        out.push(CrimeRecord { category: fields[0].to_string(), day, lon, lat });
     }
     Ok(out)
+}
+
+/// Parse a headerless CSV of `category,day,lon,lat` rows, leniently.
+///
+/// Malformed rows are skipped but **counted and reported**: the returned
+/// [`ParseReport`] carries the exact number skipped plus per-line
+/// diagnostics (with 1-based line numbers) for the first
+/// [`ParseReport::MAX_DIAGNOSTICS`] of them. I/O errors still abort.
+pub fn parse_csv_lenient(reader: impl BufRead) -> Result<ParseReport> {
+    let mut report = ParseReport::default();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| TensorError::Invalid(format!("line {}: {e}", lineno + 1)))?;
+        match parse_line(lineno + 1, &line) {
+            Ok(Some(rec)) => report.records.push(rec),
+            Ok(None) => {}
+            Err(diag) => {
+                report.malformed_total += 1;
+                if report.malformed.len() < ParseReport::MAX_DIAGNOSTICS {
+                    report.malformed.push(diag);
+                }
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Rasterise records into an `R×T×C` tensor.
@@ -169,19 +224,35 @@ pub fn dataset_from_csv(
     Ok((data, stats))
 }
 
+/// Like [`dataset_from_csv`] but tolerant of malformed rows: they are
+/// counted into [`LoadStats::malformed`] and their diagnostics returned
+/// alongside, instead of aborting the load.
+pub fn dataset_from_csv_lenient(
+    reader: impl BufRead,
+    grid: &GridSpec,
+    categories: &[&str],
+    days: usize,
+    config: DatasetConfig,
+) -> Result<(CrimeDataset, LoadStats, Vec<String>)> {
+    let report = parse_csv_lenient(reader)?;
+    let (tensor, mut stats) = rasterize(&report.records, grid, categories, days)?;
+    stats.malformed = report.malformed_total;
+    let data = CrimeDataset::new(
+        tensor,
+        grid.rows,
+        grid.cols,
+        categories.iter().map(|s| s.to_string()).collect(),
+        config,
+    )?;
+    Ok((data, stats, report.malformed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn nyc_ish_grid() -> GridSpec {
-        GridSpec {
-            lat_min: 40.5,
-            lat_max: 40.9,
-            lon_min: -74.3,
-            lon_max: -73.7,
-            rows: 4,
-            cols: 4,
-        }
+        GridSpec { lat_min: 40.5, lat_max: 40.9, lon_min: -74.3, lon_max: -73.7, rows: 4, cols: 4 }
     }
 
     #[test]
@@ -214,6 +285,73 @@ mod tests {
     }
 
     #[test]
+    fn parse_csv_lenient_skips_and_reports_malformed_rows() {
+        let csv = "# messy extract\n\
+                   BURGLARY,0,-74.0,40.7\n\
+                   ROBBERY,not-a-day,-73.9,40.8\n\
+                   TOO,FEW\n\
+                   ROBBERY,3,-73.9,40.8\n\
+                   ASSAULT,4,east,40.6\n\
+                   \n\
+                   BURGLARY,5,-74.1,north\n";
+        let report = parse_csv_lenient(csv.as_bytes()).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].category, "BURGLARY");
+        assert_eq!(report.records[1].day, 3);
+        assert_eq!(report.malformed_total, 4);
+        assert_eq!(report.malformed.len(), 4);
+        // Diagnostics carry 1-based line numbers pointing at the bad rows.
+        assert!(report.malformed[0].contains("line 3"), "{:?}", report.malformed);
+        assert!(report.malformed[1].contains("line 4"), "{:?}", report.malformed);
+        assert!(report.malformed[2].contains("line 6"), "{:?}", report.malformed);
+        assert!(report.malformed[3].contains("line 8"), "{:?}", report.malformed);
+    }
+
+    #[test]
+    fn parse_csv_lenient_caps_diagnostics_but_counts_everything() {
+        let mut csv = String::new();
+        for _ in 0..ParseReport::MAX_DIAGNOSTICS + 25 {
+            csv.push_str("oops\n");
+        }
+        csv.push_str("BURGLARY,0,-74.0,40.7\n");
+        let report = parse_csv_lenient(csv.as_bytes()).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.malformed_total, ParseReport::MAX_DIAGNOSTICS + 25);
+        assert_eq!(report.malformed.len(), ParseReport::MAX_DIAGNOSTICS);
+    }
+
+    #[test]
+    fn dataset_from_csv_lenient_counts_malformed_in_stats() {
+        let mut csv = String::from("garbage line\n");
+        for day in 0..120 {
+            csv.push_str(&format!("BURGLARY,{day},-74.0,40.7\n"));
+            csv.push_str(&format!("ROBBERY,{day},-73.9,40.8\n"));
+        }
+        csv.push_str("BURGLARY,bad-day,-74.0,40.7\n");
+        let (data, stats, diags) = dataset_from_csv_lenient(
+            csv.as_bytes(),
+            &nyc_ish_grid(),
+            &["BURGLARY", "ROBBERY"],
+            120,
+            DatasetConfig { window: 10, val_days: 7, train_fraction: 7.0 / 8.0 },
+        )
+        .unwrap();
+        assert_eq!(stats.accepted, 240);
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(data.num_days(), 120);
+        // Strict loading of the same bytes refuses up front.
+        assert!(dataset_from_csv(
+            csv.as_bytes(),
+            &nyc_ish_grid(),
+            &["BURGLARY", "ROBBERY"],
+            120,
+            DatasetConfig { window: 10, val_days: 7, train_fraction: 7.0 / 8.0 },
+        )
+        .is_err());
+    }
+
+    #[test]
     fn rasterize_counts_and_stats() {
         let g = nyc_ish_grid();
         let recs = vec![
@@ -226,7 +364,16 @@ mod tests {
         ];
         let (tensor, stats) = rasterize(&recs, &g, &["BURGLARY", "ROBBERY"], 10).unwrap();
         assert_eq!(tensor.shape(), &[16, 10, 2]);
-        assert_eq!(stats, LoadStats { accepted: 3, out_of_bounds: 1, unknown_category: 1, out_of_span: 1 });
+        assert_eq!(
+            stats,
+            LoadStats {
+                accepted: 3,
+                out_of_bounds: 1,
+                unknown_category: 1,
+                out_of_span: 1,
+                malformed: 0
+            }
+        );
         // Two burglaries landed in the same cell-day.
         let region = g.region_of(40.7, -74.0).unwrap();
         assert_eq!(tensor.at(&[region, 0, 0]), 2.0);

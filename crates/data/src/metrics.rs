@@ -13,12 +13,8 @@ pub fn mae(pred: &Tensor, truth: &Tensor) -> Result<f64> {
     if pred.is_empty() {
         return Ok(0.0);
     }
-    let sum: f64 = pred
-        .data()
-        .iter()
-        .zip(truth.data())
-        .map(|(&p, &t)| f64::from((p - t).abs()))
-        .sum();
+    let sum: f64 =
+        pred.data().iter().zip(truth.data()).map(|(&p, &t)| f64::from((p - t).abs())).sum();
     Ok(sum / pred.len() as f64)
 }
 
@@ -128,9 +124,7 @@ pub fn density_degrees(tensor: &Tensor) -> Result<Vec<f32>> {
     let (r, t, c) = (tensor.shape()[0], tensor.shape()[1], tensor.shape()[2]);
     Ok((0..r)
         .map(|ri| {
-            let nz = (0..t * c)
-                .filter(|&i| tensor.data()[ri * t * c + i] > 0.0)
-                .count();
+            let nz = (0..t * c).filter(|&i| tensor.data()[ri * t * c + i] > 0.0).count();
             nz as f32 / (t * c).max(1) as f32
         })
         .collect())

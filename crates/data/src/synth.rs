@@ -226,9 +226,8 @@ impl SynthCity {
             .collect();
 
         // --- 3. Per-region base intensity: log-normal + hotspot tail. -----
-        let lognorm = LogNormal::new(0.0, cfg.base_sigma).map_err(|e| {
-            TensorError::Invalid(format!("synth: bad base_sigma: {e}"))
-        })?;
+        let lognorm = LogNormal::new(0.0, cfg.base_sigma)
+            .map_err(|e| TensorError::Invalid(format!("synth: bad base_sigma: {e}")))?;
         let mut base: Vec<f64> = (0..r).map(|_| lognorm.sample(&mut rng)).collect();
         let num_hot = ((r as f64) * cfg.hotspot_frac).ceil() as usize;
         for _ in 0..num_hot {
@@ -290,7 +289,8 @@ impl SynthCity {
                 time_sum += wk * se.max(0.05);
             }
             let expected = lam_sum * time_sum * ar_mean_mult;
-            scale[ci] = if expected > 0.0 { cfg.categories[ci].target_total / expected } else { 0.0 };
+            scale[ci] =
+                if expected > 0.0 { cfg.categories[ci].target_total / expected } else { 0.0 };
         }
 
         // --- 7. Sample Poisson counts. -------------------------------------
@@ -320,9 +320,7 @@ impl SynthCity {
                     } else if lam > 1e4 {
                         lam as f32 // avoid pathological Poisson sampling
                     } else {
-                        Poisson::new(lam)
-                            .map(|p| p.sample(&mut rng) as f32)
-                            .unwrap_or(0.0)
+                        Poisson::new(lam).map(|p| p.sample(&mut rng) as f32).unwrap_or(0.0)
                     };
                     data[(ri * t + ti) * c + ci] = count;
                 }
@@ -375,9 +373,7 @@ impl SynthCity {
         let (r, t, c) = (self.num_regions(), self.num_days(), self.num_categories());
         (0..r)
             .map(|ri| {
-                (0..t)
-                    .map(|ti| f64::from(self.tensor.data()[(ri * t + ti) * c + category]))
-                    .sum()
+                (0..t).map(|ti| f64::from(self.tensor.data()[(ri * t + ti) * c + category])).sum()
             })
             .collect()
     }
@@ -518,10 +514,9 @@ mod tests {
         // Scaling down should keep the per-region-day rate roughly constant.
         let big = SynthConfig::nyc_like();
         let small = SynthConfig::nyc_like().scaled(8, 8, 180);
-        let rate_big: f64 = big.categories[0].target_total
-            / (big.num_regions() * big.days) as f64;
-        let rate_small: f64 = small.categories[0].target_total
-            / (small.num_regions() * small.days) as f64;
+        let rate_big: f64 = big.categories[0].target_total / (big.num_regions() * big.days) as f64;
+        let rate_small: f64 =
+            small.categories[0].target_total / (small.num_regions() * small.days) as f64;
         assert!((rate_big - rate_small).abs() / rate_big < 1e-9);
     }
 }

@@ -9,21 +9,13 @@ pub enum TensorError {
     /// The number of data elements does not match the product of the shape.
     LengthMismatch { expected: usize, got: usize },
     /// Two shapes that must agree (exactly or via broadcasting) do not.
-    ShapeMismatch {
-        op: &'static str,
-        lhs: Vec<usize>,
-        rhs: Vec<usize>,
-    },
+    ShapeMismatch { op: &'static str, lhs: Vec<usize>, rhs: Vec<usize> },
     /// An axis index is out of range for the tensor's rank.
     AxisOutOfRange { axis: usize, ndim: usize },
     /// An index along an axis is out of range.
     IndexOutOfRange { index: usize, len: usize },
     /// The operation requires a specific rank.
-    RankMismatch {
-        op: &'static str,
-        expected: usize,
-        got: usize,
-    },
+    RankMismatch { op: &'static str, expected: usize, got: usize },
     /// A free-form invalid-argument error (e.g. zero-sized kernel).
     Invalid(String),
 }

@@ -8,24 +8,25 @@ impl Tensor {
     /// Uniform samples in `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
         let dist = Uniform::new(lo, hi);
-        let data = (0..shape.iter().product::<usize>())
-            .map(|_| dist.sample(rng))
-            .collect();
+        let data = (0..shape.iter().product::<usize>()).map(|_| dist.sample(rng)).collect();
         Tensor::from_vec(data, shape).expect("generated data matches shape")
     }
 
     /// Gaussian samples with the given mean and standard deviation.
     pub fn rand_normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
         let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
-        let data = (0..shape.iter().product::<usize>())
-            .map(|_| dist.sample(rng))
-            .collect();
+        let data = (0..shape.iter().product::<usize>()).map(|_| dist.sample(rng)).collect();
         Tensor::from_vec(data, shape).expect("generated data matches shape")
     }
 
     /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
     /// `a = sqrt(6 / (fan_in + fan_out))`.
-    pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    pub fn xavier_uniform(
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
         Tensor::rand_uniform(shape, -a, a, rng)
     }

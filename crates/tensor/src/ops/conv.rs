@@ -46,10 +46,14 @@ impl Tensor {
         }
         let (ph, pw) = pad;
         let oh = (h + 2 * ph).checked_sub(kh - 1).ok_or_else(|| {
-            TensorError::Invalid(format!("conv2d: kernel {kh} too large for height {h} with pad {ph}"))
+            TensorError::Invalid(format!(
+                "conv2d: kernel {kh} too large for height {h} with pad {ph}"
+            ))
         })?;
         let ow = (w + 2 * pw).checked_sub(kw - 1).ok_or_else(|| {
-            TensorError::Invalid(format!("conv2d: kernel {kw} too large for width {w} with pad {pw}"))
+            TensorError::Invalid(format!(
+                "conv2d: kernel {kw} too large for width {w} with pad {pw}"
+            ))
         })?;
         if let Some(bs) = bias {
             if bs.shape() != [cout] {
@@ -411,7 +415,8 @@ mod tests {
                                 for kx in 0..kw {
                                     let iy = oy as isize + ky as isize - pad.0 as isize;
                                     let ix = ox as isize + kx as isize - pad.1 as isize;
-                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd {
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < wd
+                                    {
                                         acc += x.at(&[bi, ci, iy as usize, ix as usize])
                                             * w.at(&[co, ci, ky, kx]);
                                     }

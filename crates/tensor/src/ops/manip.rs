@@ -49,9 +49,9 @@ impl Tensor {
     /// Concatenate tensors along `axis`. All shapes must match except on the
     /// concatenation axis.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = tensors.first().ok_or_else(|| {
-            TensorError::Invalid("concat: need at least one tensor".into())
-        })?;
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::Invalid("concat: need at least one tensor".into()))?;
         let ndim = first.ndim();
         if axis >= ndim {
             return Err(TensorError::AxisOutOfRange { axis, ndim });
@@ -98,9 +98,9 @@ impl Tensor {
 
     /// Stack tensors of identical shape along a new leading axis.
     pub fn stack(tensors: &[&Tensor]) -> Result<Tensor> {
-        let first = tensors.first().ok_or_else(|| {
-            TensorError::Invalid("stack: need at least one tensor".into())
-        })?;
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::Invalid("stack: need at least one tensor".into()))?;
         let mut out_shape = vec![tensors.len()];
         out_shape.extend_from_slice(first.shape());
         let mut data = Vec::with_capacity(first.len() * tensors.len());
@@ -174,7 +174,12 @@ impl Tensor {
 
     /// Scatter-add rows of `self` back to an `axis_len`-long axis at the given
     /// indices (the adjoint of [`Tensor::index_select`]).
-    pub fn index_scatter_add(&self, axis: usize, indices: &[usize], axis_len: usize) -> Result<Tensor> {
+    pub fn index_scatter_add(
+        &self,
+        axis: usize,
+        indices: &[usize],
+        axis_len: usize,
+    ) -> Result<Tensor> {
         let ndim = self.ndim();
         if axis >= ndim {
             return Err(TensorError::AxisOutOfRange { axis, ndim });

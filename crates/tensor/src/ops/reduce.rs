@@ -44,12 +44,8 @@ impl Tensor {
             return Err(TensorError::AxisOutOfRange { axis, ndim });
         }
         let shape = self.shape();
-        let out_shape: Vec<usize> = shape
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != axis)
-            .map(|(_, &d)| d)
-            .collect();
+        let out_shape: Vec<usize> =
+            shape.iter().enumerate().filter(|(i, _)| *i != axis).map(|(_, &d)| d).collect();
         let axis_len = shape[axis];
         let strides = strides_of(shape);
         // outer runs over the axes before `axis`, inner over the axes after.
@@ -131,8 +127,8 @@ impl Tensor {
         if self.is_empty() {
             return (0.0, 0.0);
         }
-        let var = self.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-            / self.len() as f32;
+        let var =
+            self.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.len() as f32;
         (mean, var.sqrt())
     }
 }

@@ -132,10 +132,7 @@ impl Tensor {
 
     /// Apply `f` elementwise, producing a new tensor of the same shape.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
     }
 
     /// Apply `f` elementwise in place.
@@ -149,12 +146,7 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         if self.shape == other.shape {
             // Fast path: identical shapes need no index arithmetic.
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
             return Ok(Tensor { data, shape: self.shape.clone() });
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)?;

@@ -40,18 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ha.fit(&data)?;
     let ha_report = ha.evaluate(&data)?;
     println!("\n{:<12} {:>8} {:>8}", "Model", "MAE", "MAPE");
-    println!(
-        "{:<12} {:>8.4} {:>8.4}",
-        "HA",
-        ha_report.mae_overall(),
-        ha_report.mape_overall()
-    );
-    println!(
-        "{:<12} {:>8.4} {:>8.4}",
-        "ST-HSL",
-        report.mae_overall(),
-        report.mape_overall()
-    );
+    println!("{:<12} {:>8.4} {:>8.4}", "HA", ha_report.mae_overall(), ha_report.mape_overall());
+    println!("{:<12} {:>8.4} {:>8.4}", "ST-HSL", report.mae_overall(), report.mape_overall());
 
     // 4. Forecast tomorrow from the freshest window.
     let last_day = data.num_days() - 1;

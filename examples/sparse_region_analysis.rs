@@ -28,10 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train the full model and the no-SSL ablation.
     let mut full = StHsl::new(StHslConfig::quick(), &data)?;
     full.fit(&data)?;
-    let mut no_ssl = StHsl::new(
-        StHslConfig::quick().with_ablation(Ablation::without_global()),
-        &data,
-    )?;
+    let mut no_ssl =
+        StHsl::new(StHslConfig::quick().with_ablation(Ablation::without_global()), &data)?;
     no_ssl.fit(&data)?;
 
     // Per-region MAE on the test period, bucketed.
@@ -40,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for day in data.target_days(Split::Test) {
             let s = data.sample(day)?;
             let pred = model.predict(&data, &s.input)?;
-            for ri in 0..data.num_regions() {
-                let b = density_bucket(dens[ri]);
+            for (ri, &density) in dens.iter().enumerate() {
+                let b = density_bucket(density);
                 let bi = DensityBucket::all().iter().position(|x| *x == b).expect("bucket");
                 for ci in 0..data.num_categories() {
                     let t = s.target.at(&[ri, ci]);

@@ -4,12 +4,14 @@
 //! in `main.rs` is a thin shim around [`run`].
 
 use crate::prelude::*;
-use sthsl_data::loader::{dataset_from_csv, GridSpec};
 use std::fmt::Write as _;
 use std::fs;
 use std::io::BufReader;
+use std::path::PathBuf;
+use sthsl_data::loader::{dataset_from_csv_lenient, GridSpec};
 
 /// Parsed common flags.
+#[derive(Debug)]
 struct Flags {
     city: String,
     rows: usize,
@@ -21,6 +23,15 @@ struct Flags {
     out: Option<String>,
     seed: u64,
     epochs: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    resume: bool,
+    patience: Option<usize>,
+    help: bool,
+}
+
+fn parse_value<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, String> {
+    val.parse().map_err(|_| format!("invalid value '{val}' for {key}"))
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -35,27 +46,84 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         seed: 7,
         epochs: 12,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        resume: false,
+        patience: None,
+        help: false,
     };
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
-        let val = || -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("{key} requires a value"))
+        // Boolean flags consume one token; valued flags consume two. Each arm
+        // advances `i` itself so an error can never walk past the end of
+        // `args`, and every error names the offending token.
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("flag {key} requires a value"))
         };
         match key {
-            "--city" => f.city = val()?.clone(),
-            "--rows" => f.rows = val()?.parse().map_err(|_| "bad --rows")?,
-            "--cols" => f.cols = val()?.parse().map_err(|_| "bad --cols")?,
-            "--days" => f.days = val()?.parse().map_err(|_| "bad --days")?,
-            "--window" => f.window = val()?.parse().map_err(|_| "bad --window")?,
-            "--data" => f.data = Some(val()?.clone()),
-            "--model" => f.model = Some(val()?.clone()),
-            "--out" => f.out = Some(val()?.clone()),
-            "--seed" => f.seed = val()?.parse().map_err(|_| "bad --seed")?,
-            "--epochs" => f.epochs = val()?.parse().map_err(|_| "bad --epochs")?,
-            other => return Err(format!("unknown flag {other}")),
+            "--help" | "-h" => {
+                f.help = true;
+                i += 1;
+            }
+            "--resume" => {
+                f.resume = true;
+                i += 1;
+            }
+            "--city" => {
+                f.city = value(i)?.clone();
+                i += 2;
+            }
+            "--rows" => {
+                f.rows = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--cols" => {
+                f.cols = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--days" => {
+                f.days = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--window" => {
+                f.window = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--data" => {
+                f.data = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--model" => {
+                f.model = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--out" => {
+                f.out = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                f.seed = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--epochs" => {
+                f.epochs = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                f.checkpoint_dir = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                f.checkpoint_every = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--patience" => {
+                f.patience = Some(parse_value(key, value(i)?)?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
         }
-        i += 2;
     }
     Ok(f)
 }
@@ -63,14 +131,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 /// The synthetic grid uses a unit-degree bounding box so exported records
 /// survive the CSV → rasterise round trip exactly.
 fn grid_spec(rows: usize, cols: usize) -> GridSpec {
-    GridSpec {
-        lat_min: 0.0,
-        lat_max: rows as f64,
-        lon_min: 0.0,
-        lon_max: cols as f64,
-        rows,
-        cols,
-    }
+    GridSpec { lat_min: 0.0, lat_max: rows as f64, lon_min: 0.0, lon_max: cols as f64, rows, cols }
 }
 
 fn city_config(flags: &Flags) -> Result<SynthConfig, String> {
@@ -123,7 +184,7 @@ fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
     let cfg = city_config(flags)?;
     let cats = categories_of(&cfg);
     let cat_refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
-    let (data, stats) = dataset_from_csv(
+    let (data, stats, diagnostics) = dataset_from_csv_lenient(
         BufReader::new(file),
         &grid_spec(flags.rows, flags.cols),
         &cat_refs,
@@ -139,9 +200,19 @@ fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
         return Err("no records accepted — check grid/span flags".into());
     }
     eprintln!(
-        "loaded {} records ({} out of bounds, {} unknown category, {} out of span)",
-        stats.accepted, stats.out_of_bounds, stats.unknown_category, stats.out_of_span
+        "loaded {} records ({} out of bounds, {} unknown category, {} out of span, {} malformed)",
+        stats.accepted,
+        stats.out_of_bounds,
+        stats.unknown_category,
+        stats.out_of_span,
+        stats.malformed
     );
+    for diag in &diagnostics {
+        eprintln!("  skipped {diag}");
+    }
+    if stats.malformed > diagnostics.len() {
+        eprintln!("  ... and {} more malformed lines", stats.malformed - diagnostics.len());
+    }
     Ok(data)
 }
 
@@ -160,17 +231,45 @@ fn model_config(flags: &Flags) -> StHslConfig {
     }
 }
 
-/// `train`: fit ST-HSL on a CSV dataset and persist the parameters.
+/// `train`: fit ST-HSL on a CSV dataset and persist the parameters, with the
+/// full fault-tolerant runtime (checkpointing, resume, early stopping) wired
+/// to the corresponding flags.
 fn cmd_train(flags: &Flags) -> Result<String, String> {
     let data = load_dataset(flags)?;
     let mut model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
-    let report = model.fit(&data).map_err(|e| e.to_string())?;
+    let mut opts = TrainOptions::resilient();
+    opts.checkpoint_dir = flags.checkpoint_dir.clone().map(PathBuf::from);
+    opts.checkpoint_every = flags.checkpoint_every;
+    opts.patience = flags.patience;
+    if flags.resume {
+        let dir = opts.checkpoint_dir.as_ref().ok_or("--resume requires --checkpoint-dir")?;
+        match latest_checkpoint(dir).map_err(|e| e.to_string())? {
+            Some(ckpt) => opts.resume_from = Some(ckpt),
+            None => eprintln!("no checkpoint found in {}; starting fresh", dir.display()),
+        }
+    }
+    let outcome = model.fit_with(&data, opts, &mut NoHooks).map_err(|e| e.to_string())?;
     let path = flags.model.clone().unwrap_or_else(|| "model.bin".into());
     model.save(&path).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let report = &outcome.report;
+    let mut msg = format!(
         "trained {} epochs in {:.1}s (final loss {:.4}); saved to {path}",
         report.epochs, report.train_seconds, report.final_loss
-    ))
+    );
+    if let Some((epoch, batch)) = outcome.resumed_at {
+        let _ = write!(msg, "\nresumed from epoch {epoch}, batch {batch}");
+    }
+    if outcome.early_stopped {
+        let _ = write!(
+            msg,
+            "\nearly-stopped (best validation loss {:.4})",
+            outcome.best_val.unwrap_or(f64::NAN)
+        );
+    }
+    if outcome.divergence_events > 0 {
+        let _ = write!(msg, "\nrecovered from {} divergence event(s)", outcome.divergence_events);
+    }
+    Ok(msg)
 }
 
 fn restore_model(flags: &Flags, data: &CrimeDataset) -> Result<StHsl, String> {
@@ -228,9 +327,16 @@ fn cmd_predict(flags: &Flags) -> Result<String, String> {
 }
 
 const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict> [flags]
-  common flags: --city nyc|chi  --rows N --cols N --days N --window N --seed N
+  common flags:
+    --city nyc|chi   synthetic city preset (default nyc)
+    --rows N --cols N --days N --window N --seed N
+    --help, -h       print this message
   simulate: --out crimes.csv
   train:    --data crimes.csv --model model.bin --epochs N
+            --checkpoint-dir DIR   write resumable checkpoints into DIR
+            --checkpoint-every N   also checkpoint every N batches (default: epoch ends only)
+            --resume               continue from the latest checkpoint in DIR
+            --patience N           early-stop after N epochs without validation improvement
   evaluate: --data crimes.csv --model model.bin
   predict:  --data crimes.csv --model model.bin [--out forecast.csv]";
 
@@ -239,7 +345,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.get(1) else {
         return Err(USAGE.into());
     };
+    if cmd == "--help" || cmd == "-h" {
+        println!("{USAGE}");
+        return Ok(());
+    }
     let flags = parse_flags(&args[2..])?;
+    if flags.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
     let output = match cmd.as_str() {
         "simulate" => cmd_simulate(&flags)?,
         "train" => cmd_train(&flags)?,
@@ -276,6 +390,112 @@ mod tests {
     }
 
     #[test]
+    fn flag_errors_name_the_offending_token() {
+        // Unknown flags are reported by name, even as the very last token.
+        let err = parse_flags(&str_args(&["--rows", "5", "--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // A valued flag at the end of args reports itself, not a panic or an
+        // off-by-one read past the slice.
+        let err = parse_flags(&str_args(&["--city", "nyc", "--epochs"])).unwrap_err();
+        assert!(err.contains("--epochs"), "{err}");
+        // Bad values report both the value and the flag.
+        let err = parse_flags(&str_args(&["--seed", "not-a-number"])).unwrap_err();
+        assert!(err.contains("not-a-number") && err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn help_flag_parses_and_prints_usage() {
+        assert!(parse_flags(&str_args(&["--help"])).unwrap().help);
+        assert!(parse_flags(&str_args(&["-h"])).unwrap().help);
+        // Boolean flags don't swallow the next token.
+        let f = parse_flags(&str_args(&["--resume", "--rows", "3"])).unwrap();
+        assert!(f.resume);
+        assert_eq!(f.rows, 3);
+        run(&str_args(&["sthsl", "--help"])).unwrap();
+        run(&str_args(&["sthsl", "train", "-h"])).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let f = parse_flags(&str_args(&[
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "5",
+            "--patience",
+            "2",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(f.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(f.checkpoint_every, 5);
+        assert_eq!(f.patience, Some(2));
+        assert!(f.resume);
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_dir() {
+        let csv = tmp("resume_nocd.csv");
+        let common =
+            ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "1"];
+        let mut sim = str_args(&["sthsl", "simulate", "--out", &csv]);
+        sim.extend(str_args(&common));
+        run(&sim).unwrap();
+        let mut train = str_args(&["sthsl", "train", "--data", &csv, "--resume"]);
+        train.extend(str_args(&common));
+        let err = run(&train).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        fs::remove_file(csv).ok();
+    }
+
+    #[test]
+    fn train_writes_checkpoints_and_resumes() {
+        let csv = tmp("ckpt.csv");
+        let model = tmp("ckpt_model.bin");
+        let ckdir = tmp("ckpt_dir");
+        let common =
+            ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "2"];
+
+        let mut sim = str_args(&["sthsl", "simulate", "--out", &csv]);
+        sim.extend(str_args(&common));
+        run(&sim).unwrap();
+
+        let mut train = str_args(&[
+            "sthsl",
+            "train",
+            "--data",
+            &csv,
+            "--model",
+            &model,
+            "--checkpoint-dir",
+            &ckdir,
+        ]);
+        train.extend(str_args(&common));
+        run(&train).unwrap();
+        let latest = latest_checkpoint(&ckdir).unwrap();
+        assert!(latest.is_some(), "training left no checkpoint in {ckdir}");
+
+        // Resuming from the final checkpoint is a no-op train that succeeds.
+        let mut resume = str_args(&[
+            "sthsl",
+            "train",
+            "--data",
+            &csv,
+            "--model",
+            &model,
+            "--checkpoint-dir",
+            &ckdir,
+            "--resume",
+        ]);
+        resume.extend(str_args(&common));
+        run(&resume).unwrap();
+
+        fs::remove_file(csv).ok();
+        fs::remove_file(model).ok();
+        fs::remove_dir_all(ckdir).ok();
+    }
+
+    #[test]
     fn run_without_command_prints_usage() {
         let err = run(&str_args(&["sthsl"])).unwrap_err();
         assert!(err.contains("usage"));
@@ -289,7 +509,8 @@ mod tests {
         let csv = tmp("roundtrip.csv");
         let model = tmp("roundtrip_model.bin");
         let forecast = tmp("roundtrip_forecast.csv");
-        let common = ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "2"];
+        let common =
+            ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "2"];
 
         let mut sim = str_args(&["sthsl", "simulate", "--out", &csv]);
         sim.extend(str_args(&common));
@@ -305,7 +526,8 @@ mod tests {
         eval.extend(str_args(&common));
         run(&eval).unwrap();
 
-        let mut pred = str_args(&["sthsl", "predict", "--data", &csv, "--model", &model, "--out", &forecast]);
+        let mut pred =
+            str_args(&["sthsl", "predict", "--data", &csv, "--model", &model, "--out", &forecast]);
         pred.extend(str_args(&common));
         run(&pred).unwrap();
         let out = fs::read_to_string(&forecast).unwrap();
@@ -321,7 +543,8 @@ mod tests {
     fn simulate_roundtrip_preserves_counts() {
         // Records exported by simulate and re-rasterised must reproduce the
         // original tensor exactly (the grid uses region-centre coordinates).
-        let flags = parse_flags(&str_args(&["--rows", "4", "--cols", "4", "--days", "40"])).unwrap();
+        let flags =
+            parse_flags(&str_args(&["--rows", "4", "--cols", "4", "--days", "40"])).unwrap();
         let cfg = city_config(&flags).unwrap();
         let city = SynthCity::generate(&cfg).unwrap();
         // Export through the same path simulate uses.

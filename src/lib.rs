@@ -31,9 +31,14 @@ pub use sthsl_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use sthsl_autograd::{Gradients, Graph, ParamStore, Var};
+    pub use sthsl_autograd::{
+        latest_checkpoint, Checkpoint, Gradients, Graph, ParamStore, TrainerState, Var,
+    };
     pub use sthsl_baselines::{all_baselines, BaselineConfig};
-    pub use sthsl_core::{Ablation, StHsl, StHslConfig};
+    pub use sthsl_core::{
+        Ablation, BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, StHsl,
+        StHslConfig, TrainHooks, TrainLoop, TrainOptions, TrainOutcome,
+    };
     pub use sthsl_data::{
         CrimeDataset, DatasetConfig, EvalReport, FitReport, Predictor, Split, SynthCity,
         SynthConfig,

@@ -111,3 +111,149 @@ fn simulator_rejects_invalid_configs() {
     cfg2.num_functions = 99;
     assert!(SynthCity::generate(&cfg2).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection harness: kill training at arbitrary batch boundaries and
+// assert the resumed run is bit-identical to an uninterrupted one.
+// ---------------------------------------------------------------------------
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sthsl_fi_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Simulates a crash: checkpoints and stops at one exact optimizer step.
+struct KillAt {
+    step: u64,
+}
+
+impl TrainHooks for KillAt {
+    fn on_batch_end(&mut self, ctx: &BatchCtx) -> HookAction {
+        if ctx.global_step == self.step {
+            HookAction::Stop
+        } else {
+            HookAction::Continue
+        }
+    }
+}
+
+/// Save a model's parameters and return the raw file bytes.
+fn param_bytes(model: &StHsl, path: &std::path::Path) -> Vec<u8> {
+    model.save(path).unwrap();
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn resume_after_kill_is_bit_identical_to_uninterrupted_run() {
+    let data = dataset();
+    let cfg = tiny_cfg();
+    // 2 epochs × 3 batches/epoch = 6 optimizer steps total.
+    let total_steps = 6u64;
+
+    // Reference: one uninterrupted run.
+    let mut reference = StHsl::new(cfg.clone(), &data).unwrap();
+    reference.fit_with(&data, TrainOptions::resilient(), &mut NoHooks).unwrap();
+    let scratch = tmp_dir("ref");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let want = param_bytes(&reference, &scratch.join("reference.params"));
+
+    // Kill at several batch boundaries, spanning mid-epoch and epoch edges.
+    for kill_step in [1u64, 3, 4] {
+        let dir = tmp_dir(&format!("kill{kill_step}"));
+        let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+        let mut victim = StHsl::new(cfg.clone(), &data).unwrap();
+        let outcome =
+            victim.fit_with(&data, opts.clone(), &mut KillAt { step: kill_step }).unwrap();
+        assert!(outcome.interrupted, "kill at step {kill_step} did not interrupt");
+
+        // A fresh process: new model, resume from the latest checkpoint.
+        let ck = latest_checkpoint(&dir).unwrap().expect("no checkpoint written");
+        let mut revived = StHsl::new(cfg.clone(), &data).unwrap();
+        let opts = TrainOptions { resume_from: Some(ck), ..opts };
+        let outcome = revived.fit_with(&data, opts, &mut NoHooks).unwrap();
+        assert!(outcome.resumed_at.is_some(), "resume metadata missing");
+        assert!(!outcome.interrupted);
+
+        let got = param_bytes(&revived, &dir.join("resumed.params"));
+        assert_eq!(
+            got, want,
+            "kill at step {kill_step}/{total_steps}: resumed parameters differ from uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn resume_from_corrupted_checkpoint_errors_without_panicking() {
+    let data = dataset();
+    let cfg = tiny_cfg();
+    let dir = tmp_dir("corrupt");
+    let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+    let mut model = StHsl::new(cfg.clone(), &data).unwrap();
+    model.fit_with(&data, opts.clone(), &mut KillAt { step: 2 }).unwrap();
+
+    let ck = latest_checkpoint(&dir).unwrap().expect("no checkpoint written");
+    // Flip one byte in the middle of the file: the checksum must catch it.
+    let mut bytes = std::fs::read(&ck).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&ck, &bytes).unwrap();
+
+    let mut revived = StHsl::new(cfg.clone(), &data).unwrap();
+    let opts = TrainOptions { resume_from: Some(ck), ..opts };
+    let err = revived.fit_with(&data, opts, &mut NoHooks).unwrap_err();
+    assert!(err.to_string().contains("checkpoint"), "unexpected error: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_with_different_seed_is_rejected() {
+    let data = dataset();
+    let cfg = tiny_cfg();
+    let dir = tmp_dir("seed");
+    let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+    let mut model = StHsl::new(cfg.clone(), &data).unwrap();
+    model.fit_with(&data, opts.clone(), &mut KillAt { step: 2 }).unwrap();
+
+    let ck = latest_checkpoint(&dir).unwrap().unwrap();
+    let mut other_cfg = cfg;
+    other_cfg.seed ^= 0xDEAD;
+    let mut revived = StHsl::new(other_cfg, &data).unwrap();
+    let opts = TrainOptions { resume_from: Some(ck), ..opts };
+    let err = revived.fit_with(&data, opts, &mut NoHooks).unwrap_err();
+    assert!(err.to_string().contains("seed"), "unexpected error: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Injects a NaN loss exactly once, mid-training.
+struct NanOnce {
+    at_step: u64,
+    fired: bool,
+}
+
+impl TrainHooks for NanOnce {
+    fn inject_fault(&mut self, ctx: &BatchCtx) -> Option<Fault> {
+        if !self.fired && ctx.global_step == self.at_step {
+            self.fired = true;
+            return Some(Fault::NanLoss);
+        }
+        None
+    }
+}
+
+#[test]
+fn injected_divergence_heals_and_finishes_with_finite_loss() {
+    let data = dataset();
+    let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+    let outcome = model
+        .fit_with(&data, TrainOptions::resilient(), &mut NanOnce { at_step: 4, fired: false })
+        .unwrap();
+    assert_eq!(outcome.divergence_events, 1);
+    assert!(outcome.report.final_loss.is_finite());
+    let sample = data.sample(30).unwrap();
+    let pred = model.predict(&data, &sample.input).unwrap();
+    assert!(pred.data().iter().all(|v| v.is_finite()));
+}

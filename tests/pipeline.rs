@@ -55,10 +55,7 @@ fn sthsl_is_competitive_with_historical_average() {
     let mut ha = HistoricalAverage::new(BaselineConfig::tiny());
     ha.fit(&data).unwrap();
     let ha_mae = ha.evaluate(&data).unwrap().mae_overall();
-    assert!(
-        model_mae <= ha_mae * 1.5,
-        "ST-HSL ({model_mae}) far behind HA ({ha_mae})"
-    );
+    assert!(model_mae <= ha_mae * 1.5, "ST-HSL ({model_mae}) far behind HA ({ha_mae})");
 }
 
 #[test]

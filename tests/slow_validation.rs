@@ -46,10 +46,7 @@ fn sthsl_beats_static_hypergraph_predecessor() {
     stshn.fit(&data).unwrap();
     let stshn_mae = stshn.evaluate(&data).unwrap().mae_overall();
 
-    assert!(
-        sthsl_mae < stshn_mae,
-        "ST-HSL ({sthsl_mae:.4}) should beat STSHN ({stshn_mae:.4})"
-    );
+    assert!(sthsl_mae < stshn_mae, "ST-HSL ({sthsl_mae:.4}) should beat STSHN ({stshn_mae:.4})");
 }
 
 /// Paper RQ2/Table IV, aggregate form: the hypergraph is the single largest
@@ -97,7 +94,7 @@ fn hyperedges_recover_functional_structure_above_chance() {
         }
     }
     let rate = same as f64 / total.max(1) as f64;
-    let mut counts = vec![0usize; 6];
+    let mut counts = [0usize; 6];
     for &f in &city.region_function {
         counts[f] += 1;
     }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `rand_distr` crate: the four distributions this
+//! workspace samples (Uniform, Normal, LogNormal, Poisson), generic over
+//! `f32`/`f64` like the originals, over the vendored deterministic `rand`.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A sampleable probability distribution.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid-parameter error shared by all constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Alias matching `rand_distr::NormalError`.
+pub type NormalError = Error;
+/// Alias matching `rand_distr::PoissonError`.
+pub type PoissonError = Error;
+
+fn u01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = u01(rng).max(1e-300);
+    let u2 = u01(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Float abstraction so each distribution exists for `f32` and `f64`.
+pub trait Float: Copy {
+    /// Widen to `f64` for internal math.
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<F> {
+    lo: F,
+    hi: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform on `[lo, hi)`; like `rand` 0.8, panics if `lo > hi`.
+    pub fn new(lo: F, hi: F) -> Self {
+        assert!(lo.to_f64() <= hi.to_f64(), "Uniform::new: lo > hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let (lo, hi) = (self.lo.to_f64(), self.hi.to_f64());
+        F::from_f64(lo + (hi - lo) * u01(rng))
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Normal with the given mean and standard deviation (σ ≥ 0, finite).
+    pub fn new(mean: F, std: F) -> Result<Self, Error> {
+        let s = std.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Normal: standard deviation must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std.to_f64() * standard_normal(rng))
+    }
+}
+
+/// Log-normal distribution: `exp(N(μ, σ))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Log-normal with location `mu` and scale `sigma` of the underlying
+    /// normal.
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)
+                .map_err(|_| Error("LogNormal: scale must be finite and >= 0"))?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample(rng).to_f64().exp())
+    }
+}
+
+/// Poisson distribution with rate λ.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson<F> {
+    lambda: F,
+}
+
+impl<F: Float> Poisson<F> {
+    /// Poisson with rate `lambda` (> 0, finite).
+    pub fn new(lambda: F) -> Result<Self, Error> {
+        let l = lambda.to_f64();
+        if !l.is_finite() || l <= 0.0 {
+            return Err(Error("Poisson: lambda must be finite and > 0"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl<F: Float> Distribution<F> for Poisson<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let lam = self.lambda.to_f64();
+        let draw = if lam < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-lam).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= u01(rng);
+                if p <= l {
+                    break;
+                }
+                k += 1;
+            }
+            k as f64
+        } else {
+            // Normal approximation with continuity correction — ample for the
+            // simulator's large-λ cells.
+            (lam + lam.sqrt() * standard_normal(rng) + 0.5).floor().max(0.0)
+        };
+        F::from_f64(draw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Uniform::new(-2.0f32, 3.0);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(5.0f64, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for lam in [0.5f64, 4.0, 25.0, 100.0] {
+            let d = Poisson::new(lam).unwrap();
+            let n = 5_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lam).abs() < lam.sqrt() * 0.2 + 0.1,
+                "lambda {lam}: sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+        assert!(Poisson::new(0.0f64).is_err());
+        assert!(Poisson::new(-3.0f64).is_err());
+        assert!(LogNormal::new(0.0f64, -0.5).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = LogNormal::new(0.0f64, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+}
