@@ -160,6 +160,38 @@ mod tests {
     }
 
     #[test]
+    fn conv2d_grads() {
+        // Finite-difference check through the layer wrapper (bias enabled so
+        // the bias-broadcast path is exercised too).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let c = Conv2d::same(&mut store, "c", 2, 3, 3, true, &mut rng);
+        let x = Tensor::rand_normal(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        crate::gradcheck::gradcheck(&[x], |g, vars| {
+            let pv = store.inject(g);
+            let y = c.forward(g, &pv, vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn conv1d_grads() {
+        // Dilated causal variant: the padding/dilation index arithmetic is
+        // the part most worth checking numerically.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let c = Conv1d::causal(&mut store, "c", 2, 3, 2, 2, true, &mut rng);
+        let x = Tensor::rand_normal(&[2, 2, 6], 0.0, 1.0, &mut rng);
+        crate::gradcheck::gradcheck(&[x], |g, vars| {
+            let pv = store.inject(g);
+            let y = c.forward(g, &pv, vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
     fn conv2d_learns_edge_detector_task() {
         use crate::optim::{Adam, Optimizer};
         // Fit a fixed random target conv's output — sanity that gradients

@@ -83,6 +83,23 @@ mod tests {
     }
 
     #[test]
+    fn graphconv_grads() {
+        // Finite-difference check through both the support aggregation and
+        // the self-connection, with two supports to cover the summation path.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let gc = GraphConv::new(&mut store, "gc", 2, 3, 2, &mut rng);
+        let supports = [path_graph_support(4), Tensor::eye(4)];
+        let x = Tensor::rand_normal(&[4, 3], 0.0, 1.0, &mut rng);
+        crate::gradcheck::gradcheck(&[x], |g, vars| {
+            let pv = store.inject(g);
+            let y = gc.forward(g, &pv, &supports, vars[0])?;
+            let sq = g.square(y);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
     fn neighbours_influence_output() {
         // Changing node 0's features must change node 1's output (they are
         // adjacent) but not node 3's when using a single 1-hop support.

@@ -186,6 +186,38 @@ mod tests {
     }
 
     #[test]
+    fn gru_grads() {
+        // Finite-difference check through a 3-step unroll: gradients must
+        // flow through the gates and the recurrent state to every timestep.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 2, 3, &mut rng);
+        let xs: Vec<Tensor> =
+            (0..3).map(|_| Tensor::rand_normal(&[2, 2], 0.0, 1.0, &mut rng)).collect();
+        crate::gradcheck::gradcheck(&xs, |g, vars| {
+            let pv = store.inject(g);
+            let h = cell.run(g, &pv, vars, 2)?;
+            let sq = g.square(h);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
+    fn lstm_grads() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng);
+        let xs: Vec<Tensor> =
+            (0..3).map(|_| Tensor::rand_normal(&[2, 2], 0.0, 1.0, &mut rng)).collect();
+        crate::gradcheck::gradcheck(&xs, |g, vars| {
+            let pv = store.inject(g);
+            let h = cell.run(g, &pv, vars, 2)?;
+            let sq = g.square(h);
+            Ok(g.sum_all(sq))
+        });
+    }
+
+    #[test]
     fn lstm_step_and_run_shapes() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();

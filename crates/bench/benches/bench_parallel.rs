@@ -1,0 +1,128 @@
+//! Parallel-kernel speedup bench.
+//!
+//! Times the multi-threaded kernels at thread counts {1, 2, 4, 8} and writes
+//! the measured speedups to `BENCH_parallel.json` at the workspace root, then
+//! runs the same shapes through criterion for the usual console report.
+//!
+//! The headline case is the issue's acceptance shape: 256×256×256 matmul,
+//! parallel speedup at 4 threads vs 1. Note that speedup is bounded by the
+//! *physical* cores of the machine running the bench — the JSON records
+//! `available_cores` alongside each ratio so a 1-core CI box reporting ~1.0×
+//! is interpretable.
+
+use criterion::{black_box, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use sthsl_tensor::Tensor;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall-clock seconds of `f` over `samples` runs (after one warm-up).
+fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Case {
+    name: &'static str,
+    /// Median seconds per thread count, aligned with `THREAD_COUNTS`.
+    seconds: Vec<f64>,
+}
+
+fn run_case(name: &'static str, samples: usize, mut f: impl FnMut()) -> Case {
+    let seconds = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            sthsl_parallel::set_num_threads(t);
+            time_median(samples, &mut f)
+        })
+        .collect();
+    sthsl_parallel::set_num_threads(0);
+    Case { name, seconds }
+}
+
+fn write_json(cases: &[Case]) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"available_cores\": {cores},");
+    let _ = writeln!(out, "  \"thread_counts\": [1, 2, 4, 8],");
+    let _ = writeln!(out, "  \"cases\": [");
+    for (i, case) in cases.iter().enumerate() {
+        let secs: Vec<String> = case.seconds.iter().map(|s| format!("{s:.6e}")).collect();
+        let speedups: Vec<String> =
+            case.seconds.iter().map(|&s| format!("{:.3}", case.seconds[0] / s)).collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"median_seconds\": [{}], \"speedup_vs_1_thread\": [{}]}}",
+            case.name,
+            secs.join(", "),
+            speedups.join(", ")
+        );
+        let _ = writeln!(out, "{}", if i + 1 < cases.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    // benches run with cwd = crate dir; the JSON belongs at the repo root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &out).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+    print!("{out}");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Acceptance shape: 256×256×256 matmul.
+    let a = Tensor::rand_normal(&[256, 256], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[256, 256], 0.0, 1.0, &mut rng);
+    // ST-HSL spatial-encoder conv.
+    let x = Tensor::rand_normal(&[112, 4, 8, 8], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal(&[4, 4, 3, 3], 0.0, 0.3, &mut rng);
+    // Reduction + elementwise at training-gradient sizes.
+    let big = Tensor::rand_normal(&[1 << 20], 0.0, 1.0, &mut rng);
+    let big2 = Tensor::rand_normal(&[1 << 20], 0.0, 1.0, &mut rng);
+
+    let cases = vec![
+        run_case("matmul_256x256x256", 9, || {
+            black_box(a.matmul(&b).unwrap());
+        }),
+        run_case("conv2d_sthsl_spatial", 9, || {
+            black_box(x.conv2d(&w, None, (1, 1)).unwrap());
+        }),
+        run_case("sum_all_1M", 15, || {
+            black_box(big.sum_all());
+        }),
+        run_case("zip_map_mul_1M", 15, || {
+            black_box(big.zip_map(&big2, |p, q| p * q + p).unwrap());
+        }),
+        run_case("axpy_1M", 15, || {
+            let mut acc = big.clone();
+            acc.axpy(0.5, &big2).unwrap();
+            black_box(acc);
+        }),
+    ];
+    write_json(&cases);
+
+    // Criterion console report of the same headline kernels at the default
+    // (environment-resolved) thread count.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    c.bench_function("parallel/matmul_256x256x256", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    c.bench_function("parallel/conv2d_sthsl_spatial", |bench| {
+        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()))
+    });
+    c.bench_function("parallel/sum_all_1M", |bench| bench.iter(|| black_box(big.sum_all())));
+    c.final_summary();
+}

@@ -19,53 +19,92 @@ pub fn evaluate_model(model: &mut dyn Predictor, data: &CrimeDataset) -> Result<
     Ok(ModelRun { name: model.name(), fit, eval })
 }
 
+/// One region's running error totals. Regions are scored independently, so a
+/// flat `Vec<RegionAcc>` can be band-partitioned across threads.
+#[derive(Clone, Default)]
+struct RegionAcc {
+    abs_err: f64,
+    count: usize,
+    mape_sum: f64,
+    mape_count: usize,
+}
+
 /// Per-region error accumulation for Figures 4 and 6.
 pub struct RegionErrors {
-    abs_err: Vec<f64>,
-    count: Vec<usize>,
-    mape_sum: Vec<f64>,
-    mape_count: Vec<usize>,
+    acc: Vec<RegionAcc>,
 }
+
+/// Minimum regions per band when scoring a day in parallel; below this the
+/// loop runs inline on the caller.
+const MIN_REGIONS_PER_BAND: usize = 16;
 
 impl RegionErrors {
     fn new(r: usize) -> Self {
-        RegionErrors {
-            abs_err: vec![0.0; r],
-            count: vec![0; r],
-            mape_sum: vec![0.0; r],
-            mape_count: vec![0; r],
-        }
+        RegionErrors { acc: vec![RegionAcc::default(); r] }
+    }
+
+    /// Fold one day's `[R, C]` prediction/target pair into the totals,
+    /// parallel over region bands. Each region's accumulator is owned by
+    /// exactly one thread and categories are visited in ascending order, so
+    /// the totals are bit-identical to the serial loop at any thread count.
+    fn add_day(&mut self, pred: &[f32], target: &[f32], c: usize) {
+        let r = self.acc.len();
+        sthsl_parallel::parallel_rows_mut(
+            &mut self.acc,
+            r,
+            1,
+            MIN_REGIONS_PER_BAND,
+            |regions, band| {
+                for (local, ri) in regions.enumerate() {
+                    let acc = &mut band[local];
+                    for ci in 0..c {
+                        let p = f64::from(pred[ri * c + ci]);
+                        let t = f64::from(target[ri * c + ci]);
+                        // Masked protocol: only non-zero ground truth
+                        // contributes, matching EvalReport's MAE/MAPE.
+                        if t > 0.0 {
+                            acc.abs_err += (p - t).abs();
+                            acc.count += 1;
+                            acc.mape_sum += (p - t).abs() / t;
+                            acc.mape_count += 1;
+                        }
+                    }
+                }
+            },
+        );
     }
 
     /// MAE of one region (over all categories and test days).
     pub fn mae(&self, region: usize) -> f64 {
-        if self.count[region] == 0 {
+        let a = &self.acc[region];
+        if a.count == 0 {
             0.0
         } else {
-            self.abs_err[region] / self.count[region] as f64
+            a.abs_err / a.count as f64
         }
     }
 
     /// Masked MAPE of one region.
     pub fn mape(&self, region: usize) -> f64 {
-        if self.mape_count[region] == 0 {
+        let a = &self.acc[region];
+        if a.mape_count == 0 {
             0.0
         } else {
-            self.mape_sum[region] / self.mape_count[region] as f64
+            a.mape_sum / a.mape_count as f64
         }
     }
 
     /// Number of regions tracked.
     pub fn num_regions(&self) -> usize {
-        self.abs_err.len()
+        self.acc.len()
     }
 
     /// Aggregate MAE over a subset of regions.
     pub fn mae_of(&self, regions: &[usize]) -> f64 {
         let (mut err, mut n) = (0.0f64, 0usize);
         for &r in regions {
-            err += self.abs_err[r];
-            n += self.count[r];
+            err += self.acc[r].abs_err;
+            n += self.acc[r].count;
         }
         if n == 0 {
             0.0
@@ -78,8 +117,8 @@ impl RegionErrors {
     pub fn mape_of(&self, regions: &[usize]) -> f64 {
         let (mut s, mut n) = (0.0f64, 0usize);
         for &r in regions {
-            s += self.mape_sum[r];
-            n += self.mape_count[r];
+            s += self.acc[r].mape_sum;
+            n += self.acc[r].mape_count;
         }
         if n == 0 {
             0.0
@@ -98,24 +137,13 @@ pub fn evaluate_with_regions(
     let (r, c) = (data.num_regions(), data.num_categories());
     let mut report = EvalReport::new(c);
     let mut regions = RegionErrors::new(r);
+    // `Predictor` is not `Sync` (models hold `Rc`-based graphs), so days run
+    // serially; the per-region scoring of each day fans out across threads.
     for day in data.target_days(Split::Test) {
         let sample = data.sample(day)?;
         let pred = model.predict(data, &sample.input)?;
         report.add_day(&pred, &sample.target)?;
-        for ri in 0..r {
-            for ci in 0..c {
-                let p = f64::from(pred.at(&[ri, ci]));
-                let t = f64::from(sample.target.at(&[ri, ci]));
-                // Masked protocol: only non-zero ground truth contributes,
-                // matching EvalReport's paper-style MAE/MAPE.
-                if t > 0.0 {
-                    regions.abs_err[ri] += (p - t).abs();
-                    regions.count[ri] += 1;
-                    regions.mape_sum[ri] += (p - t).abs() / t;
-                    regions.mape_count[ri] += 1;
-                }
-            }
-        }
+        regions.add_day(pred.data(), sample.target.data(), c);
     }
     Ok((report, regions))
 }

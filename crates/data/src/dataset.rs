@@ -83,6 +83,7 @@ impl CrimeDataset {
                 op: "CrimeDataset",
                 expected: 3,
                 got: tensor.ndim(),
+                shape: tensor.shape().to_vec(),
             });
         }
         let (r, t, c) = (tensor.shape()[0], tensor.shape()[1], tensor.shape()[2]);

@@ -119,6 +119,7 @@ pub fn density_degrees(tensor: &Tensor) -> Result<Vec<f32>> {
             op: "density_degrees",
             expected: 3,
             got: tensor.ndim(),
+            shape: tensor.shape().to_vec(),
         });
     }
     let (r, t, c) = (tensor.shape()[0], tensor.shape()[1], tensor.shape()[2]);

@@ -1,0 +1,475 @@
+//! A std-only scoped thread pool with *deterministic* work partitioning.
+//!
+//! This crate is the substrate for every multi-threaded tensor kernel in the
+//! workspace. Its central contract is that **results are a function of the
+//! configured thread count only**, never of scheduling:
+//!
+//! - Work is split into *shards* whose boundaries depend only on the problem
+//!   size and [`num_threads`] (or, for reassociated reductions, on a fixed
+//!   block size independent even of the thread count). Which OS thread
+//!   executes a shard is irrelevant because shards own disjoint output and
+//!   partial results are combined in shard order by the caller.
+//! - The configured thread count is decoupled from the number of pooled OS
+//!   threads: `STHSL_THREADS=4` on a single-core machine produces the same
+//!   bits as on a 64-core machine, just slower.
+//!
+//! The pool itself is a lazily-spawned set of persistent workers woken through
+//! a condvar. A parallel section publishes a closure by reference (the caller
+//! blocks until every shard finished, so the borrow is sound), workers and the
+//! caller claim shard indices from a shared counter, and worker panics are
+//! surfaced as a caller panic after the section drains. Nested parallel
+//! sections execute serially on the calling thread rather than deadlocking.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// --------------------------------------------------------------------- config
+
+/// Configured thread count; 0 means "not yet resolved".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on the configured thread count (a runaway `STHSL_THREADS`
+/// should not spawn thousands of OS threads).
+pub const MAX_THREADS: usize = 256;
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn resolve_from_env() -> usize {
+    std::env::var("STHSL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(hardware_threads)
+        .min(MAX_THREADS)
+}
+
+/// The thread count parallel sections are partitioned for.
+///
+/// Resolved on first use from `STHSL_THREADS` (falling back to the number of
+/// available cores), overridable at runtime with [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let n = CONFIGURED.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = resolve_from_env();
+    // Racing initialisers all computed the same value; first store wins.
+    let _ = CONFIGURED.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
+/// Override the configured thread count. `0` re-resolves from the
+/// environment. Takes effect for subsequent parallel sections; already-pooled
+/// OS threads are reused (the pool only ever grows).
+pub fn set_num_threads(n: usize) {
+    let n = if n == 0 { resolve_from_env() } else { n.min(MAX_THREADS) };
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+// ----------------------------------------------------------------------- pool
+
+/// Type-erased reference to the section closure, lifetime-extended while the
+/// caller blocks inside [`run_shards`].
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and outlives the job (the caller blocks until
+// every shard completed before returning).
+unsafe impl Send for TaskRef {}
+
+struct Job {
+    task: TaskRef,
+    shards: usize,
+    /// Next unclaimed shard index.
+    next: usize,
+    /// Shards currently executing.
+    active: usize,
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<Option<Job>>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Serialises concurrent callers; workers never take this lock.
+    run_lock: Mutex<()>,
+    spawned: Mutex<usize>,
+}
+
+thread_local! {
+    /// Set while this thread executes a shard; nested sections run serially.
+    static IN_SECTION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_SECTION.with(|f| f.set(true));
+    let mut state = shared.state.lock().expect("pool mutex poisoned");
+    loop {
+        let claimed = match state.as_mut() {
+            Some(job) if job.next < job.shards => {
+                let shard = job.next;
+                job.next += 1;
+                job.active += 1;
+                Some((shard, job.task))
+            }
+            _ => None,
+        };
+        match claimed {
+            Some((shard, task)) => {
+                drop(state);
+                // SAFETY: the caller keeps the closure alive until the job
+                // drains (it blocks in `run_shards`).
+                let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(shard) })).is_ok();
+                state = shared.state.lock().expect("pool mutex poisoned");
+                let job = state.as_mut().expect("job cleared while shards active");
+                if !ok {
+                    job.panicked = true;
+                }
+                job.active -= 1;
+                if job.next >= job.shards && job.active == 0 {
+                    shared.done_cv.notify_all();
+                }
+            }
+            None => {
+                state = shared.work_cv.wait(state).expect("pool mutex poisoned");
+            }
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            state: Mutex::new(None),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }),
+        run_lock: Mutex::new(()),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Grow the worker set to `target` threads (never shrinks).
+    fn ensure_workers(&self, target: usize) {
+        let mut spawned = self.spawned.lock().expect("pool mutex poisoned");
+        while *spawned < target {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("sthsl-worker-{spawned}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+}
+
+/// Execute `task(0..shards)` with each shard running exactly once, possibly
+/// concurrently. Blocks until every shard completed. Panics (after draining)
+/// if any shard panicked. Nested calls from inside a shard run serially.
+pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
+    match shards {
+        0 => return,
+        1 => {
+            task(0);
+            return;
+        }
+        _ => {}
+    }
+    if IN_SECTION.with(|f| f.get()) {
+        for i in 0..shards {
+            task(i);
+        }
+        return;
+    }
+    let pool = pool();
+    let guard = pool.run_lock.lock().expect("pool run lock poisoned");
+    pool.ensure_workers(num_threads().saturating_sub(1));
+    // SAFETY: we erase the lifetime of `task` but block below until the job
+    // fully drains, so no worker can observe a dangling reference.
+    let task_ref = TaskRef(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) });
+    let mut state = pool.shared.state.lock().expect("pool mutex poisoned");
+    debug_assert!(state.is_none(), "run_lock must serialise jobs");
+    *state = Some(Job { task: task_ref, shards, next: 0, active: 0, panicked: false });
+    pool.shared.work_cv.notify_all();
+    // The caller participates in the section instead of idling.
+    let mut caller_panic = None;
+    loop {
+        let job = state.as_mut().expect("job vanished mid-section");
+        if job.next >= job.shards {
+            break;
+        }
+        let shard = job.next;
+        job.next += 1;
+        job.active += 1;
+        drop(state);
+        IN_SECTION.with(|f| f.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| task(shard)));
+        IN_SECTION.with(|f| f.set(false));
+        state = pool.shared.state.lock().expect("pool mutex poisoned");
+        let job = state.as_mut().expect("job vanished mid-section");
+        job.active -= 1;
+        if let Err(payload) = result {
+            job.panicked = true;
+            caller_panic = Some(payload);
+        }
+    }
+    while {
+        let job = state.as_ref().expect("job vanished mid-section");
+        job.next < job.shards || job.active > 0
+    } {
+        state = pool.shared.done_cv.wait(state).expect("pool mutex poisoned");
+    }
+    let panicked = state.take().expect("job vanished mid-section").panicked;
+    drop(state);
+    drop(guard);
+    if let Some(payload) = caller_panic {
+        std::panic::resume_unwind(payload);
+    }
+    if panicked {
+        panic!("sthsl-parallel: a pool worker panicked during a parallel section");
+    }
+}
+
+// ----------------------------------------------------------- partition helpers
+
+/// Split `[0, n)` into `parts` contiguous near-equal ranges (the first
+/// `n % parts` ranges are one longer). Deterministic in `(n, parts)`.
+pub fn split_bands(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let (q, r) = (n / parts, n % parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for b in 0..parts {
+        let len = q + usize::from(b < r);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+fn band_count(items: usize, min_per_band: usize) -> usize {
+    let by_size = items / min_per_band.max(1);
+    num_threads().min(by_size).max(1)
+}
+
+/// Run `f` over contiguous index bands covering `[0, n)`, each at least
+/// `min_chunk` long (subject to the thread count). `f` must only touch
+/// disjoint state per band (it receives the band's range).
+pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let bands = band_count(n, min_chunk);
+    if bands <= 1 {
+        f(0..n);
+        return;
+    }
+    let ranges = split_bands(n, bands);
+    run_shards(ranges.len(), &|i| f(ranges[i].clone()));
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: only used to hand each shard a disjoint sub-slice.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the wrapper (which is `Sync`), not the
+    /// raw pointer field (which is not).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// View `data` as `rows` rows of `stride` elements and run `f` over
+/// contiguous row bands, each band receiving `(row_range, band_slice)` with
+/// exclusive access to its rows. Bands hold at least `min_rows` rows (subject
+/// to the thread count); with one band, `f` runs inline on the caller — that
+/// *is* the serial path, so serial and parallel execution are the same code.
+pub fn parallel_rows_mut<T, F>(data: &mut [T], rows: usize, stride: usize, min_rows: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert_eq!(
+        data.len(),
+        rows.checked_mul(stride).expect("rows * stride overflows"),
+        "parallel_rows_mut: data length must equal rows * stride"
+    );
+    if rows == 0 {
+        return;
+    }
+    if stride == 0 {
+        f(0..rows, data);
+        return;
+    }
+    let bands = band_count(rows, min_rows);
+    if bands <= 1 {
+        f(0..rows, data);
+        return;
+    }
+    let ranges = split_bands(rows, bands);
+    let ptr = SendPtr(data.as_mut_ptr());
+    run_shards(ranges.len(), &|i| {
+        let r = &ranges[i];
+        // SAFETY: bands are disjoint, in-bounds row ranges of `data`.
+        let band = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(r.start * stride), r.len() * stride)
+        };
+        f(r.clone(), band);
+    });
+}
+
+// ------------------------------------------------------ deterministic reduce
+
+/// Fixed block size for reassociated reductions. Independent of the thread
+/// count so a blocked sum is bit-identical at *every* thread count.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Deterministic blocked sum: `f` produces the partial sum of each
+/// `block`-sized range of `[0, n)`; partials are computed in parallel and
+/// combined in ascending block order. With a single block this degenerates to
+/// one plain `f(0..n)` call (the fully serial association).
+pub fn blocked_sum_f32<F: Fn(Range<usize>) -> f32 + Sync>(n: usize, block: usize, f: F) -> f32 {
+    assert!(block > 0, "blocked_sum_f32: block must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let nblocks = n.div_ceil(block);
+    if nblocks == 1 {
+        return f(0..n);
+    }
+    let mut partials = vec![0.0f32; nblocks];
+    parallel_rows_mut(&mut partials, nblocks, 1, 1, |range, band| {
+        for (bi, slot) in range.clone().zip(band.iter_mut()) {
+            let start = bi * block;
+            *slot = f(start..((start + block).min(n)));
+        }
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serialises tests that mutate the global thread configuration.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn split_bands_covers_and_balances() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 13] {
+                let bands = split_bands(n, parts);
+                let total: usize = bands.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                for w in bands.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "bands must be contiguous");
+                    assert!(w[0].len() >= w[1].len(), "earlier bands take the remainder");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(hits.len(), 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_rows_mut_writes_disjoint_bands() {
+        let (rows, stride) = (97, 13);
+        let mut data = vec![0.0f32; rows * stride];
+        parallel_rows_mut(&mut data, rows, stride, 1, |range, band| {
+            assert_eq!(band.len(), range.len() * stride);
+            for (local, row) in range.enumerate() {
+                for c in 0..stride {
+                    band[local * stride + c] = (row * stride + c) as f32;
+                }
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn blocked_sum_is_thread_count_invariant() {
+        let _guard = config_lock();
+        let xs: Vec<f32> =
+            (0..50_000).map(|i| ((i * 2654435761_usize) % 1000) as f32 * 0.01).collect();
+        let sum_at = |threads: usize| {
+            set_num_threads(threads);
+            blocked_sum_f32(xs.len(), REDUCE_BLOCK, |r| xs[r].iter().sum())
+        };
+        let reference = sum_at(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(sum_at(threads).to_bits(), reference.to_bits(), "threads={threads}");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_sections_run_serially_without_deadlock() {
+        let total = AtomicU64::new(0);
+        parallel_for(64, 1, |outer| {
+            for _ in outer {
+                parallel_for(32, 1, |inner| {
+                    total.fetch_add(inner.len() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64 * 32);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _guard = config_lock();
+        set_num_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            run_shards(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "shard panic must surface");
+        set_num_threads(0);
+        // The pool must still be usable after a panicked section.
+        let hits = AtomicUsize::new(0);
+        run_shards(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn set_num_threads_round_trips() {
+        let _guard = config_lock();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -14,8 +14,9 @@ pub enum TensorError {
     AxisOutOfRange { axis: usize, ndim: usize },
     /// An index along an axis is out of range.
     IndexOutOfRange { index: usize, len: usize },
-    /// The operation requires a specific rank.
-    RankMismatch { op: &'static str, expected: usize, got: usize },
+    /// The operation requires a specific rank. Carries the operand's full
+    /// shape so the error is debuggable without a stack trace.
+    RankMismatch { op: &'static str, expected: usize, got: usize, shape: Vec<usize> },
     /// A free-form invalid-argument error (e.g. zero-sized kernel).
     Invalid(String),
 }
@@ -35,8 +36,8 @@ impl fmt::Display for TensorError {
             TensorError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for axis of length {len}")
             }
-            TensorError::RankMismatch { op, expected, got } => {
-                write!(f, "{op}: expected rank {expected}, got rank {got}")
+            TensorError::RankMismatch { op, expected, got, shape } => {
+                write!(f, "{op}: expected rank {expected}, got rank {got} with dims {shape:?}")
             }
             TensorError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }

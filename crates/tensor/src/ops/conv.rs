@@ -6,6 +6,10 @@
 
 use crate::{Result, Tensor, TensorError};
 
+/// Minimum multiply-accumulate count a band must carry before it is worth a
+/// thread (shared by every conv kernel below).
+const MIN_WORK_PER_BAND: usize = 1 << 15;
+
 /// Padding specification for 1-D convolutions; 2-D uses symmetric padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pad1d {
@@ -66,37 +70,51 @@ impl Tensor {
         }
         let x = self.data();
         let wt = weight.data();
+        let bias_data = bias.map(|t| t.data());
         let mut out = vec![0.0f32; b * cout * oh * ow];
-        for bi in 0..b {
-            for co in 0..cout {
-                let bias_v = bias.map_or(0.0, |t| t.data()[co]);
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias_v;
-                        for ci in 0..cin {
-                            let xbase = ((bi * cin + ci) * h) * w;
-                            let wbase = ((co * cin + ci) * kh) * kw;
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < ph || iy >= h + ph {
-                                    continue;
-                                }
-                                let iy = iy - ph;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pw || ix >= w + pw {
+        // One output plane per (batch, out-channel) pair; planes are disjoint
+        // and each element keeps the serial accumulation order, so the result
+        // is bit-identical at every thread count.
+        let per_plane = oh * ow * cin * kh * kw;
+        let min_planes = (MIN_WORK_PER_BAND / per_plane.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(
+            &mut out,
+            b * cout,
+            oh * ow,
+            min_planes,
+            |planes, band| {
+                for (local, plane) in planes.enumerate() {
+                    let (bi, co) = (plane / cout, plane % cout);
+                    let bias_v = bias_data.map_or(0.0, |bd| bd[co]);
+                    let oplane = &mut band[local * oh * ow..(local + 1) * oh * ow];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = bias_v;
+                            for ci in 0..cin {
+                                let xbase = ((bi * cin + ci) * h) * w;
+                                let wbase = ((co * cin + ci) * kh) * kw;
+                                for ky in 0..kh {
+                                    let iy = oy + ky;
+                                    if iy < ph || iy >= h + ph {
                                         continue;
                                     }
-                                    let ix = ix - pw;
-                                    acc += x[xbase + iy * w + ix] * wt[wbase + ky * kw + kx];
+                                    let iy = iy - ph;
+                                    for kx in 0..kw {
+                                        let ix = ox + kx;
+                                        if ix < pw || ix >= w + pw {
+                                            continue;
+                                        }
+                                        let ix = ix - pw;
+                                        acc += x[xbase + iy * w + ix] * wt[wbase + ky * kw + kx];
+                                    }
                                 }
                             }
+                            oplane[oy * ow + ox] = acc;
                         }
-                        out[((bi * cout + co) * oh + oy) * ow + ox] = acc;
                     }
                 }
-            }
-        }
+            },
+        );
         Tensor::from_vec(out, &[b, cout, oh, ow])
     }
 
@@ -122,37 +140,44 @@ impl Tensor {
         let go = grad_out.data();
         let wt = weight.data();
         let mut gx = vec![0.0f32; b * cin * h * w];
-        for bi in 0..b {
-            for co in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((bi * cout + co) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..cin {
-                            let xbase = ((bi * cin + ci) * h) * w;
-                            let wbase = ((co * cin + ci) * kh) * kw;
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < ph || iy >= h + ph {
-                                    continue;
-                                }
-                                let iy = iy - ph;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pw || ix >= w + pw {
+        // Each batch element's input-gradient block is disjoint; the serial
+        // co → oy → ox accumulation order is preserved within each block.
+        let per_batch = cout * oh * ow * cin * kh * kw;
+        let min_rows = (MIN_WORK_PER_BAND / per_batch.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut gx, b, cin * h * w, min_rows, |batches, band| {
+            for (local, bi) in batches.enumerate() {
+                let gblock = &mut band[local * cin * h * w..(local + 1) * cin * h * w];
+                for co in 0..cout {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = go[((bi * cout + co) * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                let xbase = (ci * h) * w;
+                                let wbase = ((co * cin + ci) * kh) * kw;
+                                for ky in 0..kh {
+                                    let iy = oy + ky;
+                                    if iy < ph || iy >= h + ph {
                                         continue;
                                     }
-                                    let ix = ix - pw;
-                                    gx[xbase + iy * w + ix] += g * wt[wbase + ky * kw + kx];
+                                    let iy = iy - ph;
+                                    for kx in 0..kw {
+                                        let ix = ox + kx;
+                                        if ix < pw || ix >= w + pw {
+                                            continue;
+                                        }
+                                        let ix = ix - pw;
+                                        gblock[xbase + iy * w + ix] += g * wt[wbase + ky * kw + kx];
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::from_vec(gx, input_shape)
     }
 
@@ -177,37 +202,45 @@ impl Tensor {
         let go = grad_out.data();
         let x = input.data();
         let mut gw = vec![0.0f32; cout * cin * kh * kw];
-        for bi in 0..b {
-            for co in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((bi * cout + co) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..cin {
-                            let xbase = ((bi * cin + ci) * h) * w;
-                            let wbase = ((co * cin + ci) * kh) * kw;
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < ph || iy >= h + ph {
-                                    continue;
-                                }
-                                let iy = iy - ph;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pw || ix >= w + pw {
+        // Each out-channel's weight-gradient block is disjoint. Hoisting the
+        // co loop outermost keeps the bi → oy → ox accumulation order of the
+        // serial kernel for every weight element.
+        let per_cout = b * oh * ow * cin * kh * kw;
+        let min_rows = (MIN_WORK_PER_BAND / per_cout.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut gw, cout, cin * kh * kw, min_rows, |couts, band| {
+            for (local, co) in couts.enumerate() {
+                let gblock = &mut band[local * cin * kh * kw..(local + 1) * cin * kh * kw];
+                for bi in 0..b {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = go[((bi * cout + co) * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                let xbase = ((bi * cin + ci) * h) * w;
+                                let wbase = (ci * kh) * kw;
+                                for ky in 0..kh {
+                                    let iy = oy + ky;
+                                    if iy < ph || iy >= h + ph {
                                         continue;
                                     }
-                                    let ix = ix - pw;
-                                    gw[wbase + ky * kw + kx] += g * x[xbase + iy * w + ix];
+                                    let iy = iy - ph;
+                                    for kx in 0..kw {
+                                        let ix = ox + kx;
+                                        if ix < pw || ix >= w + pw {
+                                            continue;
+                                        }
+                                        let ix = ix - pw;
+                                        gblock[wbase + ky * kw + kx] += g * x[xbase + iy * w + ix];
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::from_vec(gw, weight_shape)
     }
 
@@ -265,11 +298,16 @@ impl Tensor {
         }
         let x = self.data();
         let wt = weight.data();
+        let bias_data = bias.map(|t| t.data());
         let mut out = vec![0.0f32; b * cout * ol];
-        for bi in 0..b {
-            for co in 0..cout {
-                let bias_v = bias.map_or(0.0, |t| t.data()[co]);
-                for o in 0..ol {
+        let per_plane = ol * cin * k;
+        let min_planes = (MIN_WORK_PER_BAND / per_plane.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut out, b * cout, ol, min_planes, |planes, band| {
+            for (local, plane) in planes.enumerate() {
+                let (bi, co) = (plane / cout, plane % cout);
+                let bias_v = bias_data.map_or(0.0, |bd| bd[co]);
+                let oplane = &mut band[local * ol..(local + 1) * ol];
+                for (o, slot) in oplane.iter_mut().enumerate() {
                     let mut acc = bias_v;
                     for ci in 0..cin {
                         let xbase = (bi * cin + ci) * l;
@@ -282,10 +320,10 @@ impl Tensor {
                             acc += x[xbase + ip - pad.left] * wt[wbase + kk];
                         }
                     }
-                    out[(bi * cout + co) * ol + o] = acc;
+                    *slot = acc;
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[b, cout, ol])
     }
 
@@ -303,27 +341,31 @@ impl Tensor {
         let go = grad_out.data();
         let wt = weight.data();
         let mut gx = vec![0.0f32; b * cin * l];
-        for bi in 0..b {
-            for co in 0..cout {
-                for o in 0..ol {
-                    let g = go[(bi * cout + co) * ol + o];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    for ci in 0..cin {
-                        let xbase = (bi * cin + ci) * l;
-                        let wbase = (co * cin + ci) * k;
-                        for kk in 0..k {
-                            let ip = o + kk * dilation;
-                            if ip < pad.left || ip >= l + pad.left {
-                                continue;
+        let per_batch = cout * ol * cin * k;
+        let min_rows = (MIN_WORK_PER_BAND / per_batch.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut gx, b, cin * l, min_rows, |batches, band| {
+            for (local, bi) in batches.enumerate() {
+                let gblock = &mut band[local * cin * l..(local + 1) * cin * l];
+                for co in 0..cout {
+                    for o in 0..ol {
+                        let g = go[(bi * cout + co) * ol + o];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..cin {
+                            let wbase = (co * cin + ci) * k;
+                            for kk in 0..k {
+                                let ip = o + kk * dilation;
+                                if ip < pad.left || ip >= l + pad.left {
+                                    continue;
+                                }
+                                gblock[ci * l + ip - pad.left] += g * wt[wbase + kk];
                             }
-                            gx[xbase + ip - pad.left] += g * wt[wbase + kk];
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::from_vec(gx, input_shape)
     }
 
@@ -341,27 +383,31 @@ impl Tensor {
         let go = grad_out.data();
         let x = input.data();
         let mut gw = vec![0.0f32; cout * cin * k];
-        for bi in 0..b {
-            for co in 0..cout {
-                for o in 0..ol {
-                    let g = go[(bi * cout + co) * ol + o];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    for ci in 0..cin {
-                        let xbase = (bi * cin + ci) * l;
-                        let wbase = (co * cin + ci) * k;
-                        for kk in 0..k {
-                            let ip = o + kk * dilation;
-                            if ip < pad.left || ip >= l + pad.left {
-                                continue;
+        let per_cout = b * ol * cin * k;
+        let min_rows = (MIN_WORK_PER_BAND / per_cout.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut gw, cout, cin * k, min_rows, |couts, band| {
+            for (local, co) in couts.enumerate() {
+                let gblock = &mut band[local * cin * k..(local + 1) * cin * k];
+                for bi in 0..b {
+                    for o in 0..ol {
+                        let g = go[(bi * cout + co) * ol + o];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..cin {
+                            let xbase = (bi * cin + ci) * l;
+                            for kk in 0..k {
+                                let ip = o + kk * dilation;
+                                if ip < pad.left || ip >= l + pad.left {
+                                    continue;
+                                }
+                                gblock[ci * k + kk] += g * x[xbase + ip - pad.left];
                             }
-                            gw[wbase + kk] += g * x[xbase + ip - pad.left];
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::from_vec(gw, weight_shape)
     }
 
@@ -382,14 +428,24 @@ impl Tensor {
 
 fn dims4(t: &Tensor, op: &'static str) -> Result<[usize; 4]> {
     if t.ndim() != 4 {
-        return Err(TensorError::RankMismatch { op, expected: 4, got: t.ndim() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            got: t.ndim(),
+            shape: t.shape().to_vec(),
+        });
     }
     Ok([t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]])
 }
 
 fn dims3(t: &Tensor, op: &'static str) -> Result<[usize; 3]> {
     if t.ndim() != 3 {
-        return Err(TensorError::RankMismatch { op, expected: 3, got: t.ndim() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 3,
+            got: t.ndim(),
+            shape: t.shape().to_vec(),
+        });
     }
     Ok([t.shape()[0], t.shape()[1], t.shape()[2]])
 }

@@ -63,6 +63,7 @@ impl Tensor {
                     op: "concat",
                     expected: ndim,
                     got: t.ndim(),
+                    shape: t.shape().to_vec(),
                 });
             }
             for d in 0..ndim {

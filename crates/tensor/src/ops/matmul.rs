@@ -1,13 +1,65 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication kernels: cache-blocked and multi-threaded.
+//!
+//! # Determinism contract
+//!
+//! Every kernel here partitions work over *output rows*, so each output
+//! element is produced by exactly one thread with the same per-element
+//! accumulation order as the single-threaded path (contributions are added in
+//! ascending `k` order regardless of the cache blocking, because k-blocks are
+//! visited in ascending order). Results are therefore **bit-identical** at
+//! every thread count, including 1.
 
 use crate::{Result, Tensor, TensorError};
+use std::ops::Range;
+
+/// k-dimension cache-block: a `KC × n` panel of the rhs stays hot in L2 while
+/// it is streamed against every row of a band.
+const KC: usize = 128;
+
+/// Minimum flops a band must carry before it is worth a thread.
+const MIN_FLOPS_PER_BAND: usize = 1 << 16;
+
+/// The shared inner kernel: accumulate `band` (rows `rows` of the output,
+/// row-major with stride `n`) for a 2-D product with inner dimension `k`.
+/// `row_a` maps a global output-row index to the offset of its lhs row, and
+/// `row_b` maps it to the base offset of its rhs matrix (non-zero only for
+/// batched products).
+#[allow(clippy::too_many_arguments)]
+fn matmul_band(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    band: &mut [f32],
+    row_a: impl Fn(usize) -> usize,
+    row_b: impl Fn(usize) -> usize,
+) {
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for (local, gi) in rows.clone().enumerate() {
+            let abase = row_a(gi);
+            let bbase = row_b(gi);
+            let arow = &a[abase + k0..abase + k1];
+            let orow = &mut band[local * n..(local + 1) * n];
+            for (pp, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // sparse inputs (z-scored zero days) are common
+                }
+                let brow = &b[bbase + (k0 + pp) * n..bbase + (k0 + pp + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// 2-D matrix product: `[m, k] · [k, n] → [m, n]`.
     ///
-    /// Straightforward ikj-ordered triple loop — the j-inner loop walks both
-    /// the output row and the `other` row contiguously, which the compiler
-    /// auto-vectorises well.
+    /// Cache-blocked over `k` and parallelised over row bands; see the module
+    /// docs for the determinism contract.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k) = as_2d(self, "matmul lhs")?;
         let (k2, n) = as_2d(other, "matmul rhs")?;
@@ -21,23 +73,17 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue; // sparse inputs (z-scored zero days) are common
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        let min_rows = (MIN_FLOPS_PER_BAND / (2 * k * n).max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut out, m, n, min_rows, |rows, band| {
+            matmul_band(a, b, k, n, rows, band, |i| i * k, |_| 0);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
     /// Batched matrix product: `[b, m, k] · [b, k, n] → [b, m, n]`.
+    ///
+    /// Parallelised over the flattened `b·m` output rows, so a single large
+    /// batch and many small batches both use every thread.
     pub fn batched_matmul(&self, other: &Tensor) -> Result<Tensor> {
         let (ba, m, k) = as_3d(self, "batched_matmul lhs")?;
         let (bb, k2, n) = as_3d(other, "batched_matmul rhs")?;
@@ -48,44 +94,45 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        let mut out = vec![0.0f32; ba * m * n];
         let a = self.data();
         let b = other.data();
-        for bi in 0..ba {
-            let abase = bi * m * k;
-            let bbase = bi * k * n;
-            let obase = bi * m * n;
-            for i in 0..m {
-                let arow = &a[abase + i * k..abase + (i + 1) * k];
-                let orow = &mut out[obase + i * n..obase + (i + 1) * n];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[bbase + p * n..bbase + (p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
+        let mut out = vec![0.0f32; ba * m * n];
+        let min_rows = (MIN_FLOPS_PER_BAND / (2 * k * n).max(1)).max(1);
+        if m > 0 {
+            sthsl_parallel::parallel_rows_mut(&mut out, ba * m, n, min_rows, |rows, band| {
+                matmul_band(
+                    a,
+                    b,
+                    k,
+                    n,
+                    rows,
+                    band,
+                    |gi| (gi / m) * m * k + (gi % m) * k,
+                    |gi| (gi / m) * k * n,
+                );
+            });
         }
         Tensor::from_vec(out, &[ba, m, n])
     }
 
-    /// 2-D transpose: `[m, n] → [n, m]`.
+    /// 2-D transpose: `[m, n] → [n, m]`, parallel over output rows.
     pub fn transpose2d(&self) -> Result<Tensor> {
         let (m, n) = as_2d(self, "transpose2d")?;
         let a = self.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = a[i * n + j];
+        let min_rows = ((1 << 14) / m.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut out, n, m, min_rows, |rows, band| {
+            for (local, j) in rows.enumerate() {
+                let orow = &mut band[local * m..(local + 1) * m];
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = a[i * n + j];
+                }
             }
-        }
+        });
         Tensor::from_vec(out, &[n, m])
     }
 
-    /// Matrix–vector product: `[m, k] · [k] → [m]`.
+    /// Matrix–vector product: `[m, k] · [k] → [m]`, parallel over rows.
     pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
         let (m, k) = as_2d(self, "matvec lhs")?;
         if v.ndim() != 1 || v.shape()[0] != k {
@@ -98,24 +145,37 @@ impl Tensor {
         let a = self.data();
         let x = v.data();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x).map(|(&av, &xv)| av * xv).sum();
-        }
+        let min_rows = (MIN_FLOPS_PER_BAND / (2 * k).max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut out, m, 1, min_rows, |rows, band| {
+            for (local, i) in rows.enumerate() {
+                let row = &a[i * k..(i + 1) * k];
+                band[local] = row.iter().zip(x).map(|(&av, &xv)| av * xv).sum();
+            }
+        });
         Tensor::from_vec(out, &[m])
     }
 }
 
 fn as_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.ndim() != 2 {
-        return Err(TensorError::RankMismatch { op, expected: 2, got: t.ndim() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            got: t.ndim(),
+            shape: t.shape().to_vec(),
+        });
     }
     Ok((t.shape()[0], t.shape()[1]))
 }
 
 fn as_3d(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
     if t.ndim() != 3 {
-        return Err(TensorError::RankMismatch { op, expected: 3, got: t.ndim() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 3,
+            got: t.ndim(),
+            shape: t.shape().to_vec(),
+        });
     }
     Ok((t.shape()[0], t.shape()[1], t.shape()[2]))
 }
@@ -148,6 +208,26 @@ mod tests {
     }
 
     #[test]
+    fn matmul_errors_report_full_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        // Inner-dimension mismatch names both operand shapes in full.
+        let err = a.matmul(&Tensor::zeros(&[4, 2])).unwrap_err().to_string();
+        assert!(err.contains("[2, 3]") && err.contains("[4, 2]"), "{err}");
+        // Rank errors also carry the offending operand's full dims.
+        let err = a.matmul(&Tensor::zeros(&[3, 2, 4])).unwrap_err().to_string();
+        assert!(err.contains("[3, 2, 4]") && err.contains("rank 2"), "{err}");
+        let err = Tensor::zeros(&[5]).matmul(&a).unwrap_err().to_string();
+        assert!(err.contains("[5]") && err.contains("matmul lhs"), "{err}");
+        let err = a.matvec(&Tensor::zeros(&[7])).unwrap_err().to_string();
+        assert!(err.contains("[2, 3]") && err.contains("[7]"), "{err}");
+        let err = Tensor::zeros(&[2, 3, 4])
+            .batched_matmul(&Tensor::zeros(&[2, 5, 4]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[2, 3, 4]") && err.contains("[2, 5, 4]"), "{err}");
+    }
+
+    #[test]
     fn batched_matmul_matches_per_batch() {
         let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 2, 3]).unwrap();
         let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), &[2, 3, 2]).unwrap();
@@ -174,5 +254,30 @@ mod tests {
         let v = Tensor::from_vec(vec![5., 6.], &[2]).unwrap();
         let mv = a.matvec(&v).unwrap();
         assert_eq!(mv.data(), &[17., 39.]);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_ikj_bitwise() {
+        // The cache-blocked kernel must preserve the naive per-element
+        // accumulation order exactly — including across the KC boundary.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, k, n) = (7, KC * 2 + 3, 9);
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let got = a.matmul(&b).unwrap();
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.data()[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    want[i * n + j] += av * b.data()[p * n + j];
+                }
+            }
+        }
+        assert_eq!(got.data(), &want[..]);
     }
 }

@@ -1,12 +1,25 @@
 //! Reductions and normalisation helpers.
+//!
+//! Whole-tensor reductions reassociate: they sum fixed-size blocks
+//! ([`sthsl_parallel::REDUCE_BLOCK`] elements) and combine the partials in
+//! ascending block order. The blocking is independent of the thread count, so
+//! the result is bit-identical across thread counts (though it may differ from
+//! a strictly linear sum by normal f32 rounding). Axis reductions and softmax
+//! partition over *output* elements and keep the serial accumulation order, so
+//! they are bit-identical to the serial kernels.
 
 use crate::shape::strides_of;
 use crate::{Result, Tensor, TensorError};
+use sthsl_parallel::REDUCE_BLOCK;
+
+/// Minimum elements a band must carry before it is worth a thread.
+const MIN_ELEMS_PER_BAND: usize = 1 << 14;
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements (deterministic blocked reduction).
     pub fn sum_all(&self) -> f32 {
-        self.data().iter().sum()
+        let x = self.data();
+        sthsl_parallel::blocked_sum_f32(x.len(), REDUCE_BLOCK, |r| x[r].iter().sum::<f32>())
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -53,22 +66,27 @@ impl Tensor {
         let inner: usize = shape[axis + 1..].iter().product();
         let mut out = vec![0.0f32; outer * inner];
         let x = self.data();
-        for o in 0..outer {
-            for a in 0..axis_len {
-                let base = o * axis_len * inner + a * strides[axis];
-                let orow = &mut out[o * inner..(o + 1) * inner];
-                let xrow = &x[base..base + inner];
-                for (ov, &xv) in orow.iter_mut().zip(xrow) {
-                    *ov += xv;
+        // Parallel over the outer slices: each output element is accumulated
+        // by one thread in ascending `a` order, exactly as the serial loop.
+        let min_rows = (MIN_ELEMS_PER_BAND / (axis_len * inner).max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(&mut out, outer, inner, min_rows, |outers, band| {
+            for (local, o) in outers.enumerate() {
+                let orow = &mut band[local * inner..(local + 1) * inner];
+                for a in 0..axis_len {
+                    let base = o * axis_len * inner + a * strides[axis];
+                    let xrow = &x[base..base + inner];
+                    for (ov, &xv) in orow.iter_mut().zip(xrow) {
+                        *ov += xv;
+                    }
+                }
+                if mean && axis_len > 0 {
+                    let inv = 1.0 / axis_len as f32;
+                    for v in orow.iter_mut() {
+                        *v *= inv;
+                    }
                 }
             }
-        }
-        if mean && axis_len > 0 {
-            let inv = 1.0 / axis_len as f32;
-            for v in &mut out {
-                *v *= inv;
-            }
-        }
+        });
         Tensor::from_vec(out, &out_shape)
     }
 
@@ -99,25 +117,41 @@ impl Tensor {
     /// for numerical stability.
     pub fn softmax_lastdim(&self) -> Result<Tensor> {
         if self.ndim() == 0 {
-            return Err(TensorError::RankMismatch { op: "softmax", expected: 1, got: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "softmax",
+                expected: 1,
+                got: 0,
+                shape: Vec::new(),
+            });
         }
         let last = *self.shape().last().expect("ndim >= 1");
         if last == 0 {
             return Ok(self.clone());
         }
         let mut out = self.clone();
-        for row in out.data_mut().chunks_exact_mut(last) {
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - mx).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
-        }
+        let rows = out.len() / last;
+        let min_rows = (MIN_ELEMS_PER_BAND / last.max(1)).max(1);
+        sthsl_parallel::parallel_rows_mut(
+            out.data_mut(),
+            rows,
+            last,
+            min_rows,
+            |band_rows, band| {
+                for local in 0..band_rows.len() {
+                    let row = &mut band[local * last..(local + 1) * last];
+                    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0f32;
+                    for v in row.iter_mut() {
+                        *v = (*v - mx).exp();
+                        sum += *v;
+                    }
+                    let inv = 1.0 / sum;
+                    for v in row.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
@@ -127,8 +161,11 @@ impl Tensor {
         if self.is_empty() {
             return (0.0, 0.0);
         }
-        let var =
-            self.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.len() as f32;
+        let x = self.data();
+        let sq = sthsl_parallel::blocked_sum_f32(x.len(), REDUCE_BLOCK, |r| {
+            x[r].iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        });
+        let var = sq / self.len() as f32;
         (mean, var.sqrt())
     }
 }

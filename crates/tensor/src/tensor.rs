@@ -1,5 +1,10 @@
 use crate::shape::{broadcast_shapes, strides_of};
 use crate::{Result, TensorError};
+use sthsl_parallel::REDUCE_BLOCK;
+
+/// Elementwise kernels only fan out above this element count; below it the
+/// band count collapses to 1 and the loop runs inline on the caller.
+const MIN_ELEMS_PER_BAND: usize = 1 << 14;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -131,22 +136,42 @@ impl Tensor {
     // ------------------------------------------------------------- map/zip
 
     /// Apply `f` elementwise, producing a new tensor of the same shape.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    /// Parallel above a size cutoff; each element is written by exactly one
+    /// thread, so results are bit-identical at every thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let n = self.data.len();
+        let src = &self.data;
+        let mut data = vec![0.0f32; n];
+        sthsl_parallel::parallel_rows_mut(&mut data, n, 1, MIN_ELEMS_PER_BAND, |rows, band| {
+            for (o, &v) in band.iter_mut().zip(&src[rows]) {
+                *o = f(v);
+            }
+        });
+        Tensor { data, shape: self.shape.clone() }
     }
 
     /// Apply `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let n = self.data.len();
+        sthsl_parallel::parallel_rows_mut(&mut self.data, n, 1, MIN_ELEMS_PER_BAND, |_, band| {
+            for v in band.iter_mut() {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Combine two tensors elementwise with NumPy broadcasting.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
         if self.shape == other.shape {
             // Fast path: identical shapes need no index arithmetic.
-            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            let n = self.data.len();
+            let (lhs, rhs) = (&self.data, &other.data);
+            let mut data = vec![0.0f32; n];
+            sthsl_parallel::parallel_rows_mut(&mut data, n, 1, MIN_ELEMS_PER_BAND, |rows, band| {
+                for ((o, &a), &b) in band.iter_mut().zip(&lhs[rows.clone()]).zip(&rhs[rows]) {
+                    *o = f(a, b);
+                }
+            });
             return Ok(Tensor { data, shape: self.shape.clone() });
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)?;
@@ -221,9 +246,19 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let n = self.data.len();
+        let rhs = &other.data;
+        sthsl_parallel::parallel_rows_mut(
+            &mut self.data,
+            n,
+            1,
+            MIN_ELEMS_PER_BAND,
+            |rows, band| {
+                for (a, &b) in band.iter_mut().zip(&rhs[rows]) {
+                    *a += alpha * b;
+                }
+            },
+        );
         Ok(())
     }
 
@@ -236,12 +271,18 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+        let (lhs, rhs) = (&self.data, &other.data);
+        Ok(sthsl_parallel::blocked_sum_f32(lhs.len(), REDUCE_BLOCK, |r| {
+            lhs[r.clone()].iter().zip(&rhs[r]).map(|(&a, &b)| a * b).sum()
+        }))
     }
 
-    /// Squared L2 norm of the whole tensor.
+    /// Squared L2 norm of the whole tensor (deterministic blocked reduction).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&v| v * v).sum()
+        let x = &self.data;
+        sthsl_parallel::blocked_sum_f32(x.len(), REDUCE_BLOCK, |r| {
+            x[r].iter().map(|&v| v * v).sum()
+        })
     }
 
     /// L2 norm of the whole tensor.

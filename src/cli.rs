@@ -27,6 +27,7 @@ struct Flags {
     checkpoint_every: usize,
     resume: bool,
     patience: Option<usize>,
+    threads: Option<usize>,
     help: bool,
 }
 
@@ -50,6 +51,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         checkpoint_every: 0,
         resume: false,
         patience: None,
+        threads: None,
         help: false,
     };
     let mut i = 0;
@@ -120,6 +122,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--patience" => {
                 f.patience = Some(parse_value(key, value(i)?)?);
+                i += 2;
+            }
+            "--threads" => {
+                f.threads = Some(parse_value(key, value(i)?)?);
                 i += 2;
             }
             other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
@@ -330,6 +336,8 @@ const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict> [flags]
   common flags:
     --city nyc|chi   synthetic city preset (default nyc)
     --rows N --cols N --days N --window N --seed N
+    --threads N      kernel worker threads (default: $STHSL_THREADS or core count);
+                     results are identical at any setting
     --help, -h       print this message
   simulate: --out crimes.csv
   train:    --data crimes.csv --model model.bin --epochs N
@@ -353,6 +361,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if flags.help {
         println!("{USAGE}");
         return Ok(());
+    }
+    if let Some(n) = flags.threads {
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        sthsl_parallel::set_num_threads(n);
     }
     let output = match cmd.as_str() {
         "simulate" => cmd_simulate(&flags)?,
@@ -431,6 +445,19 @@ mod tests {
         assert_eq!(f.checkpoint_every, 5);
         assert_eq!(f.patience, Some(2));
         assert!(f.resume);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let f = parse_flags(&str_args(&["--threads", "4"])).unwrap();
+        assert_eq!(f.threads, Some(4));
+        assert_eq!(
+            parse_flags(&str_args(&["--threads"])).unwrap_err(),
+            "flag --threads requires a value"
+        );
+        // Zero is rejected in run(), after parsing, so --help still works.
+        let err = run(&str_args(&["sthsl", "simulate", "--threads", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! Self-Supervised Learning for Crime Prediction* (ICDE 2022) — re-exporting
 //! the public API of every workspace crate:
 //!
+//! - [`parallel`] — the scoped thread pool behind every multi-threaded kernel.
 //! - [`tensor`] — dense f32 tensors, convolutions, matmul.
 //! - [`autograd`] — tape-based reverse-mode autodiff, NN layers, optimizers.
 //! - [`data`] — the calibrated city simulator, datasets, metrics, graphs.
@@ -27,6 +28,7 @@ pub use sthsl_autograd as autograd;
 pub use sthsl_baselines as baselines;
 pub use sthsl_core as core;
 pub use sthsl_data as data;
+pub use sthsl_parallel as parallel;
 pub use sthsl_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.

@@ -187,6 +187,45 @@ fn resume_after_kill_is_bit_identical_to_uninterrupted_run() {
 }
 
 #[test]
+fn threaded_resume_after_kill_matches_single_threaded_run() {
+    // End-to-end determinism across thread counts: an uninterrupted run at 1
+    // thread and a killed-then-resumed run at 4 threads must produce
+    // bit-identical final parameters (every kernel's partitioning is
+    // independent of the worker count; see DESIGN.md "Threading model").
+    let data = dataset();
+    let cfg = tiny_cfg();
+
+    sthsl::parallel::set_num_threads(1);
+    let mut reference = StHsl::new(cfg.clone(), &data).unwrap();
+    reference.fit_with(&data, TrainOptions::resilient(), &mut NoHooks).unwrap();
+    let scratch = tmp_dir("threaded_ref");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let want = param_bytes(&reference, &scratch.join("reference.params"));
+
+    sthsl::parallel::set_num_threads(4);
+    let dir = tmp_dir("threaded_kill");
+    let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+    let mut victim = StHsl::new(cfg.clone(), &data).unwrap();
+    let outcome = victim.fit_with(&data, opts.clone(), &mut KillAt { step: 3 }).unwrap();
+    assert!(outcome.interrupted);
+
+    let ck = latest_checkpoint(&dir).unwrap().expect("no checkpoint written");
+    let mut revived = StHsl::new(cfg, &data).unwrap();
+    let opts = TrainOptions { resume_from: Some(ck), ..opts };
+    let outcome = revived.fit_with(&data, opts, &mut NoHooks).unwrap();
+    assert!(outcome.resumed_at.is_some());
+
+    let got = param_bytes(&revived, &dir.join("resumed.params"));
+    sthsl::parallel::set_num_threads(0);
+    assert_eq!(
+        got, want,
+        "4-thread kill/resume parameters differ from the 1-thread uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
 fn resume_from_corrupted_checkpoint_errors_without_panicking() {
     let data = dataset();
     let cfg = tiny_cfg();
