@@ -153,7 +153,11 @@ impl Checkpoint {
             return Err(bad("truncated checkpoint: shorter than the fixed header"));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        // `split_at` leaves exactly 8 bytes in `tail`; a mismatch would be a
+        // split bug, reported as corruption instead of panicking mid-resume.
+        let stored = u64::from_le_bytes(
+            tail.try_into().map_err(|_| bad("internal: checksum tail is not 8 bytes"))?,
+        );
         let actual = fnv1a(body);
         if stored != actual {
             return Err(bad(format!(

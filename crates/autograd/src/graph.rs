@@ -178,7 +178,7 @@ impl Gradients {
 
     /// Take ownership of the gradient for `v`.
     pub fn take(&mut self, v: Var) -> Option<Tensor> {
-        self.grads.get_mut(v.0).and_then(|g| g.take())
+        self.grads.get_mut(v.0).and_then(std::option::Option::take)
     }
 }
 

@@ -25,7 +25,7 @@ impl Graph {
     /// Concatenate along `axis`; backward splits the gradient.
     pub fn concat(&self, xs: &[Var], axis: usize) -> Result<Var> {
         let vals: Vec<_> = xs.iter().map(|&v| self.value(v)).collect();
-        let refs: Vec<&Tensor> = vals.iter().map(|v| v.as_ref()).collect();
+        let refs: Vec<&Tensor> = vals.iter().map(std::convert::AsRef::as_ref).collect();
         let out = Tensor::concat(&refs, axis)?;
         let lens: Vec<usize> = vals.iter().map(|v| v.shape()[axis]).collect();
         Ok(self.op(

@@ -70,28 +70,34 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Consume exactly `N` bytes as a fixed-size array. `take` already
+    /// guarantees the length, so the conversion failing would mean a cursor
+    /// bug; it is still reported as an error rather than a panic so a load
+    /// can never abort a training process.
+    pub(crate) fn array<const N: usize>(&mut self, what: &str) -> io::Result<[u8; N]> {
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| bad(format!("internal: {what} cursor returned a mis-sized slice")))
+    }
+
     pub(crate) fn u8(&mut self, what: &str) -> io::Result<u8> {
         Ok(self.take(1, what)?[0])
     }
 
     pub(crate) fn u32(&mut self, what: &str) -> io::Result<u32> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array(what)?))
     }
 
     pub(crate) fn u64(&mut self, what: &str) -> io::Result<u64> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array(what)?))
     }
 
     pub(crate) fn f32(&mut self, what: &str) -> io::Result<f32> {
-        let b = self.take(4, what)?;
-        Ok(f32::from_le_bytes(b.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.array(what)?))
     }
 
     pub(crate) fn f64(&mut self, what: &str) -> io::Result<f64> {
-        let b = self.take(8, what)?;
-        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array(what)?))
     }
 
     /// A `u64` length field validated against a cap and the remaining bytes
@@ -157,8 +163,9 @@ pub(crate) fn read_tensor(r: &mut ByteReader) -> io::Result<Tensor> {
         )));
     }
     let raw = r.take(elems * 4, "tensor data")?;
+    // `chunks_exact(4)` yields only complete chunks, so indexing is total.
     let data: Vec<f32> =
-        raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Tensor::from_vec(data, &shape).map_err(|e| bad(e.to_string()))
 }
 

@@ -24,12 +24,12 @@ fn bench_conv(c: &mut Criterion) {
     let x = Tensor::rand_normal(&[112, 4, 8, 8], 0.0, 1.0, &mut rng);
     let w = Tensor::rand_normal(&[4, 4, 3, 3], 0.0, 0.3, &mut rng);
     c.bench_function("conv2d_sthsl_spatial", |bench| {
-        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()))
+        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()));
     });
     let x1 = Tensor::rand_normal(&[512, 4, 14], 0.0, 1.0, &mut rng);
     let w1 = Tensor::rand_normal(&[4, 4, 3], 0.0, 0.3, &mut rng);
     c.bench_function("conv1d_sthsl_temporal", |bench| {
-        bench.iter(|| black_box(x1.conv1d(&w1, None, Pad1d::same(3), 1).unwrap()))
+        bench.iter(|| black_box(x1.conv1d(&w1, None, Pad1d::same(3), 1).unwrap()));
     });
 }
 
@@ -43,7 +43,7 @@ fn bench_hypergraph_propagation(c: &mut Criterion) {
             let hubs = h.matmul(&e).unwrap().map(|v| if v > 0.0 { v } else { 0.1 * v });
             let back = h.transpose2d().unwrap().matmul(&hubs).unwrap();
             black_box(back)
-        })
+        });
     });
     // Full autograd round trip (forward + backward) of the same pattern.
     c.bench_function("hypergraph_propagation_train_step", |bench| {
@@ -57,7 +57,7 @@ fn bench_hypergraph_propagation(c: &mut Criterion) {
             let sq = g.square(out);
             let loss = g.sum_all(sq);
             black_box(g.backward(loss).unwrap());
-        })
+        });
     });
 }
 
@@ -73,7 +73,7 @@ fn bench_ssl_objectives(c: &mut Criterion) {
             let gl = g.leaf(global.clone());
             let loss = sthsl_core::contrastive::contrastive_loss(&g, l, gl, 0.5).unwrap();
             black_box(g.backward(loss).unwrap());
-        })
+        });
     });
 }
 
@@ -97,7 +97,7 @@ fn bench_shared_vs_time_dependent_hypergraph(c: &mut Criterion) {
                 let sq = g.square(out);
                 let loss = g.sum_all(sq);
                 black_box(g.backward(loss).unwrap());
-            })
+            });
         });
     }
     group.finish();

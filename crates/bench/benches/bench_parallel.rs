@@ -51,7 +51,7 @@ fn run_case(name: &'static str, samples: usize, mut f: impl FnMut()) -> Case {
 }
 
 fn write_json(cases: &[Case]) {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"available_cores\": {cores},");
     let _ = writeln!(out, "  \"thread_counts\": [1, 2, 4, 8],");
@@ -118,10 +118,10 @@ fn main() {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     c.bench_function("parallel/matmul_256x256x256", |bench| {
-        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        bench.iter(|| black_box(a.matmul(&b).unwrap()));
     });
     c.bench_function("parallel/conv2d_sthsl_spatial", |bench| {
-        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()))
+        bench.iter(|| black_box(x.conv2d(&w, None, (1, 1)).unwrap()));
     });
     c.bench_function("parallel/sum_all_1M", |bench| bench.iter(|| black_box(big.sum_all())));
     c.final_summary();

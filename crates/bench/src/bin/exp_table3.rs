@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             header.push(format!("{cat} MAE"));
             header.push(format!("{cat} MAPE"));
         }
-        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let header_refs: Vec<&str> = header.iter().map(std::string::String::as_str).collect();
         let mut table = MarkdownTable::new(&header_refs);
 
         let mut models = all_baselines(&args.scale.baseline_config(args.seed), &data)?;

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n== Table IV ({}, scale {:?}) ==\n", city.name(), args.scale);
         let mut header: Vec<String> = vec!["Model".into()];
         header.extend(cats.iter().map(|c| format!("{c} MAE")));
-        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let header_refs: Vec<&str> = header.iter().map(std::string::String::as_str).collect();
         let mut table = MarkdownTable::new(&header_refs);
         for (name, ablation) in &variants {
             let cfg = args.scale.sthsl_config(args.seed).with_ablation(*ablation);

@@ -176,8 +176,8 @@ mod tests {
         // the weighting differs).
         let region_mae = regions.mae_of(&all);
         let cat_maes: Vec<f64> = (0..4).map(|c| report.mae(c)).collect();
-        let lo = cat_maes.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = cat_maes.iter().cloned().fold(0.0f64, f64::max);
+        let lo = cat_maes.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cat_maes.iter().copied().fold(0.0f64, f64::max);
         assert!(
             region_mae >= lo - 1e-9 && region_mae <= hi + 1e-9,
             "region aggregate {region_mae} outside category range [{lo}, {hi}]"

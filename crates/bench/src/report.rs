@@ -15,7 +15,10 @@ pub struct MarkdownTable {
 impl MarkdownTable {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        MarkdownTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        MarkdownTable {
+            header: header.iter().map(std::string::ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a data row (must match the header width).
@@ -27,7 +30,7 @@ impl MarkdownTable {
     /// Render to a markdown string with aligned columns.
     pub fn render(&self) -> String {
         let ncol = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -204,7 +204,8 @@ mod tests {
 
     #[test]
     fn arg_parsing_defaults_and_overrides() {
-        let to_vec = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        let to_vec =
+            |s: &[&str]| s.iter().map(std::string::ToString::to_string).collect::<Vec<_>>();
         let d = parse_args_from(&to_vec(&["prog"]));
         assert_eq!(d.scale, Scale::Quick);
         assert_eq!(d.cities.len(), 2);

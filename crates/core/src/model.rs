@@ -248,7 +248,7 @@ impl StHsl {
                 (ri, s)
             })
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1));
         scores.truncate(k);
         Ok(scores)
     }

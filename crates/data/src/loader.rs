@@ -218,7 +218,7 @@ pub fn dataset_from_csv(
         tensor,
         grid.rows,
         grid.cols,
-        categories.iter().map(|s| s.to_string()).collect(),
+        categories.iter().map(std::string::ToString::to_string).collect(),
         config,
     )?;
     Ok((data, stats))
@@ -241,7 +241,7 @@ pub fn dataset_from_csv_lenient(
         tensor,
         grid.rows,
         grid.cols,
-        categories.iter().map(|s| s.to_string()).collect(),
+        categories.iter().map(std::string::ToString::to_string).collect(),
         config,
     )?;
     Ok((data, stats, report.malformed))

@@ -212,9 +212,8 @@ impl SynthCity {
                     let jitter = rng.gen::<f64>() * 1.5; // soft boundaries
                     (((y - cy).powi(2) + (x - cx).powi(2)).sqrt() + jitter, f)
                 })
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
-                .map(|(_, f)| f)
-                .unwrap_or(0);
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .map_or(0, |(_, f)| f);
             *rf = nearest;
         }
 
@@ -297,7 +296,7 @@ impl SynthCity {
         let mut data = vec![0.0f32; r * t * c];
         for ti in 0..t {
             // Advance AR(1) noise for every region.
-            for a in ar.iter_mut() {
+            for a in &mut ar {
                 let innov: f64 = {
                     // Box–Muller on the config RNG keeps one RNG stream.
                     let u1: f64 = rng.gen::<f64>().max(1e-12);
@@ -320,7 +319,7 @@ impl SynthCity {
                     } else if lam > 1e4 {
                         lam as f32 // avoid pathological Poisson sampling
                     } else {
-                        Poisson::new(lam).map(|p| p.sample(&mut rng) as f32).unwrap_or(0.0)
+                        Poisson::new(lam).map_or(0.0, |p| p.sample(&mut rng) as f32)
                     };
                     data[(ri * t + ti) * c + ci] = count;
                 }
@@ -457,7 +456,7 @@ mod tests {
         // (Fig. 2's pattern).
         let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(10, 10, 200)).unwrap();
         let mut totals = city.region_totals(0);
-        totals.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        totals.sort_by(|a, b| b.total_cmp(a));
         let all: f64 = totals.iter().sum();
         let top10: f64 = totals.iter().take(totals.len() / 10).sum();
         assert!(

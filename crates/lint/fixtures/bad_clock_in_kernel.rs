@@ -1,0 +1,11 @@
+//! Fixture: R5 `nondeterminism-in-kernel`. Reading a clock inside a kernel
+//! crate — two hits (`Instant`, `SystemTime`) when classified under
+//! `crates/tensor/`.
+
+pub fn timed_sum(xs: &[f32]) -> f32 {
+    let start = std::time::Instant::now();
+    let s: f32 = xs.iter().sum();
+    let _wall = std::time::SystemTime::now();
+    let _ = start.elapsed();
+    s
+}

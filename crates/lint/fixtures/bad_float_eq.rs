@@ -1,0 +1,14 @@
+//! Fixture: R4 `float-eq`. Literal float comparisons in live code — two
+//! hits (`==` and `!=`); the integer comparison is fine.
+
+pub fn classify(x: f32, n: usize) -> &'static str {
+    if x == 0.0 {
+        "zero"
+    } else if x != 1.0f32 {
+        "not one"
+    } else if n == 0 {
+        "empty"
+    } else {
+        "one"
+    }
+}

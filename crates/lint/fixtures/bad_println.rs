@@ -1,0 +1,7 @@
+//! Fixture: R6 `print-in-library`. Stray stdout/stderr writes in library
+//! code — two hits; the `println!` inside the string literal is not one.
+
+pub fn noisy(loss: f32) {
+    println!("loss = {loss}");
+    eprintln!("remember: never call println! from a library");
+}

@@ -1,0 +1,12 @@
+//! Fixture: R2 `thread-outside-pool`. Both the ad-hoc spawn and the lock
+//! must be flagged when this file lives outside `crates/parallel`.
+
+use std::sync::Mutex;
+
+pub fn rogue_parallelism(shared: &'static Mutex<Vec<f32>>) {
+    std::thread::spawn(move || {
+        if let Ok(mut v) = shared.lock() {
+            v.push(1.0);
+        }
+    });
+}

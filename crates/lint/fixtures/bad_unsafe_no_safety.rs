@@ -1,0 +1,10 @@
+//! Fixture: R1 `unsafe-without-safety-comment`. The block comment below is
+//! not a SAFETY argument, so the `unsafe` must be flagged.
+
+/// Writes through a raw pointer.
+pub fn poke(p: *mut f32) {
+    // This comment explains the what, not the safety why.
+    unsafe {
+        *p = 1.0;
+    }
+}

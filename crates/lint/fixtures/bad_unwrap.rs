@@ -1,0 +1,20 @@
+//! Fixture: R3 `panic-in-library`. One `.unwrap()`, one `.expect(…)` and
+//! one `panic!` in live library code — three hits expected.
+
+pub fn brittle(path: &str) -> usize {
+    let text = std::fs::read_to_string(path).unwrap();
+    let n: usize = text.trim().parse().expect("file must hold a number");
+    if n == 0 {
+        panic!("zero is not allowed");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps in test code are exempt and must NOT be counted.
+    #[test]
+    fn t() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fixture: a well-behaved kernel in the house style — argued `unsafe`,
+//! pool-based parallelism, Result propagation, no clocks, no prints, no
+//! float-literal equality. Must pass every rule even when classified under
+//! a kernel crate path.
+
+use std::ops::Range;
+
+/// Error type stand-in so the fixture is self-contained.
+pub struct KernelError(pub String);
+
+/// Scale `rows × stride` matrix rows in place, band-parallel.
+pub fn scale_rows(
+    data: &mut [f32],
+    rows: usize,
+    stride: usize,
+    factor: f32,
+) -> Result<(), KernelError> {
+    if data.len() != rows * stride {
+        return Err(KernelError(format!(
+            "scale_rows: {} elements but {rows}x{stride} expected",
+            data.len()
+        )));
+    }
+    let bands = partition(rows, 4);
+    let base = data.as_mut_ptr();
+    for band in &bands {
+        // SAFETY: `partition` yields contiguous, non-overlapping row ranges
+        // covering [0, rows), so each band's sub-slice is disjoint and
+        // in-bounds for `data` (whose length was checked above).
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(base.add(band.start * stride), band.len() * stride)
+        };
+        for v in slice.iter_mut() {
+            *v *= factor;
+        }
+    }
+    Ok(())
+}
+
+fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let (q, r) = (n / parts, n % parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for b in 0..parts {
+        let len = q + usize::from(b < r);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_in_place() {
+        // Test code may unwrap and compare float literals freely.
+        let mut data = vec![1.0f32; 12];
+        scale_rows(&mut data, 3, 4, 2.0).map_err(|e| e.0).unwrap();
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+}

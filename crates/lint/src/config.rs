@@ -1,0 +1,145 @@
+//! `lint-allow.toml`: the checked-in ratchet state.
+//!
+//! The file pins each rule's *violation budget* — the number of grandfathered
+//! violations the workspace is allowed to contain. CI fails when a rule's
+//! count exceeds its budget, so new debt cannot land; when debt is paid down
+//! the budget is lowered (`sthsl-lint --tighten` rewrites it), and budgets
+//! only ever go down.
+//!
+//! The parser is a deliberate TOML *subset* (std-only, no registry deps):
+//! `[section]` headers, `key = <integer>`, `key = [ "string", … ]`, `#`
+//! comments and blank lines. Anything else is a hard error — a config typo
+//! must not silently relax the ratchet.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+
+/// Parsed ratchet configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Per-rule violation budgets, keyed by rule slug (e.g.
+    /// `panic-in-library`). Rules absent from the file have budget 0.
+    pub budgets: BTreeMap<String, usize>,
+    /// Path prefixes (relative to the workspace root, `/`-separated) that
+    /// are skipped entirely — vendored stand-ins and lint fixtures.
+    pub skip_paths: Vec<String>,
+}
+
+fn bad(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("lint-allow.toml:{line_no}: {msg}"))
+}
+
+impl Config {
+    /// Budget for `rule`; unlisted rules get 0 (fully ratcheted).
+    pub fn budget(&self, rule: &str) -> usize {
+        self.budgets.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Parse the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> io::Result<Config> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "budgets" && section != "skip" {
+                    return Err(bad(line_no, &format!("unknown section [{section}]")));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(bad(line_no, "expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section.as_str() {
+                "budgets" => {
+                    let n = value
+                        .parse::<usize>()
+                        .map_err(|_| bad(line_no, "budget must be a non-negative integer"))?;
+                    if cfg.budgets.insert(key.to_string(), n).is_some() {
+                        return Err(bad(line_no, &format!("duplicate budget for `{key}`")));
+                    }
+                }
+                "skip" if key == "paths" => {
+                    let inner = value
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| bad(line_no, "paths must be a [\"…\", …] array"))?;
+                    for item in inner.split(',') {
+                        let item = item.trim();
+                        if item.is_empty() {
+                            continue;
+                        }
+                        let s = item
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .ok_or_else(|| bad(line_no, "paths entries must be quoted"))?;
+                        cfg.skip_paths.push(s.to_string());
+                    }
+                }
+                "skip" => return Err(bad(line_no, &format!("unknown key `{key}` in [skip]"))),
+                _ => return Err(bad(line_no, "key outside of a known section")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Serialise back to the canonical file layout (used by `--tighten`).
+    pub fn render(&self, header: &str) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            let _ = writeln!(out, "# {line}");
+        }
+        let _ = writeln!(out, "\n[skip]");
+        let quoted: Vec<String> = self.skip_paths.iter().map(|p| format!("\"{p}\"")).collect();
+        let _ = writeln!(out, "paths = [{}]", quoted.join(", "));
+        let _ = writeln!(out, "\n[budgets]");
+        for (rule, n) in &self.budgets {
+            let _ = writeln!(out, "{rule} = {n}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budgets_and_skips() {
+        let cfg = Config::parse(
+            "# ratchet\n[skip]\npaths = [\"vendor/\", \"crates/lint/fixtures/\"]\n\n[budgets]\npanic-in-library = 12\nfloat-eq = 3 # grandfathered\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.budget("panic-in-library"), 12);
+        assert_eq!(cfg.budget("float-eq"), 3);
+        assert_eq!(cfg.budget("unlisted-rule"), 0);
+        assert_eq!(cfg.skip_paths, vec!["vendor/", "crates/lint/fixtures/"]);
+    }
+
+    #[test]
+    fn rejects_typos_instead_of_relaxing_the_ratchet() {
+        assert!(Config::parse("[budgets]\npanic-in-library = twelve\n").is_err());
+        assert!(Config::parse("[bugdets]\npanic-in-library = 1\n").is_err());
+        assert!(Config::parse("[budgets]\nno-equals-sign\n").is_err());
+        assert!(Config::parse("[budgets]\nx = 1\nx = 2\n").is_err());
+        assert!(Config::parse("[skip]\npaths = \"not-an-array\"\n").is_err());
+        assert!(Config::parse("orphan = 1\n").is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let src = "# h\n\n[skip]\npaths = [\"vendor/\"]\n\n[budgets]\na-rule = 2\nz-rule = 0\n";
+        let cfg = Config::parse(src).unwrap();
+        let rendered = cfg.render("h");
+        let back = Config::parse(&rendered).unwrap();
+        assert_eq!(back.budgets, cfg.budgets);
+        assert_eq!(back.skip_paths, cfg.skip_paths);
+    }
+}

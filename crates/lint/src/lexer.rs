@@ -1,0 +1,430 @@
+//! A small hand-rolled Rust lexer, just rich enough for rule matching.
+//!
+//! The lexer's only job is to let rules reason about *code* tokens without
+//! being fooled by strings, char literals or comments. It understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and nested block comments,
+//! - string/byte-string literals with escapes, raw strings `r#"…"#` at any
+//!   hash depth,
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - numeric literals, classified int vs. float (so `x == 0.0` is
+//!   detectable while `0..n` and `1.max(2)` are not misread as floats),
+//! - identifiers/keywords and the few multi-char operators rules care
+//!   about (`==`, `!=`, `::`, `->`, `=>`).
+//!
+//! It deliberately does **not** build a syntax tree: rules work on the flat
+//! token stream plus line metadata, which keeps the engine obvious and
+//! auditable — fitting for a tool whose purpose is auditing.
+
+/// What a token is, with just enough payload for rule matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `Mutex`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2.5e-3`, `1f32`).
+    Float,
+    /// String or byte-string literal (cooked or raw); payload is dropped.
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Comment (line or block); `text` keeps the body so rules can look
+    /// for `SAFETY:` markers.
+    Comment,
+    /// Operator / punctuation; `text` holds the exact spelling.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For `Str` this is empty (contents are irrelevant to every
+    /// rule and often huge); for everything else it is the exact source
+    /// spelling.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens (comments included). The lexer is total: any byte
+/// sequence produces *some* token stream rather than an error, so a half
+/// written fixture can still be linted.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { chars: src.char_indices().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// Cooked string starting at the current `"`.
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `rb…` prefixes. Returns
+    /// false (consuming nothing) when the `r`/`b` is just an identifier
+    /// start.
+    fn raw_or_byte_string(&mut self, line: usize) -> bool {
+        // Longest prefix of [rbRB] chars followed by optional #s and a quote.
+        let mut i = 0;
+        while matches!(self.peek(i), Some('r' | 'b')) && i < 2 {
+            i += 1;
+        }
+        let raw = (0..i).any(|k| self.peek(k) == Some('r'));
+        let mut hashes = 0;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if hashes > 0 && !raw {
+            return false; // `b#` is not a string start
+        }
+        if self.peek(i + hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..i + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` #s; no escapes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Cooked byte string: escapes apply.
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        // `'a` (lifetime) vs `'a'` (char). A lifetime is a quote followed by
+        // an identifier *not* closed by another quote; everything else is a
+        // char literal.
+        let c1 = self.peek(1);
+        let is_lifetime = match c1 {
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier; if it is immediately followed by a
+                // closing quote, this is a char literal like 'a'.
+                let mut k = 2;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                self.peek(k) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.bump().unwrap_or('_'));
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.bump(); // opening quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Char, String::new(), line);
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut float = false;
+        // Radix prefixes never produce floats.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                text.push(self.bump().unwrap_or('_'));
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(self.bump().unwrap_or('_'));
+        }
+        // A `.` continues the number only when it is not `..` (range) and not
+        // a method call like `1.max(2)`.
+        if self.peek(0) == Some('.')
+            && self.peek(1) != Some('.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            text.push(self.bump().unwrap_or('.'));
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().unwrap_or('_'));
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some('+' | '-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            float = true;
+            text.push(self.bump().unwrap_or('e'));
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == '_' || c == '+' || c == '-')
+            {
+                text.push(self.bump().unwrap_or('_'));
+            }
+        }
+        // Type suffix (`1f32` is a float; `1u64` an int).
+        if self.peek(0).is_some_and(is_ident_start) {
+            let mut suffix = String::new();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                suffix.push(self.bump().unwrap_or('_'));
+            }
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+            text.push_str(&suffix);
+        }
+        self.push(if float { TokKind::Float } else { TokKind::Int }, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap_or('_'));
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: usize) {
+        let c = self.bump().unwrap_or(' ');
+        // The only multi-char operators rules distinguish. `=` must not eat
+        // the `=` of `==`, hence the explicit pairs.
+        let two = |l: &mut Lexer, second: char| -> bool {
+            if l.peek(0) == Some(second) {
+                l.bump();
+                true
+            } else {
+                false
+            }
+        };
+        let text = match c {
+            '=' if self.peek(0) == Some('=') => {
+                self.bump();
+                "==".to_string()
+            }
+            '!' if self.peek(0) == Some('=') => {
+                self.bump();
+                "!=".to_string()
+            }
+            ':' if two(self, ':') => "::".to_string(),
+            '-' if two(self, '>') => "->".to_string(),
+            '=' if two(self, '>') => "=>".to_string(),
+            c => c.to_string(),
+        };
+        self.push(TokKind::Punct, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe // not code"; // unsafe in comment"#);
+        assert!(toks.iter().filter(|(k, _)| *k == TokKind::Ident).all(|(_, t)| t != "unsafe"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"a " quote "# ; let t = 1;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "1"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        let toks = kinds("a == 0.0; b != 1f32; c = 2.5e-3; for i in 0..n {} 1.max(2); 7u64");
+        let floats: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Float).map(|(_, t)| t.clone()).collect();
+        assert_eq!(floats, vec!["0.0", "1f32", "2.5e-3"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "7u64"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b; a != b; a::b; a -> b; a => b; a = b");
+        let puncts: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"="));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("fn a() {}\n// c\nfn b() {}\n");
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        let c = toks.iter().find(|t| t.kind == TokKind::Comment).map(|t| t.line);
+        assert_eq!((a, c, b), (Some(1), Some(2), Some(3)));
+    }
+}

@@ -1,0 +1,222 @@
+//! `sthsl-lint` — the workspace's project-specific static-analysis pass.
+//!
+//! Stock clippy cannot know that this repo's reproducibility story (bit
+//! identical kernels at any thread count; resumable, checksummed training
+//! runs) hangs on a handful of *project* invariants: all parallelism goes
+//! through `crates/parallel`, every `unsafe` is argued, kernels never read
+//! clocks, library code never panics on fallible paths. This crate encodes
+//! those invariants as lexical rules (see [`rules`]) and enforces them as a
+//! **ratchet** against `lint-allow.toml` (see [`config`]): pre-existing debt
+//! is budgeted, new debt fails, budgets only go down.
+//!
+//! Everything is std-only: the lexer is hand-rolled and the TOML subset
+//! parser is ~60 lines, so the tool builds in the same no-registry
+//! environment as the rest of the workspace.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{check_file, Violation, ALL_RULES};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the checked-in ratchet file at the workspace root.
+pub const ALLOW_FILE: &str = "lint-allow.toml";
+
+/// Directories never walked, independent of configuration.
+const HARD_SKIP: [&str; 3] = ["target", ".git", ".github"];
+
+/// Recursively collect workspace `.rs` files as sorted workspace-relative
+/// `/`-separated paths, honouring the config's skip prefixes.
+pub fn collect_rs_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if HARD_SKIP.contains(&name) || name.starts_with('.') || is_skipped(&rel, cfg) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && !is_skipped(&rel, cfg) {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalise to `/` so rules and configs are platform-independent.
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+fn is_skipped(rel: &str, cfg: &Config) -> bool {
+    let dir_form = format!("{rel}/");
+    cfg.skip_paths.iter().any(|p| rel.starts_with(p.as_str()) || dir_form.starts_with(p.as_str()))
+}
+
+/// Outcome of a full workspace pass.
+#[derive(Debug)]
+pub struct Report {
+    /// Every violation found, in (path, line) order.
+    pub violations: Vec<Violation>,
+    /// Violation count per rule slug (all rules present, even at 0).
+    pub counts: BTreeMap<&'static str, usize>,
+    /// Files analysed.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Rules whose count exceeds the configured budget.
+    pub fn over_budget<'a>(&'a self, cfg: &'a Config) -> Vec<(&'static str, usize, usize)> {
+        self.counts
+            .iter()
+            .filter_map(|(&rule, &n)| (n > cfg.budget(rule)).then_some((rule, n, cfg.budget(rule))))
+            .collect()
+    }
+
+    /// Rules with head-room: the debt was paid but the budget not yet
+    /// lowered. Reported so the ratchet keeps moving.
+    pub fn slack<'a>(&'a self, cfg: &'a Config) -> Vec<(&'static str, usize, usize)> {
+        self.counts
+            .iter()
+            .filter_map(|(&rule, &n)| (n < cfg.budget(rule)).then_some((rule, n, cfg.budget(rule))))
+            .collect()
+    }
+}
+
+/// Lint every workspace `.rs` file under `root`.
+pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = collect_rs_files(root, cfg)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        violations.extend(check_file(rel, &lexer::lex(&src)));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let mut counts: BTreeMap<&'static str, usize> = ALL_RULES.iter().map(|&r| (r, 0)).collect();
+    for v in &violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    Ok(Report { violations, counts, files_checked: files.len() })
+}
+
+/// Render the human-readable result. `verbose` lists every violation even
+/// for rules within budget; otherwise only over-budget rules are itemised.
+pub fn render_report(report: &Report, cfg: &Config, verbose: bool) -> String {
+    let mut out = String::new();
+    let over: BTreeMap<&str, ()> =
+        report.over_budget(cfg).into_iter().map(|(r, _, _)| (r, ())).collect();
+    for v in &report.violations {
+        if verbose || over.contains_key(v.rule) {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "sthsl-lint: {} file(s) checked, {} violation(s) across {} rule(s)",
+        report.files_checked,
+        report.violations.len(),
+        ALL_RULES.len()
+    );
+    for (&rule, &n) in &report.counts {
+        let budget = cfg.budget(rule);
+        let status = if n > budget {
+            "OVER BUDGET"
+        } else if n < budget {
+            "slack — tighten the budget"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(out, "  {rule:<32} {n:>4} / budget {budget:<4} {status}");
+    }
+    out
+}
+
+/// Rewrite `lint-allow.toml` with budgets lowered to the observed counts.
+/// Budgets never increase: raising one is a human decision made in review,
+/// not something the tool will do.
+pub fn tighten(root: &Path, cfg: &Config, report: &Report) -> io::Result<bool> {
+    let mut next = cfg.clone();
+    let mut changed = false;
+    for (&rule, &n) in &report.counts {
+        let cur = next.budgets.entry(rule.to_string()).or_insert(0);
+        if n < *cur {
+            *cur = n;
+            changed = true;
+        }
+    }
+    if changed {
+        fs::write(root.join(ALLOW_FILE), next.render(ALLOW_HEADER))?;
+    }
+    Ok(changed)
+}
+
+/// Header written back by [`tighten`].
+pub const ALLOW_HEADER: &str =
+    "sthsl-lint ratchet state. Budgets pin the number of grandfathered\n\
+violations per rule; CI fails when a count exceeds its budget. Budgets only\n\
+go down — run `cargo run -p sthsl-lint -- --tighten` after paying down debt.\n\
+Paths under [skip] are vendored stand-ins and deliberate lint fixtures.";
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// containing `lint-allow.toml` (falling back to one with `Cargo.toml`).
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut fallback = None;
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join(ALLOW_FILE).is_file() {
+            return Ok(d);
+        }
+        if fallback.is_none() && d.join("Cargo.toml").is_file() {
+            fallback = Some(d.clone());
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    fallback.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, "no lint-allow.toml or Cargo.toml above cwd")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_prefixes_match_directories_and_files() {
+        let cfg = Config {
+            budgets: BTreeMap::new(),
+            skip_paths: vec!["vendor/".into(), "crates/lint/fixtures/".into()],
+        };
+        assert!(is_skipped("vendor/rand/src/lib.rs", &cfg));
+        assert!(is_skipped("vendor", &cfg));
+        assert!(is_skipped("crates/lint/fixtures/bad_unsafe.rs", &cfg));
+        assert!(!is_skipped("crates/lint/src/lib.rs", &cfg));
+        assert!(!is_skipped("crates/parallel/src/lib.rs", &cfg));
+    }
+
+    #[test]
+    fn report_budget_arithmetic() {
+        let mut counts: BTreeMap<&'static str, usize> = ALL_RULES.iter().map(|&r| (r, 0)).collect();
+        counts.insert("panic-in-library", 5);
+        counts.insert("float-eq", 1);
+        let report = Report { violations: Vec::new(), counts, files_checked: 1 };
+        let cfg = Config::parse("[budgets]\npanic-in-library = 3\nfloat-eq = 4\n").unwrap();
+        assert_eq!(report.over_budget(&cfg), vec![("panic-in-library", 5, 3)]);
+        assert_eq!(report.slack(&cfg), vec![("float-eq", 1, 4)]);
+    }
+}

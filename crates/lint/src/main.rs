@@ -1,0 +1,100 @@
+//! CLI for the workspace lint pass. See `sthsl-lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sthsl_lint::{find_root, render_report, run, tighten, Config, ALLOW_FILE};
+
+const USAGE: &str = "sthsl-lint — ST-HSL workspace static analysis (rule catalog R1–R6)
+
+USAGE:
+    cargo run -p sthsl-lint [-- OPTIONS]
+
+OPTIONS:
+    --check          Lint the workspace against lint-allow.toml budgets
+                     (the default when no option is given)
+    --verbose        Also itemise violations for rules within budget
+    --tighten        Lower budgets in lint-allow.toml to the observed
+                     counts (budgets never increase), then check
+    --root <DIR>     Workspace root (default: walk up from the cwd to the
+                     first directory holding lint-allow.toml)
+    --help           Show this help
+
+EXIT STATUS:
+    0  every rule is within its budget
+    1  at least one rule exceeds its budget (diagnostics on stdout)
+    2  usage or I/O error";
+
+struct Args {
+    verbose: bool,
+    do_tighten: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args { verbose: false, do_tighten: false, root: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--verbose" => args.verbose = true,
+            "--tighten" => args.do_tighten = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let Some(args) = parse_args()? else {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    };
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd).map_err(|e| e.to_string())?
+        }
+    };
+    let allow_path = root.join(ALLOW_FILE);
+    let cfg = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        Config::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        // No ratchet file: every budget is 0, i.e. a fully clean tree is
+        // required. `--tighten` will not create the file; check it in
+        // explicitly so the ratchet state is reviewed.
+        Config::default()
+    };
+
+    let report = run(&root, &cfg).map_err(|e| format!("lint walk failed: {e}"))?;
+    if args.do_tighten {
+        match tighten(&root, &cfg, &report).map_err(|e| e.to_string())? {
+            true => println!("sthsl-lint: tightened budgets in {}", allow_path.display()),
+            false => println!("sthsl-lint: no budget can be lowered"),
+        }
+    }
+    print!("{}", render_report(&report, &cfg, args.verbose));
+    if report.over_budget(&cfg).is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("sthsl-lint: FAILED — new violations exceed the ratchet budgets");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sthsl-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

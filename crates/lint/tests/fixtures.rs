@@ -1,0 +1,84 @@
+//! Fixture suite: every known-bad snippet triggers exactly its rule (and
+//! only its rule); the known-good kernel passes clean under the strictest
+//! classification.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use sthsl_lint::lexer::lex;
+use sthsl_lint::{check_file, Violation};
+
+fn lint_fixture(file: &str, classified_as: &str) -> Vec<Violation> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(file);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    check_file(classified_as, &lex(&src))
+}
+
+/// Count violations per rule slug.
+fn by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    for v in violations {
+        *m.entry(v.rule).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn bad_unsafe_triggers_only_r1() {
+    let v = lint_fixture("bad_unsafe_no_safety.rs", "crates/core/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("unsafe-without-safety-comment", 1)]));
+    assert_eq!(v[0].line, 7, "diagnostic must point at the unsafe block");
+}
+
+#[test]
+fn bad_thread_spawn_triggers_only_r2() {
+    let v = lint_fixture("bad_thread_spawn.rs", "crates/core/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("thread-outside-pool", 3)]));
+    // The same file inside the pool crate is legitimate.
+    assert!(lint_fixture("bad_thread_spawn.rs", "crates/parallel/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn bad_unwrap_triggers_only_r3_outside_tests() {
+    let v = lint_fixture("bad_unwrap.rs", "crates/data/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("panic-in-library", 3)]));
+    // In a binary crate the same code is allowed.
+    assert!(lint_fixture("bad_unwrap.rs", "crates/bench/src/bin/fixture.rs").is_empty());
+}
+
+#[test]
+fn bad_float_eq_triggers_only_r4() {
+    let v = lint_fixture("bad_float_eq.rs", "crates/core/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("float-eq", 2)]));
+}
+
+#[test]
+fn bad_clock_triggers_only_r5_in_kernel_crates() {
+    let v = lint_fixture("bad_clock_in_kernel.rs", "crates/tensor/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("nondeterminism-in-kernel", 2)]));
+    // Clocks outside kernel crates are fine (the trainer may time epochs).
+    assert!(lint_fixture("bad_clock_in_kernel.rs", "crates/core/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn bad_println_triggers_only_r6() {
+    let v = lint_fixture("bad_println.rs", "crates/core/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("print-in-library", 2)]));
+    assert!(lint_fixture("bad_println.rs", "src/main.rs").is_empty());
+}
+
+#[test]
+fn good_kernel_passes_every_rule_under_kernel_classification() {
+    for class in [
+        "crates/tensor/src/fixture.rs",
+        "crates/autograd/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+    ] {
+        let v = lint_fixture("good_kernel.rs", class);
+        assert!(
+            v.is_empty(),
+            "good kernel flagged under {class}: {:?}",
+            v.iter().map(|x| format!("{}:{} {}", x.rule, x.line, x.msg)).collect::<Vec<_>>()
+        );
+    }
+}

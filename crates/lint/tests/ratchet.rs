@@ -1,0 +1,135 @@
+//! The ratchet, end to end: the real workspace must stay within the
+//! checked-in `lint-allow.toml` budgets, and introducing a violation must
+//! fail the CLI with a nonzero exit and a `file:line` diagnostic.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use sthsl_lint::{run, Config, ALLOW_FILE, ALL_RULES};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn workspace_config(root: &Path) -> Config {
+    let text = std::fs::read_to_string(root.join(ALLOW_FILE)).expect("lint-allow.toml readable");
+    Config::parse(&text).expect("lint-allow.toml parses")
+}
+
+#[test]
+fn workspace_stays_within_budgets() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let report = run(&root, &cfg).expect("lint walk succeeds");
+    assert!(report.files_checked > 50, "walker found only {} files", report.files_checked);
+    let over = report.over_budget(&cfg);
+    assert!(
+        over.is_empty(),
+        "rules over budget: {over:?} — either fix the new violations or (for \
+         deliberate, argued debt) raise the budget in lint-allow.toml in review"
+    );
+}
+
+#[test]
+fn budgets_are_a_ratchet_not_headroom() {
+    // Every budget must be exactly the current violation count: slack means
+    // debt was paid but the ratchet not tightened, which would let new debt
+    // sneak back in unnoticed.
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let report = run(&root, &cfg).expect("lint walk succeeds");
+    let slack = report.slack(&cfg);
+    assert!(
+        slack.is_empty(),
+        "budgets with head-room {slack:?} — run `cargo run -p sthsl-lint -- --tighten`"
+    );
+    // And no budget may exist for an unknown rule (a typo would silently
+    // grandfather nothing).
+    for rule in cfg.budgets.keys() {
+        assert!(ALL_RULES.contains(&rule.as_str()), "budget for unknown rule `{rule}`");
+    }
+}
+
+#[test]
+fn cli_fails_with_file_line_diagnostics_when_a_violation_lands() {
+    // Build a miniature workspace with one fresh violation and budget 0.
+    let dir = std::env::temp_dir().join(format!("sthsl_lint_ratchet_{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(dir.join(ALLOW_FILE), "[skip]\npaths = []\n\n[budgets]\npanic-in-library = 0\n")
+        .expect("write allow file");
+    std::fs::write(src_dir.join("fresh.rs"), "pub fn f() { Some(1).unwrap(); }\n")
+        .expect("write violation");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sthsl-lint"))
+        .args(["--check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run sthsl-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}\n{stdout}", out.status);
+    assert!(
+        stdout.contains("crates/core/src/fresh.rs:1: [panic-in-library]"),
+        "diagnostic must carry file:line and rule, got:\n{stdout}"
+    );
+
+    // Paying the debt flips the exit back to 0.
+    std::fs::write(src_dir.join("fresh.rs"), "pub fn f() -> Option<i32> { Some(1) }\n")
+        .expect("fix violation");
+    let out = Command::new(env!("CARGO_BIN_EXE_sthsl-lint"))
+        .args(["--check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run sthsl-lint");
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tighten_lowers_budgets_and_never_raises_them() {
+    let dir = std::env::temp_dir().join(format!("sthsl_lint_tighten_{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    // Budget 5 but only 1 actual violation -> tighten must pin it to 1.
+    std::fs::write(
+        dir.join(ALLOW_FILE),
+        "[skip]\npaths = []\n\n[budgets]\npanic-in-library = 5\nfloat-eq = 0\n",
+    )
+    .expect("write allow file");
+    std::fs::write(src_dir.join("lib.rs"), "pub fn f() { Some(1).unwrap(); }\n")
+        .expect("write violation");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sthsl-lint"))
+        .args(["--tighten", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run sthsl-lint");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let rewritten = std::fs::read_to_string(dir.join(ALLOW_FILE)).expect("rewritten allow file");
+    let cfg = Config::parse(&rewritten).expect("rewritten file parses");
+    assert_eq!(cfg.budget("panic-in-library"), 1, "budget must ratchet down to the count");
+
+    // A second tighten with more violations than budget must NOT raise it.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f() { Some(1).unwrap(); Some(2).unwrap(); Some(3).unwrap(); }\n",
+    )
+    .expect("write violations");
+    let out = Command::new(env!("CARGO_BIN_EXE_sthsl-lint"))
+        .args(["--tighten", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run sthsl-lint");
+    assert_eq!(out.status.code(), Some(1), "over-budget tree must still fail after tighten");
+    let cfg = Config::parse(&std::fs::read_to_string(dir.join(ALLOW_FILE)).expect("read"))
+        .expect("parses");
+    assert_eq!(cfg.budget("panic-in-library"), 1, "tighten must never raise a budget");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

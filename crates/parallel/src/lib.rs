@@ -19,6 +19,13 @@
 //! caller claim shard indices from a shared counter, and worker panics are
 //! surfaced as a caller panic after the section drains. Nested parallel
 //! sections execute serially on the calling thread rather than deadlocking.
+//!
+//! Every `unsafe` site below carries a `SAFETY:` argument, checked
+//! mechanically by `sthsl-lint` (rule R1); `unsafe_op_in_unsafe_fn` is
+//! denied so no unsafe operation can hide inside an `unsafe fn` body
+//! without its own block.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -35,7 +42,7 @@ static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
 pub const MAX_THREADS: usize = 256;
 
 fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn resolve_from_env() -> usize {
@@ -184,7 +191,7 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         }
         _ => {}
     }
-    if IN_SECTION.with(|f| f.get()) {
+    if IN_SECTION.with(std::cell::Cell::get) {
         for i in 0..shards {
             task(i);
         }
@@ -280,8 +287,15 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
-// SAFETY: only used to hand each shard a disjoint sub-slice.
+// SAFETY: `SendPtr` is only ever constructed in `parallel_rows_mut` over a
+// `&mut [T]` whose `T: Send`, and each shard derives a *disjoint* sub-slice
+// from it (asserted in debug builds), so moving the pointer to another
+// thread transfers exclusive access to rows no other thread touches.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing `SendPtr` across shard closures is sound for the same
+// reason as `Send` above — the wrapper is opaque (the raw pointer is only
+// reachable through `get`), and every dereference stays inside the caller's
+// borrow of `data`, which outlives the section because `run_shards` blocks.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -320,15 +334,45 @@ where
         return;
     }
     let ranges = split_bands(rows, bands);
+    debug_assert_bands_partition(&ranges, rows);
     let ptr = SendPtr(data.as_mut_ptr());
     run_shards(ranges.len(), &|i| {
         let r = &ranges[i];
-        // SAFETY: bands are disjoint, in-bounds row ranges of `data`.
+        // SAFETY: `split_bands` yields contiguous, ascending, non-overlapping
+        // row ranges exactly covering `[0, rows)` (checked by
+        // `debug_assert_bands_partition` above), and `data.len() ==
+        // rows * stride` was asserted on entry, so `[r.start * stride,
+        // r.end * stride)` is in-bounds and each shard's sub-slice is
+        // disjoint from every other shard's. The caller's `&mut data` borrow
+        // is alive for the whole section because `run_shards` blocks.
         let band = unsafe {
             std::slice::from_raw_parts_mut(ptr.get().add(r.start * stride), r.len() * stride)
         };
         f(r.clone(), band);
     });
+}
+
+/// Debug-build proof obligation for the `unsafe` in [`parallel_rows_mut`]:
+/// the bands must be pairwise disjoint and exactly cover `[0, rows)`.
+/// Contiguity + ascending order implies both, so that is what is checked.
+fn debug_assert_bands_partition(ranges: &[Range<usize>], rows: usize) {
+    if cfg!(debug_assertions) {
+        let mut expected_start = 0;
+        for (i, r) in ranges.iter().enumerate() {
+            assert_eq!(
+                r.start, expected_start,
+                "band {i} starts at {} but the previous band ended at {expected_start}: \
+                 bands must be contiguous (disjoint, gap-free)",
+                r.start
+            );
+            assert!(r.end >= r.start, "band {i} is inverted");
+            expected_start = r.end;
+        }
+        assert_eq!(
+            expected_start, rows,
+            "bands cover [0, {expected_start}) but the data has {rows} rows"
+        );
+    }
 }
 
 // ------------------------------------------------------ deterministic reduce
@@ -368,7 +412,7 @@ mod tests {
     /// Serialises tests that mutate the global thread configuration.
     fn config_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -376,7 +420,7 @@ mod tests {
         for n in [0usize, 1, 7, 64, 1000] {
             for parts in [1usize, 2, 3, 8, 13] {
                 let bands = split_bands(n, parts);
-                let total: usize = bands.iter().map(|r| r.len()).sum();
+                let total: usize = bands.iter().map(std::iter::ExactSizeIterator::len).sum();
                 assert_eq!(total, n, "n={n} parts={parts}");
                 for w in bands.windows(2) {
                     assert_eq!(w[0].end, w[1].start, "bands must be contiguous");
@@ -395,6 +439,22 @@ mod tests {
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn band_partition_assertion_accepts_partitions_and_rejects_overlap_and_gaps() {
+        debug_assert_bands_partition(&split_bands(97, 13), 97);
+        debug_assert_bands_partition(&[], 0);
+        let one = |r: Range<usize>| vec![r]; // sidestep vec![a..b] init lint
+        for bad in [
+            vec![0..5, 4..10], // overlap
+            vec![0..5, 6..10], // gap
+            one(1..10),        // does not start at 0
+            one(0..9),         // does not cover all rows
+        ] {
+            let r = std::panic::catch_unwind(|| debug_assert_bands_partition(&bad, 10));
+            assert!(r.is_err(), "accepted invalid partition {bad:?}");
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl Tensor {
         }
         let x = self.data();
         let wt = weight.data();
-        let bias_data = bias.map(|t| t.data());
+        let bias_data = bias.map(super::super::tensor::Tensor::data);
         let mut out = vec![0.0f32; b * cout * oh * ow];
         // One output plane per (batch, out-channel) pair; planes are disjoint
         // and each element keeps the serial accumulation order, so the result
@@ -298,7 +298,7 @@ impl Tensor {
         }
         let x = self.data();
         let wt = weight.data();
-        let bias_data = bias.map(|t| t.data());
+        let bias_data = bias.map(super::super::tensor::Tensor::data);
         let mut out = vec![0.0f32; b * cout * ol];
         let per_plane = ol * cin * k;
         let min_planes = (MIN_WORK_PER_BAND / per_plane.max(1)).max(1);

@@ -29,7 +29,7 @@ impl Tensor {
         let mut out = vec![0.0f32; self.len()];
         let x = self.data();
         let mut idx = vec![0usize; ndim];
-        for slot in out.iter_mut() {
+        for slot in &mut out {
             let mut off = 0usize;
             for d in 0..ndim {
                 off += idx[d] * gather_strides[d];

@@ -182,7 +182,7 @@ impl Tensor {
         let out_strides = strides_of(&out_shape);
         let ndim = out_shape.len();
         let mut idx = vec![0usize; ndim];
-        for slot in data.iter_mut() {
+        for slot in &mut data {
             let mut l = 0usize;
             let mut r = 0usize;
             for d in 0..ndim {

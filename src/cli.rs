@@ -189,7 +189,7 @@ fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
     let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let cfg = city_config(flags)?;
     let cats = categories_of(&cfg);
-    let cat_refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
+    let cat_refs: Vec<&str> = cats.iter().map(std::string::String::as_str).collect();
     let (data, stats, diagnostics) = dataset_from_csv_lenient(
         BufReader::new(file),
         &grid_spec(flags.rows, flags.cols),
@@ -390,7 +390,7 @@ mod tests {
     }
 
     fn str_args(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|s| s.to_string()).collect()
+        parts.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -580,7 +580,7 @@ mod tests {
         cmd_simulate(&f2).unwrap();
         let file = fs::File::open(&csv_path).unwrap();
         let cats = categories_of(&cfg);
-        let cat_refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
+        let cat_refs: Vec<&str> = cats.iter().map(std::string::String::as_str).collect();
         let records = sthsl_data::loader::parse_csv(BufReader::new(file)).unwrap();
         let (tensor, stats) =
             sthsl_data::loader::rasterize(&records, &grid_spec(4, 4), &cat_refs, 40).unwrap();

@@ -27,7 +27,7 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// serialise on this lock (poison is harmless: the config is reset on entry).
 fn config_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Run `f` once per thread count and assert every result's bits match the
