@@ -76,6 +76,7 @@ mod tests {
             let xv = g.value(vars[0]);
             let out = xv.map(|v| v * v);
             let bad = g.op(
+                crate::tape::OpKind::Opaque { name: "bad_square" },
                 out,
                 vec![vars[0]],
                 Box::new(|grad, p, _| {

@@ -5,10 +5,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_tensor::{Result, Tensor, TensorError};
 
+use crate::tape::{NodeSpec, OpKind, TapeSpec};
+
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Position of this variable on its graph's tape. Stable across
+    /// [`Graph::export_tape`], so analyzer diagnostics (`%7`) can be mapped
+    /// back to live [`Var`]s.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Backward closure: given the gradient flowing into this node's output, the
 /// parents' forward values and this node's own forward value, produce the
@@ -22,6 +33,10 @@ pub(crate) struct Node {
     pub grad_fn: Option<GradFn>,
     /// Whether any gradient should flow into / through this node.
     pub requires_grad: bool,
+    /// What the op is — kind plus shape-relevant attributes.
+    pub kind: OpKind,
+    /// Diagnostic name for input nodes (parameter names, data labels).
+    pub label: Option<String>,
 }
 
 /// A single-use reverse-mode autodiff tape.
@@ -71,32 +86,63 @@ impl Graph {
 
     /// Insert a tensor that requires gradient (a parameter leaf).
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(Node {
-            value: Rc::new(value),
-            parents: vec![],
-            grad_fn: None,
-            requires_grad: true,
-        })
+        self.input(OpKind::Leaf, None, value, true)
+    }
+
+    /// [`Graph::leaf`] with a diagnostic name that analysis diagnostics can
+    /// report (typically the `ParamStore` name).
+    pub fn named_leaf(&self, name: impl Into<String>, value: Tensor) -> Var {
+        self.input(OpKind::Leaf, Some(name.into()), value, true)
     }
 
     /// Insert a tensor that never receives gradient (data, masks, constants).
     pub fn constant(&self, value: Tensor) -> Var {
+        self.input(OpKind::Constant, None, value, false)
+    }
+
+    /// [`Graph::constant`] with a diagnostic name.
+    pub fn named_constant(&self, name: impl Into<String>, value: Tensor) -> Var {
+        self.input(OpKind::Constant, Some(name.into()), value, false)
+    }
+
+    fn input(&self, kind: OpKind, label: Option<String>, value: Tensor, grad: bool) -> Var {
         self.push(Node {
             value: Rc::new(value),
             parents: vec![],
             grad_fn: None,
-            requires_grad: false,
+            requires_grad: grad,
+            kind,
+            label,
         })
     }
 
     /// Forward value of a variable (cheap `Rc` clone).
+    ///
+    /// # Panics
+    /// On a `Var` from a different graph. Op constructors use this on the
+    /// parents the caller just produced; external callers holding possibly
+    /// stale handles should prefer [`Graph::try_value`].
     pub fn value(&self, v: Var) -> Rc<Tensor> {
         Rc::clone(&self.nodes.borrow()[v.0].value)
     }
 
-    /// Shape of a variable's forward value.
-    pub fn shape_of(&self, v: Var) -> Vec<usize> {
-        self.nodes.borrow()[v.0].value.shape().to_vec()
+    /// Forward value of a variable, or an error for a stale / foreign `Var`.
+    pub fn try_value(&self, v: Var) -> Result<Rc<Tensor>> {
+        self.nodes
+            .borrow()
+            .get(v.0)
+            .map(|n| Rc::clone(&n.value))
+            .ok_or_else(|| stale_var("try_value", v, self.node_count()))
+    }
+
+    /// Shape of a variable's forward value, or an error for a stale /
+    /// foreign `Var` — pre-flight analysis must not be able to panic here.
+    pub fn shape_of(&self, v: Var) -> Result<Vec<usize>> {
+        self.nodes
+            .borrow()
+            .get(v.0)
+            .map(|n| n.value.shape().to_vec())
+            .ok_or_else(|| stale_var("shape_of", v, self.node_count()))
     }
 
     pub(crate) fn push(&self, node: Node) -> Var {
@@ -106,17 +152,69 @@ impl Graph {
     }
 
     /// Record an op node. `requires_grad` is inherited from any parent.
-    pub(crate) fn op(&self, value: Tensor, parents: Vec<Var>, grad_fn: GradFn) -> Var {
+    ///
+    /// In debug builds the ahead-of-time shape rule for `kind` is
+    /// cross-checked against the runtime shape of `value`, so every test
+    /// run certifies [`OpKind::infer_shape`] against the kernels.
+    pub(crate) fn op(
+        &self,
+        kind: OpKind,
+        value: Tensor,
+        parents: Vec<Var>,
+        grad_fn: GradFn,
+    ) -> Var {
         let requires_grad = {
             let nodes = self.nodes.borrow();
             parents.iter().any(|p| nodes[p.0].requires_grad)
         };
+        #[cfg(debug_assertions)]
+        {
+            let nodes = self.nodes.borrow();
+            let pshapes: Vec<Vec<usize>> =
+                parents.iter().map(|p| nodes[p.0].value.shape().to_vec()).collect();
+            match kind.infer_shape(&pshapes) {
+                Ok(Some(inferred)) => debug_assert_eq!(
+                    inferred,
+                    value.shape(),
+                    "shape inference for {} disagrees with runtime (parents {pshapes:?})",
+                    kind.display()
+                ),
+                Ok(None) => {}
+                Err(e) => {
+                    debug_assert!(
+                        false,
+                        "shape inference rejected an op the runtime accepted: {e}"
+                    );
+                }
+            }
+        }
         self.push(Node {
             value: Rc::new(value),
             parents: parents.into_iter().map(|v| v.0).collect(),
             grad_fn: if requires_grad { Some(grad_fn) } else { None },
             requires_grad,
+            kind,
+            label: None,
         })
+    }
+
+    /// Project the tape into an executable-free [`TapeSpec`] for static
+    /// analysis: op metadata, wiring and runtime shapes — no tensors, no
+    /// closures.
+    pub fn export_tape(&self) -> TapeSpec {
+        let nodes = self.nodes.borrow();
+        TapeSpec {
+            nodes: nodes
+                .iter()
+                .map(|n| NodeSpec {
+                    kind: n.kind.clone(),
+                    parents: n.parents.clone(),
+                    label: n.label.clone(),
+                    requires_grad: n.requires_grad,
+                    runtime_shape: Some(n.value.shape().to_vec()),
+                })
+                .collect(),
+        }
     }
 
     /// Reverse-mode sweep from `loss` (which must be a scalar) back to the
@@ -163,6 +261,13 @@ impl Graph {
         }
         Ok(Gradients { grads })
     }
+}
+
+fn stale_var(op: &str, v: Var, node_count: usize) -> TensorError {
+    TensorError::Invalid(format!(
+        "{op}: %{} is not a variable of this graph ({node_count} nodes) — stale or foreign Var",
+        v.0
+    ))
 }
 
 /// Gradient table produced by [`Graph::backward`], indexed by [`Var`].

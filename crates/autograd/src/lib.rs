@@ -41,10 +41,12 @@ mod serialize;
 pub mod checkpoint;
 pub mod nn;
 pub mod optim;
+pub mod tape;
 
 pub use checkpoint::{latest_checkpoint, Checkpoint, TrainerState};
 pub use gradcheck::gradcheck;
 pub use graph::{Gradients, Graph, Var};
 pub use params::{ParamId, ParamStore, ParamVars};
+pub use tape::{NodeSpec, OpKind, TapeSpec};
 
 pub use sthsl_tensor::{Result, Tensor, TensorError};

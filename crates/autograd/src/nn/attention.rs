@@ -2,12 +2,15 @@
 //! and DeepCrime's temporal attention).
 
 use crate::graph::{Graph, Var};
-use sthsl_tensor::Result;
+use sthsl_tensor::{Result, TensorError};
 
 /// `softmax(Q·Kᵀ / sqrt(d)) · V` for 2-D `q: [nq, d]`, `k: [nk, d]`,
 /// `v: [nk, dv]` → `[nq, dv]`.
 pub fn scaled_dot_attention(g: &Graph, q: Var, k: Var, v: Var) -> Result<Var> {
-    let d = *g.shape_of(q).last().expect("q must have a feature axis") as f32;
+    let Some(&d) = g.shape_of(q)?.last() else {
+        return Err(TensorError::Invalid("attention: q must have a feature axis".into()));
+    };
+    let d = d as f32;
     let kt = g.transpose2d(k)?;
     let scores = g.matmul(q, kt)?;
     let scores = g.scale(scores, 1.0 / d.sqrt());
@@ -30,7 +33,7 @@ mod tests {
         let k = g.constant(Tensor::ones(&[5, 4]));
         let v = g.constant(Tensor::ones(&[5, 2]));
         let o = scaled_dot_attention(&g, q, k, v).unwrap();
-        assert_eq!(g.shape_of(o), vec![3, 2]);
+        assert_eq!(g.shape_of(o).unwrap(), vec![3, 2]);
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod tests {
         let g = Graph::new();
         let pv = store.inject(&g);
         let rows = emb.lookup(&g, &pv, &[3, 3, 7]).unwrap();
-        assert_eq!(g.shape_of(rows), vec![3, 4]);
+        assert_eq!(g.shape_of(rows).unwrap(), vec![3, 4]);
         let sq = g.square(rows);
         let loss = g.sum_all(sq);
         let grads = g.backward(loss).unwrap();

@@ -79,7 +79,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::ones(&[4, 3]));
         let y = gc.forward(&g, &pv, &[path_graph_support(4)], x).unwrap();
-        assert_eq!(g.shape_of(y), vec![4, 5]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![4, 5]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::graph::{Graph, Var};
 use crate::params::{ParamId, ParamStore, ParamVars};
 use rand::Rng;
-use sthsl_tensor::{Result, Tensor};
+use sthsl_tensor::{Result, Tensor, TensorError};
 
 /// `y = x·W + b` where `x: [n, in]`, `W: [in, out]`, `b: [out]`.
 pub struct Linear {
@@ -44,16 +44,20 @@ impl Linear {
     /// Apply to `x: [n, in] → [n, out]`. Higher-rank inputs are flattened on
     /// all but the last axis and reshaped back.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, x: Var) -> Result<Var> {
-        let shape = g.shape_of(x);
-        let last = *shape.last().expect("linear input must have rank >= 1");
-        let lead: usize = shape[..shape.len() - 1].iter().product();
+        let shape = g.shape_of(x)?;
+        let Some((&last, lead_dims)) = shape.split_last() else {
+            return Err(TensorError::Invalid("linear: input must have rank >= 1".into()));
+        };
+        let lead: usize = lead_dims.iter().product();
         let flat = g.reshape(x, &[lead, last])?;
         let mut y = g.matmul(flat, pv.var(self.w))?;
         if let Some(b) = self.b {
             y = g.add(y, pv.var(b))?;
         }
-        let mut out_shape = shape;
-        *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
+        let mut out_shape = shape.clone();
+        if let Some(l) = out_shape.last_mut() {
+            *l = self.out_dim;
+        }
         g.reshape(y, &out_shape)
     }
 }
@@ -73,7 +77,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::ones(&[5, 4]));
         let y = layer.forward(&g, &pv, x).unwrap();
-        assert_eq!(g.shape_of(y), vec![5, 3]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![5, 3]);
     }
 
     #[test]
@@ -85,7 +89,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::ones(&[2, 3, 4]));
         let y = layer.forward(&g, &pv, x).unwrap();
-        assert_eq!(g.shape_of(y), vec![2, 3, 2]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![2, 3, 2]);
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl LayerNorm {
 
     /// Apply to a tensor whose last axis has width `dim`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, x: Var) -> Result<Var> {
-        let last = g.shape_of(x).len() - 1;
+        let last = g.shape_of(x)?.len().saturating_sub(1);
         let mean = g.mean_axis_keepdim(x, last)?;
         let centered = g.sub(x, mean)?;
         let sq = g.square(centered);

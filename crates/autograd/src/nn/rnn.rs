@@ -149,7 +149,7 @@ mod tests {
         let x = g.constant(Tensor::ones(&[4, 3]));
         let h = g.constant(Tensor::zeros(&[4, 5]));
         let h2 = cell.step(&g, &pv, x, h).unwrap();
-        assert_eq!(g.shape_of(h2), vec![4, 5]);
+        assert_eq!(g.shape_of(h2).unwrap(), vec![4, 5]);
     }
 
     #[test]
@@ -226,6 +226,6 @@ mod tests {
         let pv = store.inject(&g);
         let xs: Vec<_> = (0..3).map(|_| g.constant(Tensor::ones(&[5, 2]))).collect();
         let h = cell.run(&g, &pv, &xs, 5).unwrap();
-        assert_eq!(g.shape_of(h), vec![5, 6]);
+        assert_eq!(g.shape_of(h).unwrap(), vec![5, 6]);
     }
 }

@@ -1,8 +1,9 @@
 //! Pointwise nonlinearities and dropout.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use rand::Rng;
-use sthsl_tensor::Tensor;
+use sthsl_tensor::{Result, Tensor};
 
 impl Graph {
     /// Leaky rectified linear unit with negative slope `alpha` — the
@@ -10,6 +11,7 @@ impl Graph {
     pub fn leaky_relu(&self, x: Var, alpha: f32) -> Var {
         let out = self.value(x).map(|v| if v > 0.0 { v } else { alpha * v });
         self.op(
+            OpKind::LeakyRelu { alpha },
             out,
             vec![x],
             Box::new(move |g, p, _| {
@@ -27,6 +29,7 @@ impl Graph {
     pub fn sigmoid(&self, x: Var) -> Var {
         let out = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
         self.op(
+            OpKind::Sigmoid,
             out,
             vec![x],
             Box::new(|g, _, y| Ok(vec![Some(g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv))?)])),
@@ -37,6 +40,7 @@ impl Graph {
     pub fn tanh(&self, x: Var) -> Var {
         let out = self.value(x).map(f32::tanh);
         self.op(
+            OpKind::Tanh,
             out,
             vec![x],
             Box::new(|g, _, y| Ok(vec![Some(g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv))?)])),
@@ -46,13 +50,14 @@ impl Graph {
     /// Elementwise exponential.
     pub fn exp(&self, x: Var) -> Var {
         let out = self.value(x).map(f32::exp);
-        self.op(out, vec![x], Box::new(|g, _, y| Ok(vec![Some(g.mul(y)?)])))
+        self.op(OpKind::Exp, out, vec![x], Box::new(|g, _, y| Ok(vec![Some(g.mul(y)?)])))
     }
 
     /// Natural log of `x + eps` (the eps guards sparse zero counts).
     pub fn ln_eps(&self, x: Var, eps: f32) -> Var {
         let out = self.value(x).map(|v| (v + eps).ln());
         self.op(
+            OpKind::LnEps { eps },
             out,
             vec![x],
             Box::new(move |g, p, _| Ok(vec![Some(g.zip_map(&p[0], |gv, xv| gv / (xv + eps))?)])),
@@ -63,6 +68,7 @@ impl Graph {
     pub fn sqrt_eps(&self, x: Var, eps: f32) -> Var {
         let out = self.value(x).map(|v| (v + eps).sqrt());
         self.op(
+            OpKind::SqrtEps { eps },
             out,
             vec![x],
             Box::new(|g, _, y| Ok(vec![Some(g.zip_map(y, |gv, yv| gv / (2.0 * yv))?)])),
@@ -75,6 +81,7 @@ impl Graph {
     pub fn softplus(&self, x: Var) -> Var {
         let out = self.value(x).map(stable_softplus);
         self.op(
+            OpKind::Softplus,
             out,
             vec![x],
             Box::new(|g, p, _| {
@@ -86,21 +93,28 @@ impl Graph {
     /// Inverted dropout with keep-scaling. Identity in inference mode or when
     /// `p == 0`. The mask is sampled from the graph's seeded RNG, so training
     /// runs are reproducible.
-    pub fn dropout(&self, x: Var, p: f32) -> Var {
+    pub fn dropout(&self, x: Var, p: f32) -> Result<Var> {
         if !self.is_training() || p <= 0.0 {
-            return x;
+            return Ok(x);
         }
         let keep = 1.0 - p;
         let xv = self.value(x);
-        let mask = {
+        let mut mask = Tensor::zeros(xv.shape());
+        {
             let mut rng = self.rng.borrow_mut();
-            let data: Vec<f32> = (0..xv.len())
-                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-                .collect();
-            Tensor::from_vec(data, xv.shape()).expect("mask matches input shape")
-        };
-        let out = xv.mul(&mask).expect("same shape");
-        self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.mul(&mask)?)])))
+            for m in mask.data_mut() {
+                if rng.gen::<f32>() < keep {
+                    *m = 1.0 / keep;
+                }
+            }
+        }
+        let out = xv.mul(&mask)?;
+        Ok(self.op(
+            OpKind::Dropout { p },
+            out,
+            vec![x],
+            Box::new(move |g, _, _| Ok(vec![Some(g.mul(&mask)?)])),
+        ))
     }
 }
 
@@ -167,7 +181,7 @@ mod tests {
     fn dropout_inference_is_identity() {
         let g = Graph::new();
         let x = g.leaf(t(vec![1.0, 2.0, 3.0]));
-        let y = g.dropout(x, 0.5);
+        let y = g.dropout(x, 0.5).unwrap();
         assert_eq!(x, y);
     }
 
@@ -175,7 +189,7 @@ mod tests {
     fn dropout_training_preserves_expectation_roughly() {
         let g = Graph::training(42);
         let x = g.leaf(Tensor::ones(&[10000]));
-        let y = g.dropout(x, 0.3);
+        let y = g.dropout(x, 0.3).unwrap();
         let mean = g.value(y).mean_all();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Surviving entries are scaled by 1/keep.
@@ -186,7 +200,7 @@ mod tests {
     fn dropout_grad_uses_same_mask() {
         let g = Graph::training(7);
         let x = g.leaf(Tensor::ones(&[1000]));
-        let y = g.dropout(x, 0.5);
+        let y = g.dropout(x, 0.5).unwrap();
         let s = g.sum_all(y);
         let grads = g.backward(s).unwrap();
         let gx = grads.get(x).unwrap();

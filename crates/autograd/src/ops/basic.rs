@@ -1,6 +1,7 @@
 //! Broadcasting binary arithmetic and scalar ops.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::Result;
 
 impl Graph {
@@ -10,6 +11,7 @@ impl Graph {
         let out = av.add(&bv)?;
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         Ok(self.op(
+            OpKind::Add,
             out,
             vec![a, b],
             Box::new(move |g, _, _| {
@@ -24,6 +26,7 @@ impl Graph {
         let out = av.sub(&bv)?;
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         Ok(self.op(
+            OpKind::Sub,
             out,
             vec![a, b],
             Box::new(move |g, _, _| {
@@ -38,6 +41,7 @@ impl Graph {
         let out = av.mul(&bv)?;
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         Ok(self.op(
+            OpKind::Mul,
             out,
             vec![a, b],
             Box::new(move |g, p, _| {
@@ -55,6 +59,7 @@ impl Graph {
         let out = av.div(&bv)?;
         let (ash, bsh) = (av.shape().to_vec(), bv.shape().to_vec());
         Ok(self.op(
+            OpKind::Div,
             out,
             vec![a, b],
             Box::new(move |g, p, _| {
@@ -75,19 +80,34 @@ impl Graph {
     /// `s * x` for a compile-time scalar.
     pub fn scale(&self, x: Var, s: f32) -> Var {
         let out = self.value(x).scale(s);
-        self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.scale(s))])))
+        self.op(
+            OpKind::Scale { s },
+            out,
+            vec![x],
+            Box::new(move |g, _, _| Ok(vec![Some(g.scale(s))])),
+        )
     }
 
     /// `x + s` for a compile-time scalar.
     pub fn add_scalar(&self, x: Var, s: f32) -> Var {
         let out = self.value(x).add_scalar(s);
-        self.op(out, vec![x], Box::new(|g, _, _| Ok(vec![Some(g.clone())])))
+        self.op(
+            OpKind::AddScalar { s },
+            out,
+            vec![x],
+            Box::new(|g, _, _| Ok(vec![Some(g.clone())])),
+        )
     }
 
     /// Elementwise square `x * x` (single node, cheaper than `mul(x, x)`).
     pub fn square(&self, x: Var) -> Var {
         let out = self.value(x).map(|v| v * v);
-        self.op(out, vec![x], Box::new(|g, p, _| Ok(vec![Some(g.mul(&p[0].scale(2.0))?)])))
+        self.op(
+            OpKind::Square,
+            out,
+            vec![x],
+            Box::new(|g, p, _| Ok(vec![Some(g.mul(&p[0].scale(2.0))?)])),
+        )
     }
 }
 

@@ -2,6 +2,7 @@
 //! kernels to `sthsl-tensor`.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::ops::conv::Pad1d;
 use sthsl_tensor::{Result, Tensor};
 
@@ -18,6 +19,7 @@ impl Graph {
         }
         let has_bias = bias.is_some();
         Ok(self.op(
+            OpKind::Conv2d { pad, has_bias },
             out,
             parents,
             Box::new(move |g, p, _| {
@@ -49,7 +51,9 @@ impl Graph {
             parents.push(b);
         }
         let has_bias = bias.is_some();
+        let kind = OpKind::Conv1d { pad_left: pad.left, pad_right: pad.right, dilation, has_bias };
         Ok(self.op(
+            kind,
             out,
             parents,
             Box::new(move |g, p, _| {

@@ -1,6 +1,7 @@
 //! Loss functions and similarity composites used by ST-HSL's objectives.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::{Result, Tensor, TensorError};
 
 impl Graph {
@@ -21,7 +22,7 @@ impl Graph {
 
     /// L2-normalise rows over the last axis: `x / sqrt(Σ x² + eps)`.
     pub fn l2_normalize_lastdim(&self, x: Var, eps: f32) -> Result<Var> {
-        let last = self.shape_of(x).len() - 1;
+        let last = self.shape_of(x)?.len() - 1;
         let sq = self.square(x);
         let s = self.sum_axis_keepdim(sq, last)?;
         let r = self.sqrt_eps(s, eps);
@@ -64,6 +65,7 @@ impl Graph {
         }
         let out = Tensor::scalar((loss / n as f64) as f32);
         Ok(self.op(
+            OpKind::InfoNceDiag,
             out,
             vec![logits],
             Box::new(move |g, p, _| {

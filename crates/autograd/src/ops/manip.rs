@@ -1,6 +1,7 @@
 //! Differentiable shape manipulation.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::{Result, Tensor};
 
 impl Graph {
@@ -9,7 +10,13 @@ impl Graph {
         let xv = self.value(x);
         let out = xv.reshape(shape)?;
         let in_shape = xv.shape().to_vec();
-        Ok(self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.reshape(&in_shape)?)]))))
+        let kind = OpKind::Reshape { shape: shape.to_vec() };
+        Ok(self.op(
+            kind,
+            out,
+            vec![x],
+            Box::new(move |g, _, _| Ok(vec![Some(g.reshape(&in_shape)?)])),
+        ))
     }
 
     /// Permute axes; backward applies the inverse permutation.
@@ -19,7 +26,8 @@ impl Graph {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        Ok(self.op(out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.permute(&inv)?)]))))
+        let kind = OpKind::Permute { perm: perm.to_vec() };
+        Ok(self.op(kind, out, vec![x], Box::new(move |g, _, _| Ok(vec![Some(g.permute(&inv)?)]))))
     }
 
     /// Concatenate along `axis`; backward splits the gradient.
@@ -29,6 +37,7 @@ impl Graph {
         let out = Tensor::concat(&refs, axis)?;
         let lens: Vec<usize> = vals.iter().map(|v| v.shape()[axis]).collect();
         Ok(self.op(
+            OpKind::Concat { axis },
             out,
             xs.to_vec(),
             Box::new(move |g, _, _| {
@@ -47,7 +56,7 @@ impl Graph {
     pub fn stack(&self, xs: &[Var]) -> Result<Var> {
         let mut reshaped = Vec::with_capacity(xs.len());
         for &x in xs {
-            let mut shape = self.shape_of(x);
+            let mut shape = self.shape_of(x)?;
             shape.insert(0, 1);
             reshaped.push(self.reshape(x, &shape)?);
         }
@@ -60,6 +69,7 @@ impl Graph {
         let out = xv.slice_axis(axis, start, len)?;
         let total = xv.shape()[axis];
         Ok(self.op(
+            OpKind::SliceAxis { axis, start, len },
             out,
             vec![x],
             Box::new(move |g, _, _| {
@@ -74,6 +84,7 @@ impl Graph {
         let out = xv.pad_axis(axis, before, after)?;
         let len = xv.shape()[axis];
         Ok(self.op(
+            OpKind::PadAxis { axis, before, after },
             out,
             vec![x],
             Box::new(move |g, _, _| Ok(vec![Some(g.slice_axis(axis, before, len)?)])),
@@ -89,6 +100,7 @@ impl Graph {
         let axis_len = xv.shape()[axis];
         let indices = indices.to_vec();
         Ok(self.op(
+            OpKind::IndexSelect { axis, indices: indices.clone() },
             out,
             vec![x],
             Box::new(move |g, _, _| Ok(vec![Some(g.index_scatter_add(axis, &indices, axis_len)?)])),

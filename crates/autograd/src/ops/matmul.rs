@@ -1,6 +1,7 @@
 //! Differentiable matrix products.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::Result;
 
 impl Graph {
@@ -9,6 +10,7 @@ impl Graph {
         let (av, bv) = (self.value(a), self.value(b));
         let out = av.matmul(&bv)?;
         Ok(self.op(
+            OpKind::Matmul,
             out,
             vec![a, b],
             Box::new(|g, p, _| {
@@ -24,6 +26,7 @@ impl Graph {
         let (av, bv) = (self.value(a), self.value(b));
         let out = av.batched_matmul(&bv)?;
         Ok(self.op(
+            OpKind::BatchedMatmul,
             out,
             vec![a, b],
             Box::new(|g, p, _| {
@@ -37,7 +40,12 @@ impl Graph {
     /// 2-D transpose.
     pub fn transpose2d(&self, x: Var) -> Result<Var> {
         let out = self.value(x).transpose2d()?;
-        Ok(self.op(out, vec![x], Box::new(|g, _, _| Ok(vec![Some(g.transpose2d()?)]))))
+        Ok(self.op(
+            OpKind::Transpose2d,
+            out,
+            vec![x],
+            Box::new(|g, _, _| Ok(vec![Some(g.transpose2d()?)])),
+        ))
     }
 }
 

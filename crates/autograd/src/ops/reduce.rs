@@ -1,6 +1,7 @@
 //! Differentiable reductions and softmax family.
 
 use crate::graph::{Graph, Var};
+use crate::tape::OpKind;
 use sthsl_tensor::{Result, Tensor};
 
 impl Graph {
@@ -10,6 +11,7 @@ impl Graph {
         let shape = xv.shape().to_vec();
         let out = Tensor::scalar(xv.sum_all());
         self.op(
+            OpKind::SumAll,
             out,
             vec![x],
             Box::new(move |g, _, _| {
@@ -26,6 +28,7 @@ impl Graph {
         let n = xv.len().max(1) as f32;
         let out = Tensor::scalar(xv.mean_all());
         self.op(
+            OpKind::MeanAll,
             out,
             vec![x],
             Box::new(move |g, _, _| {
@@ -44,6 +47,7 @@ impl Graph {
             .ok_or(sthsl_tensor::TensorError::AxisOutOfRange { axis, ndim: xv.ndim() })?;
         let out = xv.sum_axis(axis)?;
         Ok(self.op(
+            OpKind::SumAxis { axis },
             out,
             vec![x],
             Box::new(move |g, _, _| Ok(vec![Some(g.repeat_axis(axis, axis_len)?)])),
@@ -60,6 +64,7 @@ impl Graph {
         let out = xv.mean_axis(axis)?;
         let inv = 1.0 / axis_len.max(1) as f32;
         Ok(self.op(
+            OpKind::MeanAxis { axis },
             out,
             vec![x],
             Box::new(move |g, _, _| Ok(vec![Some(g.repeat_axis(axis, axis_len)?.scale(inv))])),
@@ -69,7 +74,7 @@ impl Graph {
     /// Sum along `axis` keeping it as a length-1 dimension (broadcast-ready).
     pub fn sum_axis_keepdim(&self, x: Var, axis: usize) -> Result<Var> {
         let reduced = self.sum_axis(x, axis)?;
-        let mut shape = self.shape_of(x);
+        let mut shape = self.shape_of(x)?;
         shape[axis] = 1;
         self.reshape(reduced, &shape)
     }
@@ -77,7 +82,7 @@ impl Graph {
     /// Mean along `axis` keeping it as a length-1 dimension.
     pub fn mean_axis_keepdim(&self, x: Var, axis: usize) -> Result<Var> {
         let reduced = self.mean_axis(x, axis)?;
-        let mut shape = self.shape_of(x);
+        let mut shape = self.shape_of(x)?;
         shape[axis] = 1;
         self.reshape(reduced, &shape)
     }
@@ -86,6 +91,7 @@ impl Graph {
     pub fn softmax_lastdim(&self, x: Var) -> Result<Var> {
         let out = self.value(x).softmax_lastdim()?;
         Ok(self.op(
+            OpKind::SoftmaxLastdim,
             out,
             vec![x],
             Box::new(|g, _, y| {
@@ -119,6 +125,7 @@ impl Graph {
             o
         };
         Ok(self.op(
+            OpKind::LogSoftmaxLastdim,
             out,
             vec![x],
             Box::new(move |g, _, _| {

@@ -71,10 +71,18 @@ impl ParamStore {
     }
 
     /// Inject every parameter into `graph` as a gradient-tracked leaf and
-    /// return the id → [`Var`] mapping for this step.
+    /// return the id → [`Var`] mapping for this step. Leaves carry the
+    /// parameter's diagnostic name, so analyzer reports name the parameter.
     pub fn inject(&self, graph: &Graph) -> ParamVars {
-        let vars = self.params.iter().map(|p| graph.leaf(p.value.clone())).collect();
+        let vars =
+            self.params.iter().map(|p| graph.named_leaf(p.name.clone(), p.value.clone())).collect();
         ParamVars { vars }
+    }
+
+    /// `(name, Var)` pairs for an injection of this store, aligned with
+    /// parameter ids — the parameter table handed to the graph auditor.
+    pub fn named_vars(&self, pv: &ParamVars) -> Vec<(String, Var)> {
+        self.params.iter().zip(&pv.vars).map(|(p, &v)| (p.name.clone(), v)).collect()
     }
 
     /// True if any parameter contains NaN/inf (training blow-up detector).

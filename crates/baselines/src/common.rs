@@ -6,7 +6,8 @@ use rand::SeedableRng;
 use std::time::Instant;
 use sthsl_autograd::optim::{Adam, Optimizer};
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
-use sthsl_data::{CrimeDataset, FitReport, Split};
+use sthsl_data::{CrimeDataset, FitReport, Predictor, Split};
+use sthsl_graphcheck::{AuditOptions, AuditReport};
 use sthsl_tensor::{Result, Tensor, TensorError};
 
 /// Hyperparameters shared by all neural baselines. Models take what they
@@ -131,6 +132,68 @@ where
     Ok(FitReport::new(cfg.epochs, final_loss, start.elapsed().as_secs_f64()))
 }
 
+/// Everything the static graph analyzer needs from one model: the recorded
+/// (unexecuted) training graph, the loss node backward would start from, and
+/// every named parameter.
+pub struct AuditArtifacts {
+    /// The tape-recorded training graph.
+    pub graph: Graph,
+    /// Loss `Var` backward would start from.
+    pub loss: Var,
+    /// `(name, var)` for every registered parameter.
+    pub params: Vec<(String, Var)>,
+}
+
+/// Neural models whose training graph can be statically certified before any
+/// optimizer step. Classic baselines (ARIMA, SVR, HA) build no graph and are
+/// out of scope.
+pub trait GraphAudited: Predictor {
+    /// Record one training step's graph on the first training day.
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts>;
+
+    /// Run the full static audit (shape, grad-flow, NaN-taint, liveness)
+    /// over the recorded graph.
+    fn graph_audit(&self, data: &CrimeDataset) -> Result<AuditReport> {
+        let art = self.audit_artifacts(data)?;
+        let spec = art.graph.export_tape();
+        let params: Vec<(String, usize)> =
+            art.params.iter().map(|(n, v)| (n.clone(), v.index())).collect();
+        Ok(sthsl_graphcheck::audit(
+            &self.name(),
+            &spec,
+            art.loss.index(),
+            &params,
+            &AuditOptions::default(),
+        ))
+    }
+}
+
+/// The shared audit-artifact recorder for MSE-trained baselines: exactly the
+/// graph [`train_nn`] builds for a single-day batch.
+pub fn mse_audit<F>(
+    store: &ParamStore,
+    seed: u64,
+    data: &CrimeDataset,
+    forward: F,
+) -> Result<AuditArtifacts>
+where
+    F: Fn(&Graph, &ParamVars, &Tensor) -> Result<Var>,
+{
+    let day = *data
+        .target_days(Split::Train)
+        .first()
+        .ok_or_else(|| TensorError::Invalid("graph audit: dataset has no training days".into()))?;
+    let g = Graph::training(seed);
+    let pv = store.inject(&g);
+    let sample = data.sample(day)?;
+    let z = data.zscore(&sample.input);
+    let pred = forward(&g, &pv, &z)?;
+    let t = g.constant(sample.target.clone());
+    let loss = g.mse(pred, t)?;
+    let params = store.named_vars(&pv);
+    Ok(AuditArtifacts { graph: g, loss, params })
+}
+
 /// Split a z-scored window `[R, Tw, C]` into per-day constants `[R, C]`,
 /// oldest first — the input format of the recurrent baselines.
 pub fn window_days(g: &Graph, z: &Tensor) -> Result<Vec<Var>> {
@@ -189,7 +252,7 @@ mod tests {
         let g = Graph::new();
         let days = window_days(&g, &z).unwrap();
         assert_eq!(days.len(), 7);
-        assert_eq!(g.shape_of(days[0]), vec![16, 4]);
+        assert_eq!(g.shape_of(days[0]).unwrap(), vec![16, 4]);
         // Day 0 of the vars equals slice 0 of the tensor.
         let expect = z.slice_axis(1, 0, 1).unwrap().reshape(&[16, 4]).unwrap();
         assert_eq!(g.value(days[0]).data(), expect.data());

@@ -2,14 +2,16 @@
 //! with a GRU and hierarchical attention over the hidden states — the
 //! representative deep crime-prediction baseline.
 
-use crate::common::{train_nn, window_days, BaselineConfig};
+use crate::common::{
+    mse_audit, train_nn, window_days, AuditArtifacts, BaselineConfig, GraphAudited,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Embedding, GruCell, Linear};
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor};
-use sthsl_tensor::{Result, Tensor};
+use sthsl_tensor::{Result, Tensor, TensorError};
 
 struct Net {
     cat_emb: Embedding,
@@ -53,7 +55,9 @@ impl Net {
                 None => ws,
             });
         }
-        let ctx = ctx.expect("non-empty window");
+        let Some(ctx) = ctx else {
+            return Err(TensorError::Invalid("deepcrime: empty attention window".into()));
+        };
         let _ = self.c;
         self.head.forward(g, pv, ctx)
     }
@@ -101,6 +105,13 @@ impl Predictor for DeepCrime {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for DeepCrime {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

@@ -2,7 +2,7 @@
 //! the adjacency is factorised over day-of-week embeddings and node
 //! embeddings — combined with graph convolution and a temporal conv stack.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Conv1d, Embedding, Linear};
@@ -94,6 +94,13 @@ impl Predictor for Dmstgcn {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for Dmstgcn {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

@@ -2,7 +2,7 @@
 //! temporal attention across the window, combined by a gated fusion.
 //! The transform-attention decoder is unnecessary for a one-step horizon.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{scaled_dot_attention, Linear};
@@ -107,6 +107,13 @@ impl Predictor for Gman {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for Gman {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

@@ -2,14 +2,14 @@
 //! learned from node embeddings, combined with gated dilated causal temporal
 //! convolutions and skip connections.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Conv1d, Embedding, Linear};
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor};
-use sthsl_tensor::{Result, Tensor};
+use sthsl_tensor::{Result, Tensor, TensorError};
 
 struct TcnLayer {
     filter: Conv1d,
@@ -63,7 +63,9 @@ impl Net {
             // Residual.
             h = g.add(gated, h)?;
         }
-        let skip = skip_sum.expect("at least one TCN layer");
+        let Some(skip) = skip_sum else {
+            return Err(TensorError::Invalid("gwn: no TCN layers configured".into()));
+        };
         // Adaptive graph convolution on the skip summary.
         let a = self.adaptive_adjacency(g, pv)?;
         let mixed = g.matmul(a, skip)?;
@@ -147,6 +149,13 @@ impl Predictor for GraphWaveNet {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for GraphWaveNet {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

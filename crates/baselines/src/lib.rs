@@ -46,7 +46,7 @@ pub mod stshn;
 pub mod sttrans;
 pub mod svr;
 
-pub use common::BaselineConfig;
+pub use common::{BaselineConfig, GraphAudited};
 
 use sthsl_data::{CrimeDataset, Predictor, Result};
 
@@ -55,6 +55,30 @@ pub fn all_baselines(cfg: &BaselineConfig, data: &CrimeDataset) -> Result<Vec<Bo
     Ok(vec![
         Box::new(arima::Arima::new(cfg.clone())),
         Box::new(svr::Svr::new(cfg.clone())),
+        Box::new(st_resnet::StResNet::new(cfg.clone(), data)?),
+        Box::new(dcrnn::Dcrnn::new(cfg.clone(), data)?),
+        Box::new(stgcn::Stgcn::new(cfg.clone(), data)?),
+        Box::new(gwn::GraphWaveNet::new(cfg.clone(), data)?),
+        Box::new(sttrans::StTrans::new(cfg.clone(), data)?),
+        Box::new(deepcrime::DeepCrime::new(cfg.clone(), data)?),
+        Box::new(stdn::Stdn::new(cfg.clone(), data)?),
+        Box::new(st_metanet::StMetaNet::new(cfg.clone(), data)?),
+        Box::new(gman::Gman::new(cfg.clone(), data)?),
+        Box::new(agcrn::Agcrn::new(cfg.clone(), data)?),
+        Box::new(mtgnn::Mtgnn::new(cfg.clone(), data)?),
+        Box::new(stshn::Stshn::new(cfg.clone(), data)?),
+        Box::new(dmstgcn::Dmstgcn::new(cfg.clone(), data)?),
+    ])
+}
+
+/// Instantiate every *neural* baseline behind its [`GraphAudited`] interface,
+/// in Table III order. ARIMA, SVR and HA fit closed-form / iterative
+/// estimators without recording a graph, so they have nothing to audit.
+pub fn all_auditable(
+    cfg: &BaselineConfig,
+    data: &CrimeDataset,
+) -> Result<Vec<Box<dyn GraphAudited>>> {
+    Ok(vec![
         Box::new(st_resnet::StResNet::new(cfg.clone(), data)?),
         Box::new(dcrnn::Dcrnn::new(cfg.clone(), data)?),
         Box::new(stgcn::Stgcn::new(cfg.clone(), data)?),

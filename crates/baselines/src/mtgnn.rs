@@ -1,7 +1,7 @@
 //! MTGNN (Wu et al., KDD 2020): a uni-directional learned graph plus
 //! mix-hop propagation and a dilated temporal inception module.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Conv1d, Embedding, Linear};
@@ -119,6 +119,13 @@ impl Predictor for Mtgnn {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for Mtgnn {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

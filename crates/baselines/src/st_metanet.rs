@@ -3,7 +3,9 @@
 //! (FiLM-style scale and shift applied around a shared GRU), so each region
 //! gets its own effective weights without a per-region parameter explosion.
 
-use crate::common::{train_nn, window_days, BaselineConfig};
+use crate::common::{
+    mse_audit, train_nn, window_days, AuditArtifacts, BaselineConfig, GraphAudited,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Embedding, GruCell, Linear};
@@ -86,6 +88,13 @@ impl Predictor for StMetaNet {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for StMetaNet {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

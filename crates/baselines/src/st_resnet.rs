@@ -2,7 +2,7 @@
 //! region grid, with separate *closeness* (recent days) and *period* (same
 //! weekday, previous weeks) input branches fused by learned weights.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::Conv2d;
@@ -148,6 +148,13 @@ impl Predictor for StResNet {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for StResNet {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

@@ -2,14 +2,14 @@
 //! flow-gating mechanism, and periodically *shifted* attention over the
 //! window's weekly positions feeding a recurrent summary.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Conv2d, GruCell, Linear};
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor};
-use sthsl_tensor::{Result, Tensor};
+use sthsl_tensor::{Result, Tensor, TensorError};
 
 struct Net {
     local_conv: Conv2d,
@@ -76,7 +76,9 @@ impl Net {
                 None => ws,
             });
         }
-        let ctx = weighted.expect("at least one state");
+        let Some(ctx) = weighted else {
+            return Err(TensorError::Invalid("stdn: empty attention window".into()));
+        };
         let fused = g.add(ctx, h)?;
         self.head.forward(g, pv, fused)
     }
@@ -128,6 +130,13 @@ impl Predictor for Stdn {
         let z = data.zscore(window);
         let pred = self.net.forward(&g, &pv, &z)?;
         Ok(sanitize_counts(g.value(pred).as_ref().clone()))
+    }
+}
+
+impl GraphAudited for Stdn {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
     }
 }
 

@@ -2,7 +2,7 @@
 //! gated temporal convolution (GLU), Chebyshev-style graph convolution,
 //! gated temporal convolution again — followed by an output layer.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{Conv1d, GraphConv, Linear};
@@ -146,6 +146,13 @@ impl Predictor for Stgcn {
     }
 }
 
+impl GraphAudited for Stgcn {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +185,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::ones(&[1, 2, 5]));
         let y = gtc.forward(&g, &pv, x).unwrap();
-        assert_eq!(g.shape_of(y), vec![1, 3, 5]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![1, 3, 5]);
     }
 
     #[test]

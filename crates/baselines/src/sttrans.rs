@@ -1,7 +1,7 @@
 //! STtrans (Wu et al., WWW 2020): stacked spatial and temporal Transformer
 //! encoder layers over locations and time for sparse crime forecasting.
 
-use crate::common::{train_nn, BaselineConfig};
+use crate::common::{mse_audit, train_nn, AuditArtifacts, BaselineConfig, GraphAudited};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::nn::{scaled_dot_attention, LayerNorm, Linear};
@@ -76,7 +76,7 @@ impl Net {
             s = layer.forward(g, pv, s)?;
         }
         // Broadcast the temporal summary onto every region.
-        let h = g.shape_of(s)[1];
+        let h = g.shape_of(s)?[1];
         let t_row = g.reshape(t_summary, &[1, h])?;
         let fused = g.add(s, t_row)?; // [R, h]
         let _ = (r, tw);
@@ -131,6 +131,13 @@ impl Predictor for StTrans {
     }
 }
 
+impl GraphAudited for StTrans {
+    fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditArtifacts> {
+        let net = &self.net;
+        mse_audit(&self.store, self.cfg.seed, data, |g, pv, z| net.forward(g, pv, z))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,7 +161,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::rand_normal(&[5, 6], 0.0, 1.0, &mut rng));
         let y = layer.forward(&g, &pv, x).unwrap();
-        assert_eq!(g.shape_of(y), vec![5, 6]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![5, 6]);
     }
 
     #[test]

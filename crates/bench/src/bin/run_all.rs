@@ -6,6 +6,7 @@ use std::process::Command;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
     let exps = [
+        "exp_audit",
         "exp_datasets",
         "exp_table3",
         "exp_table4",

@@ -16,7 +16,7 @@ use sthsl_tensor::Result;
 /// applied). Returns the mean per-category diagonal InfoNCE, so λ2 does not
 /// depend on C or R.
 pub fn contrastive_loss(g: &Graph, local_pooled: Var, global_pooled: Var, tau: f32) -> Result<Var> {
-    let shape = g.shape_of(local_pooled);
+    let shape = g.shape_of(local_pooled)?;
     let (r, c, d) = (shape[0], shape[1], shape[2]);
     let mut total = g.constant(sthsl_tensor::Tensor::scalar(0.0));
     for ci in 0..c {

@@ -62,7 +62,7 @@ mod tests {
         // One region, two days, three categories.
         let z = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 0.5, 0.0], &[1, 2, 3]).unwrap();
         let e = emb.forward(&g, &pv, &z).unwrap();
-        assert_eq!(g.shape_of(e), vec![1, 2, 3, 4]);
+        assert_eq!(g.shape_of(e).unwrap(), vec![1, 2, 3, 4]);
         let ev = g.value(e);
         let table = store.get(sthsl_autograd::ParamId(0));
         // Entry (0,0,2,·) must be 2 · e_2.

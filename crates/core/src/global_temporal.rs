@@ -43,7 +43,7 @@ impl GlobalTemporal {
 
     /// `Γ^{(R)}: [Tw, RC, d] → Γ^{(T)}: [Tw, RC, d]`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, gamma: Var) -> Result<Var> {
-        let shape = g.shape_of(gamma);
+        let shape = g.shape_of(gamma)?;
         let (tw, n, d) = (shape[0], shape[1], shape[2]);
         // [Tw, RC, d] → [RC, d, Tw] → [RC·d, 1, Tw]: time is the conv axis,
         // every (node, slot) pair is a batch element.
@@ -60,7 +60,7 @@ impl GlobalTemporal {
             // Pre-activation residual: Eq. 5 is σ(δ(V*Γ + c)); wrapping only
             // the conv branch keeps the identity path linear so four stacked
             // layers do not attenuate sign-symmetric embeddings.
-            let act = g.leaky_relu(g.dropout(conv, self.dropout), 0.1);
+            let act = g.leaky_relu(g.dropout(conv, self.dropout)?, 0.1);
             t = g.add(act, t)?;
         }
         let mut out = g.reshape(t, &[n, d, tw])?;
@@ -83,7 +83,7 @@ mod tests {
         let pv = store.inject(&g);
         let x = g.constant(Tensor::rand_normal(&[5, 12, 8], 0.0, 1.0, &mut rng));
         let y = gt.forward(&g, &pv, x).unwrap();
-        assert_eq!(g.shape_of(y), vec![5, 12, 8]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![5, 12, 8]);
         assert!(!g.value(y).has_non_finite());
     }
 

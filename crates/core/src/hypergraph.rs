@@ -44,7 +44,7 @@ impl HypergraphEncoder {
 
     /// Propagate: `E: [Tw, RC, d] → Γ^{(R)}: [Tw, RC, d]`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, e: Var) -> Result<Var> {
-        let shape = g.shape_of(e);
+        let shape = g.shape_of(e)?;
         debug_assert_eq!(shape[0], self.window);
         debug_assert_eq!(shape[1], self.num_nodes);
         let tw = shape[0];
@@ -122,7 +122,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(6);
             let e = g.constant(Tensor::rand_normal(&[3, 6, 2], 0.0, 1.0, &mut rng));
             let out = enc.forward(&g, &pv, e).unwrap();
-            assert_eq!(g.shape_of(out), vec![3, 6, 2]);
+            assert_eq!(g.shape_of(out).unwrap(), vec![3, 6, 2]);
         }
     }
 

@@ -39,7 +39,7 @@ impl InfomaxHead {
         r: usize,
         c: usize,
     ) -> Result<Var> {
-        let shape = g.shape_of(gamma);
+        let shape = g.shape_of(gamma)?;
         let (tw, rc, d) = (shape[0], shape[1], shape[2]);
         debug_assert_eq!(rc, r * c);
         debug_assert_eq!(d, self.d);

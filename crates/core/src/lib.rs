@@ -49,7 +49,7 @@ pub mod predict;
 pub mod trainer;
 
 pub use config::{Ablation, StHslConfig};
-pub use model::StHsl;
+pub use model::{AuditGraph, StHsl};
 pub use trainer::{
     BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, TrainHooks, TrainLoop,
     TrainOptions, TrainOutcome,

@@ -119,7 +119,7 @@ impl LocalEncoder {
         if !self.ablation.local_encoder {
             return Ok(e);
         }
-        let shape = g.shape_of(e);
+        let shape = g.shape_of(e)?;
         let (r, tw, c, d) = (shape[0], shape[1], shape[2], shape[3]);
         debug_assert_eq!(r, self.rows * self.cols);
         debug_assert_eq!(c, self.num_categories);
@@ -142,7 +142,7 @@ impl LocalEncoder {
                 w = g.mul(w, m)?;
             }
             let conv = g.conv2d(h, w, Some(pv.var(self.spatial_b[l])), pad)?;
-            let conv = g.dropout(conv, self.dropout);
+            let conv = g.dropout(conv, self.dropout)?;
             let res = g.add(conv, h)?; // residual (Eq. 2)
             h = g.leaky_relu(res, 0.1);
         }
@@ -162,7 +162,7 @@ impl LocalEncoder {
                     w = g.mul(w, m)?;
                 }
                 let conv = g.conv1d(t, w, Some(pv.var(self.temporal_b[l])), Pad1d::same(k), 1)?;
-                let conv = g.dropout(conv, self.dropout);
+                let conv = g.dropout(conv, self.dropout)?;
                 let res = g.add(conv, t)?; // residual (Eq. 3)
                 t = g.leaky_relu(res, 0.1);
             }
@@ -200,7 +200,7 @@ mod tests {
         let pv = store.inject(&g);
         let e = g.constant(input());
         let h = enc.forward(&g, &pv, e).unwrap();
-        assert_eq!(g.shape_of(h), vec![9, 5, 2, 8]);
+        assert_eq!(g.shape_of(h).unwrap(), vec![9, 5, 2, 8]);
         assert!(!g.value(h).has_non_finite());
     }
 

@@ -6,7 +6,7 @@ use crate::contrastive::contrastive_loss;
 use crate::embedding::CrimeEmbedding;
 use crate::global_temporal::GlobalTemporal;
 use crate::hypergraph::HypergraphEncoder;
-use crate::infomax::InfomaxHead;
+use crate::infomax::{corruption_permutation, InfomaxHead};
 use crate::local::LocalEncoder;
 use crate::predict::PredictionHead;
 use crate::trainer;
@@ -14,8 +14,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::predictor::sanitize_counts;
-use sthsl_data::{CrimeDataset, FitReport, Predictor};
+use sthsl_data::{CrimeDataset, FitReport, Predictor, Split};
+use sthsl_graphcheck::{AuditOptions, AuditReport};
 use sthsl_tensor::{Result, Tensor, TensorError};
+
+/// One audit-ready sample graph: `(graph, loss, named parameter vars)`, as
+/// built by [`StHsl::audit_artifacts`] for [`sthsl_graphcheck::audit`].
+pub type AuditGraph = (Graph, Var, Vec<(String, Var)>);
 
 /// The Spatial-Temporal Hypergraph Self-Supervised Learning model.
 pub struct StHsl {
@@ -271,6 +276,78 @@ impl StHsl {
         self.store.restore_from(path)
     }
 
+    /// Build the exact training-mode graph the static analyzer inspects: one
+    /// [`Self::sample_loss`] on the first training day with the infomax
+    /// corruption branch active, plus every named parameter `Var`.
+    ///
+    /// Returns `(graph, loss, named params)`. The graph is *not* executed
+    /// backward — it exists so [`Graph::export_tape`] can hand the analyzer a
+    /// faithful projection of what training would run.
+    pub fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditGraph> {
+        let g = Graph::training(self.cfg.seed);
+        let pv = self.store.inject(&g);
+        let day = *data.target_days(Split::Train).first().ok_or_else(|| {
+            TensorError::Invalid("graph audit: dataset has no training days".into())
+        })?;
+        let sample = data.sample(day)?;
+        let z = data.zscore(&sample.input);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let perm = corruption_permutation(data.num_regions(), &mut rng);
+        let loss = self.sample_loss(&g, &pv, &z, &sample.target, Some(&perm))?;
+        let params = self.store.named_vars(&pv);
+        Ok((g, loss, params))
+    }
+
+    /// Parameter-name prefixes the active [`crate::config::Ablation`] is
+    /// *expected* to detach from the loss. The graph audit downgrades
+    /// grad-flow findings under these prefixes from Error to Info, so only
+    /// genuinely unintended detachment fails the pre-flight.
+    pub fn expected_inactive_prefixes(&self) -> Vec<String> {
+        let ab = &self.cfg.ablation;
+        let mut prefixes: Vec<&str> = Vec::new();
+        // The local view's output joins the loss through the prediction head
+        // ("w/o Global" or fusion) or through the contrastive coupling; with
+        // all three off ("w/o ConL"), the whole local stack is decorative.
+        let local_output_used = !ab.global_branch || ab.fusion || ab.contrastive;
+        if !ab.local_encoder || !local_output_used {
+            prefixes.push("local.");
+        } else if !ab.temporal_conv {
+            prefixes.push("local.temporal");
+        }
+        if ab.global_branch {
+            if !ab.hypergraph {
+                // Infomax discriminates hypergraph summaries; without the
+                // hypergraph there is nothing to corrupt, so it's gated off.
+                prefixes.push("hypergraph.");
+                prefixes.push("infomax.");
+            }
+            if !ab.global_temporal {
+                prefixes.push("global_temporal.");
+            }
+            if !ab.infomax {
+                prefixes.push("infomax.");
+            }
+        } else {
+            prefixes.extend(["hypergraph.", "global_temporal.", "infomax."]);
+        }
+        let mut out: Vec<String> = prefixes.into_iter().map(str::to_string).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Run the full static audit (shape, grad-flow, NaN-taint, liveness) over
+    /// the graph this model builds for training. Does not execute forward or
+    /// backward beyond the single tape-recording pass.
+    pub fn graph_audit(&self, data: &CrimeDataset) -> Result<AuditReport> {
+        let (g, loss, params) = self.audit_artifacts(data)?;
+        let spec = g.export_tape();
+        let indexed: Vec<(String, usize)> =
+            params.iter().map(|(n, v)| (n.clone(), v.index())).collect();
+        let opts = AuditOptions { allow_unreachable: self.expected_inactive_prefixes() };
+        Ok(sthsl_graphcheck::audit("ST-HSL", &spec, loss.index(), &indexed, &opts))
+    }
+
     /// Train with the full fault-tolerant runtime: checkpointing, resume,
     /// divergence self-healing and early stopping per `opts`, with `hooks`
     /// observing the loop. [`Predictor::fit`] is the no-frills equivalent.
@@ -338,7 +415,7 @@ mod tests {
         let z = data.zscore(&sample.input);
         let perm: Vec<usize> = (0..16).rev().collect();
         let art = model.forward(&g, &pv, &z, Some(&perm)).unwrap();
-        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+        assert_eq!(g.shape_of(art.pred).unwrap(), vec![16, 4]);
         assert!(art.infomax_loss.is_some());
         assert!(art.contrastive_loss.is_some());
         let li = g.value(art.infomax_loss.unwrap()).item().unwrap();
@@ -373,7 +450,7 @@ mod tests {
         let art = model.forward(&g, &pv, &z, Some(&perm)).unwrap();
         assert!(art.infomax_loss.is_none());
         assert!(art.contrastive_loss.is_none());
-        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+        assert_eq!(g.shape_of(art.pred).unwrap(), vec![16, 4]);
     }
 
     #[test]
@@ -386,7 +463,7 @@ mod tests {
         let sample = data.sample(20).unwrap();
         let z = data.zscore(&sample.input);
         let art = model.forward(&g, &pv, &z, None).unwrap();
-        assert_eq!(g.shape_of(art.pred), vec![16, 4]);
+        assert_eq!(g.shape_of(art.pred).unwrap(), vec![16, 4]);
         assert!(art.contrastive_loss.is_none());
     }
 

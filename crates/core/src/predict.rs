@@ -26,7 +26,7 @@ impl PredictionHead {
 
     /// `pooled: [R, C, in_dim] → X̂: [R, C]`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, pooled: Var) -> Result<Var> {
-        let shape = g.shape_of(pooled);
+        let shape = g.shape_of(pooled)?;
         debug_assert_eq!(shape[2], self.in_dim);
         let (r, c) = (shape[0], shape[1]);
         let y = self.proj.forward(g, pv, pooled)?; // [R, C, 1]
@@ -49,7 +49,7 @@ mod tests {
         let pv = store.inject(&g);
         let pooled = g.constant(Tensor::ones(&[10, 4, 8]));
         let y = head.forward(&g, &pv, pooled).unwrap();
-        assert_eq!(g.shape_of(y), vec![10, 4]);
+        assert_eq!(g.shape_of(y).unwrap(), vec![10, 4]);
     }
 
     #[test]

@@ -260,6 +260,18 @@ impl TrainLoop {
             }
         }
 
+        // Mandatory pre-flight: statically audit the graph this configuration
+        // actually builds — shape consistency, parameter reachability,
+        // NaN hazards, memory budget — and refuse to spend a single optimizer
+        // step on a miswired model.
+        let audit = model.graph_audit(data)?;
+        if audit.has_errors() {
+            return Err(TensorError::Invalid(format!(
+                "graph audit failed; refusing to train a miswired model\n{}",
+                audit.render()
+            )));
+        }
+
         let start = Instant::now();
         let mut interrupted = false;
         let mut early_stopped = false;

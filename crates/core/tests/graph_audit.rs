@@ -1,0 +1,123 @@
+//! Static graph audit over the real ST-HSL model: the full configuration and
+//! every named ablation variant must certify clean (shape inference agrees
+//! with runtime everywhere, every live parameter is grad-reachable, expected
+//! detachment is explained by the ablation allow-prefixes), and the rendered
+//! report for a fixed seed must be stable.
+
+use sthsl_core::{Ablation, StHsl, StHslConfig};
+use sthsl_data::{CrimeDataset, DatasetConfig, SynthCity, SynthConfig};
+use sthsl_graphcheck::Severity;
+
+fn tiny_dataset() -> CrimeDataset {
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 80)).unwrap();
+    CrimeDataset::from_city(
+        &city,
+        DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap()
+}
+
+fn tiny_cfg() -> StHslConfig {
+    StHslConfig {
+        d: 4,
+        num_hyperedges: 6,
+        epochs: 2,
+        batch_size: 2,
+        max_batches_per_epoch: Some(3),
+        ..StHslConfig::quick()
+    }
+}
+
+#[test]
+fn full_model_certifies_clean() {
+    let data = tiny_dataset();
+    let model = StHsl::new(tiny_cfg(), &data).unwrap();
+    let report = model.graph_audit(&data).unwrap();
+    assert!(!report.has_errors(), "full model must audit clean:\n{}", report.render());
+    // Every parameter is live in the full model: nothing may be downgraded.
+    assert_eq!(
+        report.reachable_params,
+        report.param_count,
+        "full model must reach all parameters:\n{}",
+        report.render()
+    );
+    // Shape inference must cover the entire tape, not bail to runtime shapes.
+    assert_eq!(report.inferred_shapes, report.node_count);
+}
+
+#[test]
+fn every_named_ablation_certifies_clean() {
+    let data = tiny_dataset();
+    for (name, ab) in Ablation::named_variants() {
+        let cfg = tiny_cfg().with_ablation(ab);
+        let model = StHsl::new(cfg, &data).unwrap();
+        let report = model.graph_audit(&data).unwrap();
+        assert!(!report.has_errors(), "{name} must audit clean:\n{}", report.render());
+        // Any unreachable parameter must have been explained by an
+        // ablation allow-prefix (an Info diagnostic), never silently passed.
+        let unreachable = report.param_count - report.reachable_params;
+        let explained = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Info && d.msg.contains("ablation allow-prefix"))
+            .count();
+        assert_eq!(
+            unreachable,
+            explained,
+            "{name}: {unreachable} unreachable vs {explained} explained:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The exact report for the fixed-seed tiny configuration. Pinned verbatim:
+/// any drift in node count, inference coverage, memory accounting or
+/// diagnostic text is a behavior change that must be reviewed, not absorbed.
+const GOLDEN_TINY_REPORT: &str = "\
+== graph audit: ST-HSL ==
+nodes: 196   params: 21   errors: 0   warnings: 1   info: 0
+shape: OK (196/196 node shapes inferred ahead of time)
+grad-flow: OK (21/21 parameters reachable from the loss)
+nan-taint: 0 hazard(s)
+memory: tape 499.4 KiB | forward eager-free peak 46.6 KiB | backward peak 46.6 KiB (tape + grads 546.0 KiB)
+  reshape                 33 node(s)  82.8 KiB
+  permute                 10 node(s)  77.0 KiB
+  leaky_relu              12 node(s)  71.3 KiB
+  add                     18 node(s)  70.2 KiB
+  dropout                  8 node(s)  56.0 KiB
+  conv1d                   6 node(s)  42.0 KiB
+diagnostics:
+  [warning/shape] %22 mul: broadcast expands both operands ([16, 7, 4, 1] and [4, 4] -> [16, 7, 4, 4]); check for a missing reshape/keepdim
+";
+
+#[test]
+fn golden_report_for_fixed_seed_config() {
+    let data = tiny_dataset();
+    let model = StHsl::new(tiny_cfg(), &data).unwrap();
+    let a = model.graph_audit(&data).unwrap().render();
+    let b = model.graph_audit(&data).unwrap().render();
+    assert_eq!(a, b, "same model + seed must render the identical report");
+    assert_eq!(a, GOLDEN_TINY_REPORT);
+}
+
+#[test]
+fn miswired_prefix_expectations_would_fail() {
+    // Sanity-check the negative direction: a model whose ablation detaches a
+    // branch, audited WITHOUT allow-prefixes, must produce grad-flow errors.
+    let data = tiny_dataset();
+    let cfg = tiny_cfg().with_ablation(Ablation::without_global());
+    let model = StHsl::new(cfg, &data).unwrap();
+    let (g, loss, params) = model.audit_artifacts(&data).unwrap();
+    let spec = g.export_tape();
+    let indexed: Vec<(String, usize)> =
+        params.iter().map(|(n, v)| (n.clone(), v.index())).collect();
+    let report = sthsl_graphcheck::audit(
+        "ST-HSL (no allowances)",
+        &spec,
+        loss.index(),
+        &indexed,
+        &sthsl_graphcheck::AuditOptions::default(),
+    );
+    assert!(report.has_errors(), "detached global branch must be an error without allow-prefixes");
+    assert!(report.errors().any(|d| d.msg.contains("hypergraph.")));
+}

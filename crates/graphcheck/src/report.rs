@@ -1,0 +1,252 @@
+//! Diagnostic and report types shared by all analysis passes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which analysis pass produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Tape well-formedness (parent ordering, loss validity).
+    Structure,
+    /// Ahead-of-time shape inference.
+    Shape,
+    /// Gradient-flow reachability.
+    GradFlow,
+    /// NaN-hazard sign taint.
+    NanTaint,
+    /// Liveness / memory estimation.
+    Liveness,
+}
+
+impl Pass {
+    /// Stable lowercase name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Structure => "structure",
+            Pass::Shape => "shape",
+            Pass::GradFlow => "grad-flow",
+            Pass::NanTaint => "nan-taint",
+            Pass::Liveness => "liveness",
+        }
+    }
+}
+
+/// How severe a diagnostic is. `Error` fails the trainer pre-flight;
+/// `Warning` is reported but does not block; `Info` records expected
+/// conditions (e.g. ablation-detached parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Blocks training: the graph is wired wrong.
+    Error,
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// Expected / informational.
+    Info,
+}
+
+impl Severity {
+    /// Stable lowercase name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One finding, anchored to a tape node (`%idx`) when it has a location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Severity class.
+    pub severity: Severity,
+    /// Tape index of the offending node, if the finding has one.
+    pub node: Option<usize>,
+    /// Message, including the `%idx` Var-chain context.
+    pub msg: String,
+}
+
+/// Byte accounting from the liveness pass (f32 elements, 4 bytes each).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryReport {
+    /// Bytes of every forward value on the tape. The tape retains all of
+    /// them until the graph is dropped, so this is the real forward cost.
+    pub tape_bytes: usize,
+    /// Hypothetical peak if forward values were freed eagerly at last use —
+    /// the lower bound a checkpointing/freeing executor could reach.
+    pub forward_eager_peak_bytes: usize,
+    /// Peak of simultaneously-live gradient buffers during the reverse
+    /// sweep (on top of the retained tape).
+    pub backward_grad_peak_bytes: usize,
+    /// Forward-value bytes per op family, for the report's top-k table.
+    pub bytes_per_op: BTreeMap<&'static str, usize>,
+}
+
+impl MemoryReport {
+    /// Peak of the backward phase: retained tape plus peak live gradients.
+    pub fn backward_phase_peak_bytes(&self) -> usize {
+        self.tape_bytes + self.backward_grad_peak_bytes
+    }
+}
+
+/// Outcome of a full audit of one model graph.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Model name for the report header.
+    pub model: String,
+    /// Nodes on the tape.
+    pub node_count: usize,
+    /// Registered parameters checked for reachability.
+    pub param_count: usize,
+    /// Parameters proven reachable from the loss.
+    pub reachable_params: usize,
+    /// Nodes whose shape was inferred ahead of time (vs given / opaque).
+    pub inferred_shapes: usize,
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Liveness accounting.
+    pub memory: MemoryReport,
+    /// Node count per op family.
+    pub op_counts: BTreeMap<&'static str, usize>,
+}
+
+impl AuditReport {
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any error-level finding exists (pre-flight must fail).
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Count of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Deterministic human-readable report (stable across runs for a fixed
+    /// graph, so it can be pinned by golden tests).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== graph audit: {} ==", self.model);
+        let _ = writeln!(
+            out,
+            "nodes: {}   params: {}   errors: {}   warnings: {}   info: {}",
+            self.node_count,
+            self.param_count,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        );
+        let shape_status = if self
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == Pass::Shape && d.severity == Severity::Error)
+        {
+            "FAIL"
+        } else {
+            "OK"
+        };
+        let _ = writeln!(
+            out,
+            "shape: {shape_status} ({}/{} node shapes inferred ahead of time)",
+            self.inferred_shapes, self.node_count
+        );
+        let flow_status = if self
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == Pass::GradFlow && d.severity == Severity::Error)
+        {
+            "FAIL"
+        } else {
+            "OK"
+        };
+        let _ = writeln!(
+            out,
+            "grad-flow: {flow_status} ({}/{} parameters reachable from the loss)",
+            self.reachable_params, self.param_count
+        );
+        let hazards = self.diagnostics.iter().filter(|d| d.pass == Pass::NanTaint).count();
+        let _ = writeln!(out, "nan-taint: {hazards} hazard(s)");
+        let _ = writeln!(
+            out,
+            "memory: tape {} | forward eager-free peak {} | backward peak {} (tape + grads {})",
+            fmt_bytes(self.memory.tape_bytes),
+            fmt_bytes(self.memory.forward_eager_peak_bytes),
+            fmt_bytes(self.memory.backward_grad_peak_bytes),
+            fmt_bytes(self.memory.backward_phase_peak_bytes()),
+        );
+        let mut by_bytes: Vec<(&str, usize)> =
+            self.memory.bytes_per_op.iter().map(|(&k, &v)| (k, v)).collect();
+        by_bytes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, bytes) in by_bytes.iter().take(6) {
+            let count = self.op_counts.get(name).copied().unwrap_or(0);
+            let _ = writeln!(out, "  {name:<20} {count:>5} node(s)  {}", fmt_bytes(*bytes));
+        }
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "diagnostics: none");
+        } else {
+            let _ = writeln!(out, "diagnostics:");
+            for d in &self.diagnostics {
+                let at = d.node.map_or(String::new(), |n| format!(" %{n}"));
+                let _ =
+                    writeln!(out, "  [{}/{}]{} {}", d.severity.name(), d.pass.name(), at, d.msg);
+            }
+        }
+        out
+    }
+}
+
+/// Fixed-point byte formatting (deterministic; no float rounding surprises).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        // Two decimal places in MiB, computed in integer arithmetic.
+        let hundredths = (b * 100) >> 20;
+        format!("{}.{:02} MiB", hundredths / 100, hundredths % 100)
+    } else if b >= 1 << 10 {
+        let tenths = (b * 10) >> 10;
+        format!("{}.{} KiB", tenths / 10, tenths % 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting_is_fixed_point() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(5 << 20), "5.00 MiB");
+        assert_eq!(fmt_bytes((1 << 20) + (1 << 19)), "1.50 MiB");
+    }
+
+    #[test]
+    fn error_detection() {
+        let mut r = AuditReport {
+            model: "m".into(),
+            node_count: 1,
+            param_count: 0,
+            reachable_params: 0,
+            inferred_shapes: 0,
+            diagnostics: vec![],
+            memory: MemoryReport::default(),
+            op_counts: BTreeMap::new(),
+        };
+        assert!(!r.has_errors());
+        r.diagnostics.push(Diagnostic {
+            pass: Pass::Shape,
+            severity: Severity::Error,
+            node: Some(3),
+            msg: "boom".into(),
+        });
+        assert!(r.has_errors());
+        assert!(r.render().contains("[error/shape] %3 boom"));
+    }
+}

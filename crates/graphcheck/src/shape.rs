@@ -1,0 +1,204 @@
+//! Ahead-of-time shape inference over a [`TapeSpec`].
+//!
+//! Walks the tape once in topological order, recomputing every op's output
+//! shape from its parents via [`OpKind::infer_shape`] — the same rules the
+//! runtime cross-checks in debug builds. Three findings come out of this
+//! pass:
+//!
+//! * **Error** — an op the runtime would reject (mismatched matmul, bad
+//!   concat, kernel larger than its padded input, …), reported with the
+//!   producer chain of the offending node.
+//! * **Error** — an inferred shape that disagrees with the recorded runtime
+//!   shape (an inference-rule bug or a tape corrupted in transit).
+//! * **Warning** — a binary broadcast that expands *both* operands: legal,
+//!   but the classic symptom of a missing `reshape`/`keepdim` producing a
+//!   silently wrong outer product.
+
+use sthsl_autograd::{OpKind, TapeSpec};
+
+use crate::chain::producer_chain;
+use crate::report::{Diagnostic, Pass, Severity};
+
+/// Resolved shapes for every node plus inference statistics.
+pub struct ShapeInfo {
+    /// Best-known shape per node: inferred when possible, otherwise the
+    /// recorded runtime shape, otherwise `None`.
+    pub shapes: Vec<Option<Vec<usize>>>,
+    /// How many node shapes are statically known: inputs with declared
+    /// shapes plus ops inferred purely ahead of time.
+    pub inferred: usize,
+}
+
+/// Run the shape pass, appending findings to `diags`.
+pub fn analyze(spec: &TapeSpec, diags: &mut Vec<Diagnostic>) -> ShapeInfo {
+    let n = spec.nodes.len();
+    let mut shapes: Vec<Option<Vec<usize>>> = Vec::with_capacity(n);
+    let mut inferred = 0usize;
+
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if node.kind.is_input() {
+            if node.runtime_shape.is_none() {
+                diags.push(Diagnostic {
+                    pass: Pass::Shape,
+                    severity: Severity::Error,
+                    node: Some(i),
+                    msg: format!(
+                        "input node %{i} ({}) carries no shape; \
+                         inputs must declare their shape",
+                        describe(spec, i)
+                    ),
+                });
+            }
+            if node.runtime_shape.is_some() {
+                inferred += 1;
+            }
+            shapes.push(node.runtime_shape.clone());
+            continue;
+        }
+
+        // Opaque ops and ops below a node with unknown shape cannot be
+        // inferred; fall back to the runtime shape without cascading errors.
+        let parent_shapes: Option<Vec<Vec<usize>>> =
+            node.parents.iter().map(|&p| shapes[p].clone()).collect();
+        let Some(parent_shapes) = parent_shapes else {
+            shapes.push(node.runtime_shape.clone());
+            continue;
+        };
+
+        match node.kind.infer_shape(&parent_shapes) {
+            Ok(Some(shape)) => {
+                inferred += 1;
+                if let Some(rt) = &node.runtime_shape {
+                    if *rt != shape {
+                        diags.push(Diagnostic {
+                            pass: Pass::Shape,
+                            severity: Severity::Error,
+                            node: Some(i),
+                            msg: format!(
+                                "inferred shape {shape:?} disagrees with runtime shape {rt:?}; \
+                                 chain: {}",
+                                producer_chain(spec, i)
+                            ),
+                        });
+                    }
+                }
+                warn_double_expansion(spec, i, &parent_shapes, &shape, diags);
+                shapes.push(Some(shape));
+            }
+            Ok(None) => {
+                // Opaque escape hatch: trust the runtime shape if present.
+                shapes.push(node.runtime_shape.clone());
+            }
+            Err(msg) => {
+                diags.push(Diagnostic {
+                    pass: Pass::Shape,
+                    severity: Severity::Error,
+                    node: Some(i),
+                    msg: format!("{msg}; chain: {}", producer_chain(spec, i)),
+                });
+                // Fall back to the runtime shape so one bad op does not
+                // cascade into a diagnostic per downstream node.
+                shapes.push(node.runtime_shape.clone());
+            }
+        }
+    }
+
+    ShapeInfo { shapes, inferred }
+}
+
+/// A broadcast where *neither* operand already has the output shape means
+/// both sides were expanded — almost always a missing keepdim/reshape.
+fn warn_double_expansion(
+    spec: &TapeSpec,
+    i: usize,
+    parent_shapes: &[Vec<usize>],
+    out: &[usize],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let kind = &spec.nodes[i].kind;
+    if !matches!(kind, OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div) {
+        return;
+    }
+    let [a, b] = parent_shapes else { return };
+    if a.as_slice() != out && b.as_slice() != out {
+        diags.push(Diagnostic {
+            pass: Pass::Shape,
+            severity: Severity::Warning,
+            node: Some(i),
+            msg: format!(
+                "{}: broadcast expands both operands ({a:?} and {b:?} -> {out:?}); \
+                 check for a missing reshape/keepdim",
+                kind.name()
+            ),
+        });
+    }
+}
+
+fn describe(spec: &TapeSpec, i: usize) -> String {
+    let node = &spec.nodes[i];
+    node.label
+        .as_ref()
+        .map_or_else(|| node.kind.display(), |l| format!("{} \"{l}\"", node.kind.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_autograd::OpKind;
+
+    #[test]
+    fn infers_through_a_clean_chain() {
+        let mut spec = TapeSpec::new();
+        let w = spec.leaf("w", &[3, 4]);
+        let x = spec.constant(&[4, 2]);
+        let m = spec.push(OpKind::Matmul, &[w, x]);
+        let _s = spec.push(OpKind::SumAll, &[m]);
+        let mut diags = vec![];
+        let info = analyze(&spec, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(info.inferred, 4); // 2 inputs with declared shapes + 2 ops
+        assert_eq!(info.shapes[m], Some(vec![3, 2]));
+    }
+
+    #[test]
+    fn rejects_mismatched_matmul_with_chain() {
+        let mut spec = TapeSpec::new();
+        let w = spec.leaf("w", &[3, 4]);
+        let x = spec.constant(&[5, 2]);
+        let m = spec.push(OpKind::Matmul, &[w, x]);
+        let mut diags = vec![];
+        let info = analyze(&spec, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].node, Some(m));
+        assert!(diags[0].msg.contains("matmul"));
+        assert!(diags[0].msg.contains("chain:"));
+        // Fallback keeps downstream quiet: no runtime shape, so unknown.
+        assert_eq!(info.shapes[m], None);
+    }
+
+    #[test]
+    fn flags_inference_runtime_disagreement() {
+        let mut spec = TapeSpec::new();
+        let w = spec.leaf("w", &[2, 2]);
+        let s = spec.push(OpKind::Square, &[w]);
+        spec.nodes[s].runtime_shape = Some(vec![4]);
+        let mut diags = vec![];
+        analyze(&spec, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("disagrees with runtime shape"));
+    }
+
+    #[test]
+    fn warns_on_double_expansion_broadcast() {
+        let mut spec = TapeSpec::new();
+        let a = spec.leaf("a", &[3, 1]);
+        let b = spec.leaf("b", &[1, 4]);
+        let _m = spec.push(OpKind::Mul, &[a, b]);
+        let mut diags = vec![];
+        analyze(&spec, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].msg.contains("expands both operands"));
+    }
+}

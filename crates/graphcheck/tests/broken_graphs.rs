@@ -1,0 +1,223 @@
+//! Deliberately broken graphs, one per hazard class the analyzer must catch.
+//! Each test asserts the *exact* diagnostic shape: severity, pass, anchored
+//! node, and the `%idx` Var-chain text — the contract the trainer pre-flight
+//! and `--graph-audit` output rely on.
+
+use sthsl_autograd::{OpKind, TapeSpec};
+use sthsl_graphcheck::{audit, AuditOptions, Pass, Severity};
+
+fn no_params() -> Vec<(String, usize)> {
+    Vec::new()
+}
+
+#[test]
+fn mismatched_matmul_is_rejected_with_var_chain() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[3, 4]);
+    let x = spec.constant(&[5, 2]);
+    let m = spec.push(OpKind::Matmul, &[w, x]);
+    let loss = spec.push(OpKind::SumAll, &[m]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("mismatched-matmul", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::Shape);
+    assert_eq!(errs[0].node, Some(m));
+    assert_eq!(
+        errs[0].msg,
+        format!(
+            "matmul: expected [m,k] · [k,n], got [3, 4] · [5, 2]; \
+             chain: %{m} = matmul <- %{w} = leaf \"w\""
+        )
+    );
+}
+
+#[test]
+fn detached_parameter_fails_grad_flow() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2, 2]);
+    // The classic bug: a second parameter whose branch never joins the loss.
+    let dead = spec.leaf("encoder.w_dead", &[2, 2]);
+    let _dangling = spec.push(OpKind::Tanh, &[dead]);
+    let s = spec.push(OpKind::Square, &[w]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let params = vec![("w".to_string(), w), ("encoder.w_dead".to_string(), dead)];
+    let r = audit("detached-param", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    assert_eq!(r.reachable_params, 1);
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::GradFlow);
+    assert_eq!(errs[0].node, Some(dead));
+    assert_eq!(
+        errs[0].msg,
+        format!(
+            "parameter \"encoder.w_dead\" (%{dead}) is not reachable from the loss; \
+             gradient will never flow into it"
+        )
+    );
+    // The dangling tanh is additionally flagged as dead compute.
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Warning && d.msg.contains("dead subgraph")));
+}
+
+#[test]
+fn ablated_branch_is_downgraded_to_info() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2]);
+    let ablated = spec.leaf("infomax.proj", &[2]);
+    let s = spec.push(OpKind::Square, &[w]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let params = vec![("w".to_string(), w), ("infomax.proj".to_string(), ablated)];
+    let opts = AuditOptions { allow_unreachable: vec!["infomax.".to_string()] };
+    let r = audit("ablated", &spec, loss, &params, &opts);
+
+    assert!(!r.has_errors());
+    assert!(r.diagnostics.iter().any(|d| d.severity == Severity::Info
+        && d.msg.contains("\"infomax.proj\"")
+        && d.msg.contains("ablation allow-prefix")));
+}
+
+#[test]
+fn unguarded_log_reports_the_producer_chain() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[4, 4]);
+    let x = spec.constant(&[4, 4]);
+    let h = spec.push(OpKind::Matmul, &[w, x]);
+    let l = spec.push(OpKind::LnEps { eps: 0.0 }, &[h]);
+    let loss = spec.push(OpKind::SumAll, &[l]);
+    let r = audit("unguarded-log", &spec, loss, &no_params(), &AuditOptions::default());
+
+    let hazards: Vec<_> = r.diagnostics.iter().filter(|d| d.pass == Pass::NanTaint).collect();
+    assert_eq!(hazards.len(), 1);
+    assert_eq!(hazards[0].severity, Severity::Warning);
+    assert_eq!(hazards[0].node, Some(l));
+    assert_eq!(
+        hazards[0].msg,
+        format!(
+            "ln_eps: argument of ln_eps(eps=0e0) is not provably positive \
+             (operand %{h} = matmul); chain: %{h} = matmul <- %{w} = leaf \"w\""
+        )
+    );
+}
+
+#[test]
+fn softmax_guard_silences_the_log_hazard() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[4, 4]);
+    let x = spec.constant(&[4, 4]);
+    let h = spec.push(OpKind::Matmul, &[w, x]);
+    let sm = spec.push(OpKind::SoftmaxLastdim, &[h]);
+    let l = spec.push(OpKind::LnEps { eps: 1e-8 }, &[sm]);
+    let _loss = spec.push(OpKind::SumAll, &[l]);
+    let loss = spec.nodes.len() - 1;
+    let r = audit("guarded-log", &spec, loss, &no_params(), &AuditOptions::default());
+    assert!(r.diagnostics.iter().all(|d| d.pass != Pass::NanTaint));
+}
+
+#[test]
+fn l2_normalize_denominator_is_proven_positive() {
+    // x / sqrt(sum(x², axis=-1, keepdim) + eps): the exact pattern
+    // `Graph::l2_normalize_lastdim` emits. No hazard may fire.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf("x", &[6, 8]);
+    let sq = spec.push(OpKind::Square, &[x]);
+    let s = spec.push(OpKind::SumAxis { axis: 1 }, &[sq]);
+    let keep = spec.push(OpKind::Reshape { shape: vec![6, 1] }, &[s]);
+    let norm = spec.push(OpKind::SqrtEps { eps: 1e-8 }, &[keep]);
+    let d = spec.push(OpKind::Div, &[x, norm]);
+    let sq2 = spec.push(OpKind::Square, &[d]);
+    let loss = spec.push(OpKind::MeanAll, &[sq2]);
+    let params = vec![("x".to_string(), x)];
+    let r = audit("l2-normalize", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(!r.has_errors());
+    assert!(
+        r.diagnostics.iter().all(|d| d.pass != Pass::NanTaint),
+        "l2-normalize must be proven safe, got {:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn non_scalar_loss_is_rejected() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2, 3]);
+    let loss = spec.push(OpKind::Square, &[w]);
+    let r = audit("vector-loss", &spec, loss, &[("w".to_string(), w)], &AuditOptions::default());
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs[0].pass, Pass::GradFlow);
+    assert_eq!(errs[0].node, Some(loss));
+    assert!(errs[0].msg.contains("has shape [2, 3]; backward needs a scalar"));
+}
+
+#[test]
+fn double_expansion_broadcast_warns() {
+    // [N,1] * [1,C]: legal outer product, classic missing-keepdim symptom.
+    let mut spec = TapeSpec::new();
+    let a = spec.leaf("a", &[5, 1]);
+    let b = spec.leaf("b", &[1, 3]);
+    let m = spec.push(OpKind::Mul, &[a, b]);
+    let loss = spec.push(OpKind::SumAll, &[m]);
+    let r = audit(
+        "double-expand",
+        &spec,
+        loss,
+        &[("a".to_string(), a), ("b".to_string(), b)],
+        &AuditOptions::default(),
+    );
+    assert!(!r.has_errors());
+    let warns: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.pass == Pass::Shape && d.severity == Severity::Warning)
+        .collect();
+    assert_eq!(warns.len(), 1);
+    assert_eq!(warns[0].node, Some(m));
+    assert!(warns[0].msg.contains("broadcast expands both operands"));
+    assert!(warns[0].msg.contains("[5, 1]") && warns[0].msg.contains("[1, 3]"));
+}
+
+#[test]
+fn inference_runtime_disagreement_is_an_error() {
+    // Simulates an inference-rule bug or a corrupted tape: the recorded
+    // runtime shape contradicts what the rules derive.
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2, 2]);
+    let s = spec.push(OpKind::Square, &[w]);
+    spec.nodes[s].runtime_shape = Some(vec![4]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let r = audit("rt-disagree", &spec, loss, &[("w".to_string(), w)], &AuditOptions::default());
+    assert!(r.has_errors());
+    assert!(r
+        .errors()
+        .any(|d| d.msg.contains("inferred shape [2, 2] disagrees with runtime shape [4]")));
+}
+
+#[test]
+fn report_renders_deterministically() {
+    let build = || {
+        let mut spec = TapeSpec::new();
+        let w = spec.leaf("w", &[16, 8]);
+        let x = spec.constant(&[8, 4]);
+        let m = spec.push(OpKind::Matmul, &[w, x]);
+        let sm = spec.push(OpKind::SoftmaxLastdim, &[m]);
+        let l = spec.push(OpKind::LnEps { eps: 1e-8 }, &[sm]);
+        let loss = spec.push(OpKind::MeanAll, &[l]);
+        audit("render-fixture", &spec, loss, &[("w".to_string(), w)], &AuditOptions::default())
+    };
+    let a = build().render();
+    let b = build().render();
+    assert_eq!(a, b);
+    assert!(a.contains("== graph audit: render-fixture =="));
+    assert!(a.contains("shape: OK"));
+    assert!(a.contains("grad-flow: OK (1/1 parameters reachable from the loss)"));
+    assert!(a.contains("nan-taint: 0 hazard(s)"));
+    assert!(a.contains("memory: tape"));
+}

@@ -1,0 +1,28 @@
+//! Fixture: R7 `lossy-cast-in-kernel`. Numeric `as` casts in live kernel
+//! code — three hits; the import alias `as` and the test-only cast are fine.
+
+use std::fmt::Debug as Dbg;
+
+/// `usize -> f32` silently rounds above 2^24: the canonical mean bug.
+pub fn mean(xs: &[f32]) -> f32 {
+    let sum: f32 = xs.iter().sum();
+    sum / xs.len() as f32
+}
+
+/// Signed/unsigned shuffles around padding arithmetic truncate quietly.
+pub fn padded_index(i: usize, pad: i64) -> i64 {
+    i as i64 - pad
+}
+
+pub fn debug_len(x: &dyn Dbg, bytes: u64) -> usize {
+    let _ = x;
+    bytes as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        assert!((3usize as f32) > 2.0);
+    }
+}

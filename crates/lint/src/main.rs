@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use sthsl_lint::{find_root, render_report, run, tighten, Config, ALLOW_FILE};
 
-const USAGE: &str = "sthsl-lint — ST-HSL workspace static analysis (rule catalog R1–R6)
+const USAGE: &str = "sthsl-lint — ST-HSL workspace static analysis (rule catalog R1–R7)
 
 USAGE:
     cargo run -p sthsl-lint [-- OPTIONS]

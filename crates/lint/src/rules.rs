@@ -26,6 +26,12 @@
 //! - **R6 `print-in-library`** — no `println!`/`eprintln!`/`dbg!` in
 //!   library crates; diagnostics flow through return values so callers (and
 //!   the golden-metric tests) own stdout.
+//! - **R7 `lossy-cast-in-kernel`** — no `as` numeric casts in the numeric
+//!   kernel crates (`tensor`, `parallel`). The source type is invisible to
+//!   a lexical pass, so every numeric `as` is treated as potentially lossy:
+//!   a truncating `usize as f32` on a large tensor silently corrupts means
+//!   and norms. Use `From`/`try_from` or a documented rounding helper;
+//!   existing sites are grandfathered via the budget.
 //!
 //! Rules are lexical by design: they see the token stream of
 //! [`crate::lexer`], never a full AST, so they are cheap, total and easy to
@@ -50,13 +56,14 @@ pub struct Violation {
 }
 
 /// All rule slugs, in catalog order.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     "unsafe-without-safety-comment",
     "thread-outside-pool",
     "panic-in-library",
     "float-eq",
     "nondeterminism-in-kernel",
     "print-in-library",
+    "lossy-cast-in-kernel",
 ];
 
 /// How a file participates in the rule catalog, derived from its
@@ -69,6 +76,9 @@ pub struct FileClass {
     pub is_bin: bool,
     /// Inside a kernel crate (`tensor`, `autograd`, `parallel`).
     pub is_kernel: bool,
+    /// Inside a numeric kernel crate (`tensor`, `parallel`) where R7 bans
+    /// `as` casts; `autograd` is exempt (graph bookkeeping, not arithmetic).
+    pub is_cast_kernel: bool,
     /// Inside `crates/parallel` (the one place threads may live).
     pub is_pool: bool,
 }
@@ -92,6 +102,7 @@ impl FileClass {
             is_test_file,
             is_bin,
             is_kernel: matches!(crate_name, Some("tensor" | "autograd" | "parallel")),
+            is_cast_kernel: matches!(crate_name, Some("tensor" | "parallel")),
             is_pool: crate_name == Some("parallel"),
         }
     }
@@ -387,6 +398,43 @@ pub fn check_file(rel: &str, toks: &[Tok]) -> Vec<Violation> {
                 msg: format!("`{}!` in library code — return diagnostics to the caller", t.text),
             });
         }
+
+        // R7: numeric `as` casts in the numeric kernel crates. Lexical, so
+        // the source type is unknown: any `as <numeric type>` counts.
+        if class.is_cast_kernel
+            && !class.is_test_file
+            && !in_test
+            && t.is_ident("as")
+            && tok_at(ci + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(
+                        n.text.as_str(),
+                        "u8" | "u16"
+                            | "u32"
+                            | "u64"
+                            | "u128"
+                            | "i8"
+                            | "i16"
+                            | "i32"
+                            | "i64"
+                            | "i128"
+                            | "usize"
+                            | "isize"
+                            | "f32"
+                            | "f64"
+                    )
+            })
+        {
+            let target = tok_at(ci + 1).map(|n| n.text.clone()).unwrap_or_default();
+            out.push(Violation {
+                rule: "lossy-cast-in-kernel",
+                path: rel.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`as {target}` in a numeric kernel crate — use From/try_from or a documented rounding helper"
+                ),
+            });
+        }
     }
     out
 }
@@ -464,6 +512,32 @@ mod tests {
         let src = "fn f() { let t = std::time::Instant::now(); }";
         assert_eq!(rules_hit("crates/tensor/src/x.rs", src), vec!["nondeterminism-in-kernel"]);
         assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn numeric_casts_banned_in_tensor_and_parallel_only() {
+        let src = "fn f(n: usize) -> f32 { n as f32 }";
+        assert_eq!(rules_hit("crates/tensor/src/ops/reduce.rs", src), vec!["lossy-cast-in-kernel"]);
+        assert_eq!(rules_hit("crates/parallel/src/pool.rs", src), vec!["lossy-cast-in-kernel"]);
+        // `autograd` and non-kernel crates are out of scope for R7.
+        assert!(rules_hit("crates/autograd/src/graph.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn numeric_casts_allowed_in_kernel_test_code() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> f32 { n as f32 }\n}";
+        assert!(rules_hit("crates/tensor/src/x.rs", in_test).is_empty());
+        assert!(rules_hit("crates/tensor/tests/golden.rs", "fn f(n: usize) -> f32 { n as f32 }")
+            .is_empty());
+    }
+
+    #[test]
+    fn non_numeric_as_is_not_a_cast_violation() {
+        // `as` for trait objects, imports and pointer types carries no
+        // numeric truncation risk; only `as <numeric primitive>` fires.
+        let src = "use std::fmt::Debug as Dbg;\nfn f(x: &dyn Dbg) -> &dyn Dbg { x as &dyn Dbg }";
+        assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -68,6 +68,17 @@ fn bad_println_triggers_only_r6() {
 }
 
 #[test]
+fn bad_lossy_cast_triggers_only_r7_in_numeric_kernels() {
+    let v = lint_fixture("bad_lossy_cast.rs", "crates/tensor/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("lossy-cast-in-kernel", 3)]));
+    let v = lint_fixture("bad_lossy_cast.rs", "crates/parallel/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("lossy-cast-in-kernel", 3)]));
+    // `autograd` and non-kernel crates may cast (clippy still watches them).
+    assert!(lint_fixture("bad_lossy_cast.rs", "crates/autograd/src/fixture.rs").is_empty());
+    assert!(lint_fixture("bad_lossy_cast.rs", "crates/core/src/fixture.rs").is_empty());
+}
+
+#[test]
 fn good_kernel_passes_every_rule_under_kernel_classification() {
     for class in [
         "crates/tensor/src/fixture.rs",

@@ -8,15 +8,21 @@ impl Tensor {
     /// Uniform samples in `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
         let dist = Uniform::new(lo, hi);
-        let data = (0..shape.iter().product::<usize>()).map(|_| dist.sample(rng)).collect();
-        Tensor::from_vec(data, shape).expect("generated data matches shape")
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            *v = dist.sample(rng);
+        }
+        t
     }
 
     /// Gaussian samples with the given mean and standard deviation.
     pub fn rand_normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
         let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
-        let data = (0..shape.iter().product::<usize>()).map(|_| dist.sample(rng)).collect();
-        Tensor::from_vec(data, shape).expect("generated data matches shape")
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            *v = dist.sample(rng);
+        }
+        t
     }
 
     /// Xavier/Glorot uniform initialisation: `U(-a, a)` with

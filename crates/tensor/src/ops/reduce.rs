@@ -124,7 +124,14 @@ impl Tensor {
                 shape: Vec::new(),
             });
         }
-        let last = *self.shape().last().expect("ndim >= 1");
+        let Some(&last) = self.shape().last() else {
+            return Err(TensorError::RankMismatch {
+                op: "softmax",
+                expected: 1,
+                got: 0,
+                shape: Vec::new(),
+            });
+        };
         if last == 0 {
             return Ok(self.clone());
         }

@@ -10,6 +10,7 @@
 //! - [`data`] — the calibrated city simulator, datasets, metrics, graphs.
 //! - [`core`] — the ST-HSL model itself.
 //! - [`baselines`] — the 15 paper baselines (+ HA).
+//! - [`graphcheck`] — the static compute-graph analyzer behind `graph-audit`.
 //!
 //! ```no_run
 //! use sthsl::prelude::*;
@@ -28,6 +29,7 @@ pub use sthsl_autograd as autograd;
 pub use sthsl_baselines as baselines;
 pub use sthsl_core as core;
 pub use sthsl_data as data;
+pub use sthsl_graphcheck as graphcheck;
 pub use sthsl_parallel as parallel;
 pub use sthsl_tensor as tensor;
 
@@ -36,7 +38,7 @@ pub mod prelude {
     pub use sthsl_autograd::{
         latest_checkpoint, Checkpoint, Gradients, Graph, ParamStore, TrainerState, Var,
     };
-    pub use sthsl_baselines::{all_baselines, BaselineConfig};
+    pub use sthsl_baselines::{all_auditable, all_baselines, BaselineConfig, GraphAudited};
     pub use sthsl_core::{
         Ablation, BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, StHsl,
         StHslConfig, TrainHooks, TrainLoop, TrainOptions, TrainOutcome,
@@ -45,5 +47,6 @@ pub mod prelude {
         CrimeDataset, DatasetConfig, EvalReport, FitReport, Predictor, Split, SynthCity,
         SynthConfig,
     };
+    pub use sthsl_graphcheck::{AuditOptions, AuditReport};
     pub use sthsl_tensor::Tensor;
 }
