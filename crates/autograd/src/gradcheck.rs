@@ -22,38 +22,61 @@ pub fn gradcheck_tol(
     rtol: f32,
     f: impl Fn(&Graph, &[Var]) -> Result<Var>,
 ) {
+    let outcome = try_gradcheck_tol(inputs, atol, rtol, f);
+    assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+}
+
+/// Fallible core of [`gradcheck_tol`]: the first failure — a fallible
+/// forward/backward pass, a missing or mis-shaped gradient, or a mismatch
+/// against the finite difference — comes back as an error message instead of
+/// a panic, so non-test callers can route it through their own reporting.
+pub fn try_gradcheck_tol(
+    inputs: &[Tensor],
+    atol: f32,
+    rtol: f32,
+    f: impl Fn(&Graph, &[Var]) -> Result<Var>,
+) -> std::result::Result<(), String> {
     // Analytic pass.
     let g = Graph::new();
     let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
-    let loss = f(&g, &vars).expect("forward pass failed");
-    let grads = g.backward(loss).expect("backward pass failed");
+    let loss = f(&g, &vars).map_err(|e| format!("forward pass failed: {e}"))?;
+    let grads = g.backward(loss).map_err(|e| format!("backward pass failed: {e}"))?;
 
-    let eval = |perturbed: &[Tensor]| -> f32 {
+    let eval = |perturbed: &[Tensor]| -> std::result::Result<f32, String> {
         let g = Graph::new();
         let vars: Vec<Var> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
-        let loss = f(&g, &vars).expect("forward pass failed");
-        g.value(loss).item().expect("loss must be scalar")
+        let loss = f(&g, &vars).map_err(|e| format!("forward pass failed: {e}"))?;
+        g.value(loss).item().map_err(|e| format!("loss must be scalar: {e}"))
     };
 
     let eps = 1e-2f32;
     for (vi, input) in inputs.iter().enumerate() {
-        let analytic =
-            grads.get(vars[vi]).unwrap_or_else(|| panic!("no gradient flowed to input {vi}"));
-        assert_eq!(analytic.shape(), input.shape(), "gradient shape mismatch");
+        let Some(analytic) = grads.get(vars[vi]) else {
+            return Err(format!("no gradient flowed to input {vi}"));
+        };
+        if analytic.shape() != input.shape() {
+            return Err(format!(
+                "gradient shape mismatch at input {vi}: gradient {:?} vs input {:?}",
+                analytic.shape(),
+                input.shape()
+            ));
+        }
         for i in 0..input.len() {
             let mut plus = inputs.to_vec();
             plus[vi].data_mut()[i] += eps;
             let mut minus = inputs.to_vec();
             minus[vi].data_mut()[i] -= eps;
-            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let numeric = (eval(&plus)? - eval(&minus)?) / (2.0 * eps);
             let a = analytic.data()[i];
             let tol = atol + rtol * numeric.abs();
-            assert!(
-                (a - numeric).abs() <= tol,
-                "gradient mismatch at input {vi}, flat index {i}: analytic {a}, numeric {numeric} (tol {tol})"
-            );
+            if (a - numeric).abs() > tol {
+                return Err(format!(
+                    "gradient mismatch at input {vi}, flat index {i}: analytic {a}, numeric {numeric} (tol {tol})"
+                ));
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

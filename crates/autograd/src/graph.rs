@@ -21,6 +21,30 @@ impl Var {
     }
 }
 
+/// Which half of tape execution an observed op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TapePhase {
+    /// The op's forward kernel just ran and its node was recorded.
+    Forward,
+    /// The op's backward closure just ran during [`Graph::backward`].
+    Backward,
+}
+
+/// Observer notified once per executed tape op: immediately after a node is
+/// recorded on the forward pass, and immediately after its backward closure
+/// runs during the reverse sweep.
+///
+/// The trait is deliberately clock-free: this crate is a kernel crate whose
+/// output must be a pure function of its inputs, so it reports only *what*
+/// executed (`name`, `phase`, output payload `bytes`). An implementation
+/// outside the kernel crates (e.g. `sthsl-obs`'s profiler) may timestamp the
+/// notifications to attribute wall time per op.
+pub trait TapeObserver {
+    /// `name` is the stable [`OpKind::name`]; `bytes` is the byte size of the
+    /// op's output value (forward) or of the gradient it produced (backward).
+    fn on_op(&self, name: &'static str, phase: TapePhase, bytes: usize);
+}
+
 /// Backward closure: given the gradient flowing into this node's output, the
 /// parents' forward values and this node's own forward value, produce the
 /// gradient contribution for each parent (None = parent needs no gradient).
@@ -47,6 +71,7 @@ pub struct Graph {
     pub(crate) nodes: RefCell<Vec<Node>>,
     training: bool,
     pub(crate) rng: RefCell<StdRng>,
+    observer: RefCell<Option<Rc<dyn TapeObserver>>>,
 }
 
 impl Default for Graph {
@@ -62,6 +87,7 @@ impl Graph {
             nodes: RefCell::new(Vec::with_capacity(256)),
             training: false,
             rng: RefCell::new(StdRng::seed_from_u64(0)),
+            observer: RefCell::new(None),
         }
     }
 
@@ -71,6 +97,25 @@ impl Graph {
             nodes: RefCell::new(Vec::with_capacity(256)),
             training: true,
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            observer: RefCell::new(None),
+        }
+    }
+
+    /// Attach a [`TapeObserver`] notified once per executed op (forward and
+    /// backward). At most one observer is active; the previous one (if any)
+    /// is returned.
+    pub fn set_observer(&self, obs: Rc<dyn TapeObserver>) -> Option<Rc<dyn TapeObserver>> {
+        self.observer.borrow_mut().replace(obs)
+    }
+
+    /// Detach and return the current observer.
+    pub fn clear_observer(&self) -> Option<Rc<dyn TapeObserver>> {
+        self.observer.borrow_mut().take()
+    }
+
+    fn notify(&self, name: &'static str, phase: TapePhase, bytes: usize) {
+        if let Some(obs) = self.observer.borrow().as_ref() {
+            obs.on_op(name, phase, bytes);
         }
     }
 
@@ -146,9 +191,17 @@ impl Graph {
     }
 
     pub(crate) fn push(&self, node: Node) -> Var {
-        let mut nodes = self.nodes.borrow_mut();
-        nodes.push(node);
-        Var(nodes.len() - 1)
+        let name = node.kind.name();
+        let bytes = node.value.len() * std::mem::size_of::<f32>();
+        let var = {
+            let mut nodes = self.nodes.borrow_mut();
+            nodes.push(node);
+            Var(nodes.len() - 1)
+        };
+        // The forward kernel ran just before this node was recorded, so an
+        // observer timestamping successive notifications sees per-op deltas.
+        self.notify(name, TapePhase::Forward, bytes);
+        var
     }
 
     /// Record an op node. `requires_grad` is inherited from any parent.
@@ -242,6 +295,11 @@ impl Graph {
                 let parent_vals: Vec<Rc<Tensor>> =
                     node.parents.iter().map(|&p| Rc::clone(&nodes[p].value)).collect();
                 let parent_grads = grad_fn(&grad_out, &parent_vals, &node.value)?;
+                self.notify(
+                    node.kind.name(),
+                    TapePhase::Backward,
+                    grad_out.len() * std::mem::size_of::<f32>(),
+                );
                 debug_assert_eq!(parent_grads.len(), node.parents.len());
                 for (pi, pg) in node.parents.iter().zip(parent_grads) {
                     let Some(pg) = pg else { continue };
@@ -326,6 +384,36 @@ mod tests {
         let g = Graph::new();
         let x = g.leaf(Tensor::zeros(&[3]));
         assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn observer_sees_forward_and_backward_ops() {
+        struct Rec(RefCell<Vec<(&'static str, TapePhase)>>);
+        impl TapeObserver for Rec {
+            fn on_op(&self, name: &'static str, phase: TapePhase, bytes: usize) {
+                assert!(bytes > 0);
+                self.0.borrow_mut().push((name, phase));
+            }
+        }
+        let rec = Rc::new(Rec(RefCell::new(Vec::new())));
+        let g = Graph::new();
+        assert!(g.set_observer(Rc::clone(&rec) as Rc<dyn TapeObserver>).is_none());
+        let x = g.leaf(Tensor::scalar(2.0));
+        let y = g.mul(x, x).unwrap();
+        g.backward(y).unwrap();
+        let seen = rec.0.borrow();
+        assert_eq!(
+            seen.as_slice(),
+            &[
+                ("leaf", TapePhase::Forward),
+                ("mul", TapePhase::Forward),
+                ("mul", TapePhase::Backward),
+            ]
+        );
+        drop(seen);
+        assert!(g.clear_observer().is_some());
+        g.scale(x, 2.0);
+        assert!(rec.0.borrow().len() == 3, "detached observer must not be notified");
     }
 
     #[test]

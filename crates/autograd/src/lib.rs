@@ -44,8 +44,8 @@ pub mod optim;
 pub mod tape;
 
 pub use checkpoint::{latest_checkpoint, Checkpoint, TrainerState};
-pub use gradcheck::gradcheck;
-pub use graph::{Gradients, Graph, Var};
+pub use gradcheck::{gradcheck, gradcheck_tol, try_gradcheck_tol};
+pub use graph::{Gradients, Graph, TapeObserver, TapePhase, Var};
 pub use params::{ParamId, ParamStore, ParamVars};
 pub use tape::{NodeSpec, OpKind, TapeSpec};
 

@@ -41,6 +41,20 @@ pub fn global_clip_factor(
     }
 }
 
+/// Euclidean norm of the concatenated gradient across every registered
+/// parameter, accumulated in f64 (0.0 when no gradient flowed). This is the
+/// quantity `global_clip_factor` bounds; observability layers report it
+/// per-batch to spot exploding/vanishing gradients.
+pub fn global_grad_norm(store: &ParamStore, pv: &ParamVars, grads: &Gradients) -> f64 {
+    let mut sq = 0.0f64;
+    for id in store.ids() {
+        if let Some(g) = pv.grad(grads, id) {
+            sq += f64::from(g.sq_norm());
+        }
+    }
+    sq.sqrt()
+}
+
 /// Shared helper: fetch the (possibly clipped) gradient for one parameter.
 pub(crate) fn effective_grad(
     pv: &ParamVars,

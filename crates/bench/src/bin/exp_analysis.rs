@@ -7,7 +7,7 @@
 //! the actual autograd stack, and their correlation.
 
 use sthsl_autograd::Graph;
-use sthsl_bench::{write_csv, MarkdownTable};
+use sthsl_bench::{write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::contrastive::{contrastive_loss, hard_negative_weight};
 use sthsl_tensor::Tensor;
 
@@ -32,6 +32,9 @@ fn measured_grad_norm(s: f32, tau: f32) -> f32 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tau = 0.5f32;
+    // No dataset/seed here: the analysis sweeps a closed-form similarity grid.
+    let mut man =
+        TimingManifest::start("exp_analysis", 0, &[("tau".to_string(), tau.to_string())])?;
     println!("== Section III-F analysis: hard-negative gradient adaptivity (τ = {tau}) ==\n");
     let mut table =
         MarkdownTable::new(&["similarity s", "theory √(1−s²)·e^{s/τ}", "measured ‖∂L/∂neg‖"]);
@@ -45,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measured.push(f64::from(m));
         table.add_row(vec![format!("{s:+.1}"), format!("{w:.4}"), format!("{m:.6}")]);
     }
+    man.section("similarity_sweep");
     println!("{}", table.render());
     // Pearson correlation between theory and measurement.
     let n = theory.len() as f64;
@@ -59,5 +63,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(The paper's claim holds when the correlation is strongly positive:");
     println!(" harder negatives — larger s — receive larger gradients, up to the s→1 collapse.)");
     write_csv("analysis_eq12.csv", &table)?;
+    man.finish()?;
     Ok(())
 }

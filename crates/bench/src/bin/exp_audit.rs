@@ -6,11 +6,12 @@
 //! miswired model.
 
 use sthsl_baselines::all_auditable;
-use sthsl_bench::{parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_audit", &args)?;
     let mut table =
         MarkdownTable::new(&["Model", "Nodes", "Params", "Tape KiB", "Errors", "Warnings"]);
     let mut failing: Vec<String> = Vec::new();
@@ -18,12 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // share at a given scale — one city certifies the fleet.
     let city = args.cities[0];
     let (_, data) = args.scale.build_dataset(city, args.seed)?;
+    man.section("build_dataset");
 
     let sthsl = StHsl::new(args.scale.sthsl_config(args.seed), &data)?;
     let mut reports = vec![sthsl.graph_audit(&data)?];
     for model in all_auditable(&args.scale.baseline_config(args.seed), &data)? {
         reports.push(model.graph_audit(&data)?);
     }
+    man.section("graph_audits");
 
     for report in &reports {
         let errors = report.errors().count();
@@ -44,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Graph audit (scale {:?}): {} model graphs ==\n", args.scale, reports.len());
     println!("{}", table.render());
     write_csv("graph_audit.csv", &table)?;
+    // Close the manifest before the verdict so a failing audit still leaves
+    // its timing evidence behind.
+    man.finish()?;
     if failing.is_empty() {
         println!("all graphs certified clean");
         Ok(())

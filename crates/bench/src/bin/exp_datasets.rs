@@ -1,11 +1,12 @@
 //! Regenerates Table II (dataset statistics), Figure 1 (density-degree
 //! distribution) and Figure 2 (skewed region-count distribution).
 
-use sthsl_bench::{parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_data::metrics::{density_bucket, DensityBucket};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_datasets", &args)?;
     println!("== Table II: dataset statistics (scale: {:?}) ==\n", args.scale);
     let mut t2 = MarkdownTable::new(&["City", "Regions", "Days", "Category", "Cases"]);
     let mut fig1 = MarkdownTable::new(&[
@@ -28,11 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.0}", synth.total_cases(ci)),
             ]);
         }
-        // Figure 1: histogram of region density degrees.
+        // Figure 1: histogram of region density degrees. All-zero regions
+        // belong to no bucket (the intervals are half-open above zero) and
+        // are left out of the histogram.
         let dens = data.region_density();
         let mut counts = [0usize; 4];
         for &d in &dens {
-            let b = density_bucket(d);
+            let Some(b) = density_bucket(d) else { continue };
             let idx = DensityBucket::all().iter().position(|x| *x == b).expect("bucket");
             counts[idx] += 1;
         }
@@ -56,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ]);
             }
         }
+        man.section(city.name());
     }
     println!("{}", t2.render());
     println!("== Figure 1: region density-degree histogram ==\n");
@@ -67,5 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Figure 2 series written to results/fig2_skew.csv ({} rows).",
         fig2.to_csv().lines().count() - 1
     );
+    man.finish()?;
     Ok(())
 }

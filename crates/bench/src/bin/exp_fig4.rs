@@ -3,12 +3,13 @@
 //! (model, region) with the grid coordinates, ready for heat-mapping.
 
 use sthsl_baselines::{gman::Gman, stshn::Stshn, BaselineConfig};
-use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 use sthsl_data::Predictor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_fig4", &args)?;
     for &city in &args.cities {
         let (_, data) = args.scale.build_dataset(city, args.seed)?;
         let bcfg: BaselineConfig = args.scale.baseline_config(args.seed);
@@ -42,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.4}", sum / regions.num_regions() as f64),
                 format!("{worst:.4}"),
             ]);
+            man.section(&format!("{}_{}", city.name(), model.name()));
             eprintln!("  {} done", model.name());
         }
         println!(
@@ -53,5 +55,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         write_csv(&format!("fig4_map_{}.csv", city.name().to_lowercase()), &table)?;
         write_csv(&format!("fig4_summary_{}.csv", city.name().to_lowercase()), &summary)?;
     }
+    man.finish()?;
     Ok(())
 }

@@ -2,11 +2,12 @@
 //! convolution encoder (w/o S-Conv, w/o C-Conv, w/o T-Conv, w/o Local) vs
 //! the full ST-HSL, in MAE and MAPE.
 
-use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::{Ablation, StHsl};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_fig5", &args)?;
     let variants: Vec<(&str, Ablation)> = vec![
         ("w/o S-Conv", Ablation::without_spatial_conv()),
         ("w/o C-Conv", Ablation::without_category_conv()),
@@ -27,10 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.4}", run.eval.mae_overall()),
                 format!("{:.4}", run.eval.mape_overall()),
             ]);
+            man.section(&format!("{}_{}", city.name(), name));
             eprintln!("  {name} done ({:.1}s train)", run.fit.train_seconds);
         }
         println!("{}", table.render());
         write_csv(&format!("fig5_{}.csv", city.name().to_lowercase()), &table)?;
     }
+    man.finish()?;
     Ok(())
 }

@@ -5,7 +5,7 @@
 use sthsl_baselines::{
     deepcrime::DeepCrime, gman::Gman, stgcn::Stgcn, stshn::Stshn, BaselineConfig,
 };
-use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{evaluate_with_regions, parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 use sthsl_data::metrics::{density_bucket, DensityBucket};
 use sthsl_data::{CrimeDataset, Predictor};
@@ -14,13 +14,14 @@ fn bucket_regions(data: &CrimeDataset, bucket: DensityBucket) -> Vec<usize> {
     data.region_density()
         .iter()
         .enumerate()
-        .filter(|(_, &d)| d > 0.0 && density_bucket(d) == bucket)
+        .filter(|(_, &d)| density_bucket(d) == Some(bucket))
         .map(|(i, _)| i)
         .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_fig6", &args)?;
     for &city in &args.cities {
         let (_, data) = args.scale.build_dataset(city, args.seed)?;
         let bcfg: BaselineConfig = args.scale.baseline_config(args.seed);
@@ -57,10 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.4}", regions.mae_of(&mid)),
                 format!("{:.4}", regions.mape_of(&mid)),
             ]);
+            man.section(&format!("{}_{}", city.name(), model.name()));
             eprintln!("  {} done", model.name());
         }
         println!("{}", table.render());
         write_csv(&format!("fig6_{}.csv", city.name().to_lowercase()), &table)?;
     }
+    man.finish()?;
     Ok(())
 }

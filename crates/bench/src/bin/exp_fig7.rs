@@ -3,11 +3,12 @@
 //! (scaled down at quick scale), convolution kernel ∈ {3, 5, 7, 9} and batch
 //! size ∈ {4, 8, 16, 32}.
 
-use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, Scale};
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, Scale, TimingManifest};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_fig7", &args)?;
     // At quick scale, halve the hyperedge sweep so the largest setting stays
     // proportionate to the smaller city.
     let hyperedges: Vec<usize> = match args.scale {
@@ -52,11 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         };
         sweep("d", &dims, &mut table)?;
+        man.section(&format!("{}_sweep_d", city.name()));
         sweep("hyperedges", &hyperedges, &mut table)?;
+        man.section(&format!("{}_sweep_hyperedges", city.name()));
         sweep("kernel", &kernels, &mut table)?;
+        man.section(&format!("{}_sweep_kernel", city.name()));
         sweep("batch", &batches, &mut table)?;
+        man.section(&format!("{}_sweep_batch", city.name()));
         println!("{}", table.render());
         write_csv(&format!("fig7_{}.csv", city.name().to_lowercase()), &table)?;
     }
+    man.finish()?;
     Ok(())
 }

@@ -5,17 +5,19 @@
 //! should share an urban function (the paper's "similar functionality"
 //! observation).
 
-use sthsl_bench::{parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 use sthsl_data::synth::FUNCTION_NAMES;
 use sthsl_data::Predictor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_fig8", &args)?;
     for &city in &args.cities {
         let (synth, data) = args.scale.build_dataset(city, args.seed)?;
         let mut model = StHsl::new(args.scale.sthsl_config(args.seed), &data)?;
         model.fit(&data)?;
+        man.section(&format!("{}_fit", city.name()));
         println!(
             "\n== Figure 8 ({}, scale {:?}): hyperedge case study ==\n",
             city.name(),
@@ -75,6 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chance * 100.0
         );
         write_csv(&format!("fig8_{}.csv", city.name().to_lowercase()), &table)?;
+        man.section(&format!("{}_case_study", city.name()));
     }
+    man.finish()?;
     Ok(())
 }

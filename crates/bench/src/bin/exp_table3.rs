@@ -3,13 +3,15 @@
 //! test days.
 
 use sthsl_baselines::all_baselines;
-use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_table3", &args)?;
     for &city in &args.cities {
         let (_, data) = args.scale.build_dataset(city, args.seed)?;
+        man.section(&format!("{}_build_dataset", city.name()));
         let cats = data.category_names.clone();
         println!(
             "\n== Table III ({}, scale {:?}): {} regions, {} days, window {} ==\n",
@@ -39,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.push(format!("{:.4}", run.eval.mape(ci)));
             }
             table.add_row(row);
+            man.section(&format!("{}_{}", city.name(), run.name));
             eprintln!(
                 "  {} done in {:.1}s (train {:.1}s)",
                 run.name,
@@ -49,5 +52,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", table.render());
         write_csv(&format!("table3_{}.csv", city.name().to_lowercase()), &table)?;
     }
+    man.finish()?;
     Ok(())
 }

@@ -3,11 +3,12 @@
 //! w/o ConL, w/o Global, Fusion w/o ConL) vs the full ST-HSL, reporting MAE
 //! per category on both cities.
 
-use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{evaluate_model, parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::{Ablation, StHsl};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_table4", &args)?;
     let variants: Vec<(&str, Ablation)> = vec![
         ("w/o Hyper", Ablation::without_hypergraph()),
         ("w/o GlobalTem", Ablation::without_global_temporal()),
@@ -34,10 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.push(format!("{:.4}", run.eval.mae(ci)));
             }
             table.add_row(row);
+            man.section(&format!("{}_{}", city.name(), name));
             eprintln!("  {name} done ({:.1}s train)", run.fit.train_seconds);
         }
         println!("{}", table.render());
         write_csv(&format!("table4_{}.csv", city.name().to_lowercase()), &table)?;
     }
+    man.finish()?;
     Ok(())
 }

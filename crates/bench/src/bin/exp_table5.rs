@@ -4,11 +4,12 @@
 //! *relative* ordering is the comparable quantity.
 
 use sthsl_baselines::all_baselines;
-use sthsl_bench::{parse_args, write_csv, MarkdownTable};
+use sthsl_bench::{parse_args, write_csv, MarkdownTable, TimingManifest};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_table5", &args)?;
     let mut table = MarkdownTable::new(&["Model", "NYC s/epoch", "CHI s/epoch"]);
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for &city in &args.cities {
@@ -22,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some((_, times)) => times.push(report.seconds_per_epoch),
                 None => rows.push((name.clone(), vec![report.seconds_per_epoch])),
             }
+            man.section(&format!("{}_{}", city.name(), name));
             eprintln!("  {} ({}): {:.3} s/epoch", name, city.name(), report.seconds_per_epoch);
         }
     }
@@ -32,5 +34,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Table V (scale {:?}): seconds per training epoch ==\n", args.scale);
     println!("{}", table.render());
     write_csv("table5_cost.csv", &table)?;
+    man.finish()?;
     Ok(())
 }

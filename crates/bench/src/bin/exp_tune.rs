@@ -4,11 +4,12 @@
 //!
 //! Flags: `--d N --hyperedges N --epochs N --td 0|1 --city nyc|chi --seed N`
 
-use sthsl_bench::{evaluate_model, parse_args, City};
+use sthsl_bench::{evaluate_model, parse_args, City, TimingManifest};
 use sthsl_core::StHsl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    let mut man = TimingManifest::for_args("exp_tune", &args)?;
     let raw: Vec<String> = std::env::args().collect();
     let mut cfg = args.scale.sthsl_config(args.seed);
     let mut i = 1;
@@ -25,8 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let city = *args.cities.first().unwrap_or(&City::Nyc);
     let (_, data) = args.scale.build_dataset(city, args.seed)?;
+    man.section("build_dataset");
     let mut model = StHsl::new(cfg.clone(), &data)?;
     let run = evaluate_model(&mut model, &data)?;
+    man.section("train_eval");
     print!(
         "{} d={} H={} td={} epochs={} | ",
         city.name(),
@@ -39,5 +42,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{:.4} ", run.eval.mae(ci));
     }
     println!("| overall {:.4} ({:.0}s)", run.eval.mae_overall(), run.fit.train_seconds);
+    man.finish()?;
     Ok(())
 }

@@ -3,8 +3,12 @@
 
 use std::process::Command;
 
+use sthsl_bench::TimingManifest;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let mut man =
+        TimingManifest::start("run_all", 0, &[("argv".to_string(), passthrough.join(" "))])?;
     let exps = [
         "exp_audit",
         "exp_datasets",
@@ -24,10 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for exp in exps {
         println!("\n################ {exp} ################");
         let status = Command::new(dir.join(exp)).args(&passthrough).status()?;
+        man.section(exp);
         if !status.success() {
             return Err(format!("{exp} failed with {status}").into());
         }
     }
+    man.finish()?;
     println!("\nAll experiments complete; CSVs in results/.");
     Ok(())
 }

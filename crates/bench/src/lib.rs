@@ -23,9 +23,11 @@
 //! `results/*.csv`.
 
 pub mod harness;
+pub mod manifest;
 pub mod report;
 pub mod scale;
 
 pub use harness::{evaluate_model, evaluate_with_regions, ModelRun, RegionErrors};
+pub use manifest::TimingManifest;
 pub use report::{write_csv, MarkdownTable};
 pub use scale::{parse_args, parse_args_from, City, ExpArgs, Scale};

@@ -45,11 +45,13 @@ pub mod hypergraph;
 pub mod infomax;
 pub mod local;
 pub mod model;
+pub mod obs_hooks;
 pub mod predict;
 pub mod trainer;
 
 pub use config::{Ablation, StHslConfig};
 pub use model::{AuditGraph, StHsl};
+pub use obs_hooks::TraceHooks;
 pub use trainer::{
     BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, TrainHooks, TrainLoop,
     TrainOptions, TrainOutcome,

@@ -285,7 +285,23 @@ impl StHsl {
     /// faithful projection of what training would run.
     pub fn audit_artifacts(&self, data: &CrimeDataset) -> Result<AuditGraph> {
         let g = Graph::training(self.cfg.seed);
-        let pv = self.store.inject(&g);
+        let (loss, params) = self.record_training_graph(&g, data)?;
+        Ok((g, loss, params))
+    }
+
+    /// Record one training-mode forward pass onto a caller-provided graph —
+    /// the same graph [`Self::audit_artifacts`] analyzes. The caller owns the
+    /// graph, so an `sthsl_autograd::TapeObserver` attached beforehand sees
+    /// every forward op as it is recorded (and every backward op if
+    /// [`Graph::backward`] is then run on the returned loss).
+    ///
+    /// Returns `(loss, named params)`.
+    pub fn record_training_graph(
+        &self,
+        g: &Graph,
+        data: &CrimeDataset,
+    ) -> Result<(Var, Vec<(String, Var)>)> {
+        let pv = self.store.inject(g);
         let day = *data.target_days(Split::Train).first().ok_or_else(|| {
             TensorError::Invalid("graph audit: dataset has no training days".into())
         })?;
@@ -293,9 +309,8 @@ impl StHsl {
         let z = data.zscore(&sample.input);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let perm = corruption_permutation(data.num_regions(), &mut rng);
-        let loss = self.sample_loss(&g, &pv, &z, &sample.target, Some(&perm))?;
-        let params = self.store.named_vars(&pv);
-        Ok((g, loss, params))
+        let loss = self.sample_loss(g, &pv, &z, &sample.target, Some(&perm))?;
+        Ok((loss, self.store.named_vars(&pv)))
     }
 
     /// Parameter-name prefixes the active [`crate::config::Ablation`] is

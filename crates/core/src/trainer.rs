@@ -34,7 +34,7 @@ use std::time::Instant;
 use sthsl_autograd::checkpoint::{
     checkpoint_file_name, prune_checkpoints, Checkpoint, TrainerState,
 };
-use sthsl_autograd::optim::{Adam, AdamState, Optimizer};
+use sthsl_autograd::optim::{self, Adam, AdamState, Optimizer};
 use sthsl_autograd::{Graph, ParamStore};
 use sthsl_data::{CrimeDataset, FitReport, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
@@ -87,6 +87,10 @@ pub struct BatchCtx {
     pub global_step: u64,
     /// This batch's mean loss.
     pub loss: f64,
+    /// Global gradient norm for this batch. `None` before the backward pass
+    /// has run (i.e. in [`TrainHooks::inject_fault`]), `Some` by the time
+    /// [`TrainHooks::on_batch_end`] fires.
+    pub grad_norm: Option<f64>,
 }
 
 /// Context passed to [`TrainHooks::on_epoch_end`].
@@ -323,11 +327,12 @@ impl TrainLoop {
                     let loss = g.scale(loss, 1.0 / chunk.len() as f32);
                     let mut lv = g.value(loss).item()?;
 
-                    let ctx = BatchCtx {
+                    let mut ctx = BatchCtx {
                         epoch,
                         batch_in_epoch: bi as u64,
                         global_step: state.global_step,
                         loss: f64::from(lv),
+                        grad_norm: None,
                     };
                     if hooks.inject_fault(&ctx) == Some(Fault::NanLoss) {
                         lv = f32::NAN;
@@ -359,6 +364,7 @@ impl TrainLoop {
                     }
 
                     let grads = g.backward(loss)?;
+                    ctx.grad_norm = Some(optim::global_grad_norm(&model.store, &pv, &grads));
                     opt.step(&mut model.store, &pv, &grads)?;
                     state.batch_in_epoch = bi as u64 + 1;
                     state.epoch_loss_accum += f64::from(lv);

@@ -4,6 +4,11 @@
 //! implementation), MAPE is computed only over entries with non-zero ground
 //! truth — with counts this sparse an unmasked MAPE is undefined on most
 //! entries.
+//!
+//! All metric arithmetic widens each f32 operand to f64 *before* the
+//! subtraction / division, so the free functions here, [`EvalReport`] and the
+//! bench harness's per-region accumulators agree bit-for-bit on identical
+//! inputs (see the cross-consistency tests).
 
 use sthsl_tensor::{Result, Tensor, TensorError};
 
@@ -13,8 +18,12 @@ pub fn mae(pred: &Tensor, truth: &Tensor) -> Result<f64> {
     if pred.is_empty() {
         return Ok(0.0);
     }
-    let sum: f64 =
-        pred.data().iter().zip(truth.data()).map(|(&p, &t)| f64::from((p - t).abs())).sum();
+    let sum: f64 = pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&p, &t)| (f64::from(p) - f64::from(t)).abs())
+        .sum();
     Ok(sum / pred.len() as f64)
 }
 
@@ -26,7 +35,7 @@ pub fn mape(pred: &Tensor, truth: &Tensor) -> Result<f64> {
     let mut n = 0usize;
     for (&p, &t) in pred.data().iter().zip(truth.data()) {
         if t > 0.0 {
-            sum += f64::from((p - t).abs() / t);
+            sum += (f64::from(p) - f64::from(t)).abs() / f64::from(t);
             n += 1;
         }
     }
@@ -44,7 +53,7 @@ pub fn rmse(pred: &Tensor, truth: &Tensor) -> Result<f64> {
         .iter()
         .zip(truth.data())
         .map(|(&p, &t)| {
-            let d = f64::from(p - t);
+            let d = f64::from(p) - f64::from(t);
             d * d
         })
         .sum();
@@ -97,16 +106,27 @@ impl DensityBucket {
     }
 }
 
-/// Bucket for a density degree in `[0, 1]`.
-pub fn density_bucket(density: f32) -> DensityBucket {
-    if density <= 0.25 {
-        DensityBucket::VerySparse
+/// Bucket for a density degree in `(0, 1]`, or `None` for an all-zero
+/// region.
+///
+/// The paper's Fig. 6 buckets are half-open intervals `(0, 0.25]`,
+/// `(0.25, 0.5]`, … — zero density belongs to none of them. A region whose
+/// crime sequence is entirely zero has no masked metric either (every
+/// entry is excluded by the non-zero ground-truth mask), so filing it into
+/// the `(0, 0.25]` group would skew the robustness-study averages with
+/// regions that contribute no error mass. Such regions are therefore
+/// excluded from the grouping, which the `Option` return makes explicit.
+pub fn density_bucket(density: f32) -> Option<DensityBucket> {
+    if density <= 0.0 {
+        None
+    } else if density <= 0.25 {
+        Some(DensityBucket::VerySparse)
     } else if density <= 0.5 {
-        DensityBucket::Sparse
+        Some(DensityBucket::Sparse)
     } else if density <= 0.75 {
-        DensityBucket::Dense
+        Some(DensityBucket::Dense)
     } else {
-        DensityBucket::VeryDense
+        Some(DensityBucket::VeryDense)
     }
 }
 
@@ -173,7 +193,9 @@ impl EvalReport {
         let c = self.per_category.len();
         for (i, (&p, &t)) in pred.data().iter().zip(truth.data()).enumerate() {
             let acc = &mut self.per_category[i % c];
-            let d = f64::from(p - t);
+            // Widen before subtracting so this path agrees to the last bit
+            // with the free `mae`/`mape` functions on identical inputs.
+            let d = f64::from(p) - f64::from(t);
             acc.abs_err += d.abs();
             acc.sq_err += d * d;
             acc.count += 1;
@@ -228,16 +250,36 @@ impl EvalReport {
         }
     }
 
-    /// MAE averaged over all categories.
-    pub fn mae_overall(&self) -> f64 {
-        let n = self.per_category.len().max(1);
-        (0..self.per_category.len()).map(|c| self.mae(c)).sum::<f64>() / n as f64
+    /// Number of categories with at least one masked (non-zero ground-truth)
+    /// entry — the categories that participate in the paper-protocol
+    /// overall averages.
+    pub fn scored_categories(&self) -> usize {
+        self.per_category.iter().filter(|a| a.count_nz > 0).count()
     }
 
-    /// MAPE averaged over all categories.
+    /// MAE averaged over categories with at least one masked entry.
+    ///
+    /// A category whose ground truth is all-zero over the test period has no
+    /// masked MAE at all; including its placeholder 0.0 would silently dilute
+    /// the paper-protocol overall, so such categories are excluded from the
+    /// average. Returns 0 when no category has a masked entry.
+    pub fn mae_overall(&self) -> f64 {
+        self.masked_average(|c| self.mae(c))
+    }
+
+    /// MAPE averaged over categories with at least one masked entry (same
+    /// exclusion rule as [`EvalReport::mae_overall`]).
     pub fn mape_overall(&self) -> f64 {
-        let n = self.per_category.len().max(1);
-        (0..self.per_category.len()).map(|c| self.mape(c)).sum::<f64>() / n as f64
+        self.masked_average(|c| self.mape(c))
+    }
+
+    fn masked_average(&self, metric: impl Fn(usize) -> f64) -> f64 {
+        let scored: Vec<usize> =
+            (0..self.per_category.len()).filter(|&c| self.per_category[c].count_nz > 0).collect();
+        if scored.is_empty() {
+            return 0.0;
+        }
+        scored.iter().map(|&c| metric(c)).sum::<f64>() / scored.len() as f64
     }
 }
 
@@ -286,12 +328,24 @@ mod tests {
 
     #[test]
     fn buckets_partition_unit_interval() {
-        assert_eq!(density_bucket(0.1), DensityBucket::VerySparse);
-        assert_eq!(density_bucket(0.25), DensityBucket::VerySparse);
-        assert_eq!(density_bucket(0.3), DensityBucket::Sparse);
-        assert_eq!(density_bucket(0.6), DensityBucket::Dense);
-        assert_eq!(density_bucket(0.9), DensityBucket::VeryDense);
+        assert_eq!(density_bucket(0.1), Some(DensityBucket::VerySparse));
+        assert_eq!(density_bucket(0.25), Some(DensityBucket::VerySparse));
+        assert_eq!(density_bucket(0.3), Some(DensityBucket::Sparse));
+        assert_eq!(density_bucket(0.6), Some(DensityBucket::Dense));
+        assert_eq!(density_bucket(0.9), Some(DensityBucket::VeryDense));
         assert_eq!(DensityBucket::all().len(), 4);
+    }
+
+    #[test]
+    fn zero_density_belongs_to_no_bucket() {
+        // The "(0.00, 0.25]" interval excludes 0: an all-zero region has no
+        // masked metric and must not be grouped with genuinely sparse ones.
+        assert_eq!(density_bucket(0.0), None);
+        assert_eq!(density_bucket(-0.5), None);
+        // The smallest positive density is in-bucket — the boundary is
+        // exactly at zero.
+        assert_eq!(density_bucket(f32::MIN_POSITIVE), Some(DensityBucket::VerySparse));
+        assert_eq!(density_bucket(1.0), Some(DensityBucket::VeryDense));
     }
 
     #[test]
@@ -323,5 +377,50 @@ mod tests {
         assert!((rep.mape(1) - 0.5).abs() < 1e-9);
         assert!(rep.mae_overall() > 0.0);
         assert!(rep.mape_overall() > 0.0);
+    }
+
+    #[test]
+    fn mape_paths_agree_exactly() {
+        // Regression: `metrics::mape` used to divide in f32 while
+        // `EvalReport::add_day` divided in f64, so the two MAPE paths
+        // disagreed on identical inputs. Both now widen every operand to
+        // f64 first; on a shared fixture they must agree to 1e-12.
+        // Fractional values exercise the old rounding difference directly:
+        // e.g. |0.1 − 0.3| / 0.3 rounds differently in f32 and f64.
+        let p = t2(vec![0.1, 2.7, 3.3, 0.0, 5.5, 1.2, 0.37, 8.25], 8, 1);
+        let t = t2(vec![0.3, 3.0, 0.7, 1.9, 5.5, 0.0, 0.11, 7.75], 8, 1);
+        // With a single category both paths visit identical entries in
+        // identical order, so they must produce identical sums.
+        let mut rep = EvalReport::new(1);
+        rep.add_day(&p, &t).unwrap();
+        let (free_mape, rep_mape) = (mape(&p, &t).unwrap(), rep.mape(0));
+        assert!(
+            (free_mape - rep_mape).abs() < 1e-12,
+            "MAPE paths disagree: free {free_mape:.15} vs report {rep_mape:.15}"
+        );
+        // The unmasked MAE and RMSE paths must agree the same way.
+        assert!((mae(&p, &t).unwrap() - rep.mae_unmasked(0)).abs() < 1e-12);
+        assert!((rmse(&p, &t).unwrap() - rep.rmse(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_averages_skip_unscored_categories() {
+        // Regression: a category with zero non-zero ground-truth entries
+        // used to contribute a placeholder 0.0 to the overall averages,
+        // silently diluting them.
+        let mut rep = EvalReport::new(3);
+        // Category 0: error 1 on truth 2; category 1: error 2 on truth 4;
+        // category 2: all-zero ground truth (never scored).
+        rep.add_day(&t2(vec![3.0, 6.0, 9.0], 1, 3), &t2(vec![2.0, 4.0, 0.0], 1, 3)).unwrap();
+        assert_eq!(rep.scored_categories(), 2);
+        // Overall MAE averages only the two scored categories: (1 + 2) / 2.
+        assert!((rep.mae_overall() - 1.5).abs() < 1e-12, "{}", rep.mae_overall());
+        // Overall MAPE likewise: (0.5 + 0.5) / 2, not diluted to 1/3.
+        assert!((rep.mape_overall() - 0.5).abs() < 1e-12, "{}", rep.mape_overall());
+        // With every category unscored the overalls are 0, not NaN.
+        let empty = EvalReport::new(2);
+        assert_eq!(empty.scored_categories(), 0);
+        assert_eq!(empty.mae_overall(), 0.0);
+        assert_eq!(empty.mape_overall(), 0.0);
     }
 }

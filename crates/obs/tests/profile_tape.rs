@@ -1,0 +1,42 @@
+//! End-to-end: a real autograd tape observed by the profiler under a fake
+//! clock must produce a bit-identical, golden-pinned hot-op report.
+//!
+//! Updating the pin: legitimate when the op mix of the fixture graph or the
+//! report format changes — rerun, eyeball the new table, update in the same
+//! commit with a justification.
+
+use std::rc::Rc;
+
+use sthsl_autograd::Graph;
+use sthsl_obs::{FakeClock, TapeProfiler};
+use sthsl_tensor::Tensor;
+
+fn profiled_report() -> String {
+    let profiler = TapeProfiler::shared(Rc::new(FakeClock::new(100)));
+    let g = Graph::new();
+    g.set_observer(profiler.clone());
+    let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+    let w = g.leaf(Tensor::from_vec(vec![0.5, -0.5, 0.25, 0.75], &[2, 2]).unwrap());
+    let h = g.matmul(x, w).unwrap();
+    let a = g.relu(h);
+    let s = g.add(a, h).unwrap();
+    let loss = g.sum_all(s);
+    g.backward(loss).unwrap();
+    profiler.report(4).render()
+}
+
+#[test]
+fn tape_profile_under_fake_clock_is_golden() {
+    let report = profiled_report();
+    assert_eq!(report, profiled_report(), "profiling the same tape twice must be identical");
+    // 2 leaves + 4 forward ops + 4 backward closures = 10 notifications at
+    // 100 ns each; leaves aggregate into one row. Ties break by name then
+    // phase (forward first); `relu` records on the tape as `leaky_relu`.
+    let golden = "hot ops: top 4 of 9 (total 1000 ns)\n\
+                  rank op                   phase        count       total_ns        bytes   share\n\
+                  1    leaf                 forward          2            200           32    20.0%\n\
+                  2    add                  forward          1            100           16    10.0%\n\
+                  3    add                  backward         1            100           16    10.0%\n\
+                  4    leaky_relu           forward          1            100           16    10.0%\n";
+    assert_eq!(report, golden);
+}

@@ -115,9 +115,17 @@ thread_local! {
     static IN_SECTION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Recover the guard from a poisoned lock/wait. Pool state is plain
+/// bookkeeping data whose invariants are restored by the drain logic, and a
+/// panicked shard is already surfaced through `Job::panicked` — propagating
+/// the poison would only turn one diagnosable panic into a cascade.
+fn recover<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn worker_loop(shared: Arc<Shared>) {
     IN_SECTION.with(|f| f.set(true));
-    let mut state = shared.state.lock().expect("pool mutex poisoned");
+    let mut state = recover(shared.state.lock());
     loop {
         let claimed = match state.as_mut() {
             Some(job) if job.next < job.shards => {
@@ -134,7 +142,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 // SAFETY: the caller keeps the closure alive until the job
                 // drains (it blocks in `run_shards`).
                 let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(shard) })).is_ok();
-                state = shared.state.lock().expect("pool mutex poisoned");
+                state = recover(shared.state.lock());
                 let job = state.as_mut().expect("job cleared while shards active");
                 if !ok {
                     job.panicked = true;
@@ -145,7 +153,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
             }
             None => {
-                state = shared.work_cv.wait(state).expect("pool mutex poisoned");
+                state = recover(shared.work_cv.wait(state));
             }
         }
     }
@@ -167,7 +175,7 @@ fn pool() -> &'static Pool {
 impl Pool {
     /// Grow the worker set to `target` threads (never shrinks).
     fn ensure_workers(&self, target: usize) {
-        let mut spawned = self.spawned.lock().expect("pool mutex poisoned");
+        let mut spawned = recover(self.spawned.lock());
         while *spawned < target {
             let shared = Arc::clone(&self.shared);
             std::thread::Builder::new()
@@ -198,12 +206,12 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let pool = pool();
-    let guard = pool.run_lock.lock().expect("pool run lock poisoned");
+    let guard = recover(pool.run_lock.lock());
     pool.ensure_workers(num_threads().saturating_sub(1));
     // SAFETY: we erase the lifetime of `task` but block below until the job
     // fully drains, so no worker can observe a dangling reference.
     let task_ref = TaskRef(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) });
-    let mut state = pool.shared.state.lock().expect("pool mutex poisoned");
+    let mut state = recover(pool.shared.state.lock());
     debug_assert!(state.is_none(), "run_lock must serialise jobs");
     *state = Some(Job { task: task_ref, shards, next: 0, active: 0, panicked: false });
     pool.shared.work_cv.notify_all();
@@ -221,7 +229,7 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         IN_SECTION.with(|f| f.set(true));
         let result = catch_unwind(AssertUnwindSafe(|| task(shard)));
         IN_SECTION.with(|f| f.set(false));
-        state = pool.shared.state.lock().expect("pool mutex poisoned");
+        state = recover(pool.shared.state.lock());
         let job = state.as_mut().expect("job vanished mid-section");
         job.active -= 1;
         if let Err(payload) = result {
@@ -233,7 +241,7 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         let job = state.as_ref().expect("job vanished mid-section");
         job.next < job.shards || job.active > 0
     } {
-        state = pool.shared.done_cv.wait(state).expect("pool mutex poisoned");
+        state = recover(pool.shared.done_cv.wait(state));
     }
     let panicked = state.take().expect("job vanished mid-section").panicked;
     drop(state);

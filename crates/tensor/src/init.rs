@@ -16,8 +16,15 @@ impl Tensor {
     }
 
     /// Gaussian samples with the given mean and standard deviation.
+    ///
+    /// A degenerate `std` (negative or non-finite) yields the distribution's
+    /// limit: every sample equals `mean`. Initialisers reach this only
+    /// through config values, where a constant tensor is a far more
+    /// debuggable outcome than a panic mid-construction.
     pub fn rand_normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
-        let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
+        let Ok(dist) = Normal::new(mean, std) else {
+            return Tensor::full(shape, mean);
+        };
         let mut t = Tensor::zeros(shape);
         for v in t.data_mut() {
             *v = dist.sample(rng);

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dens = data.region_density();
     println!("Region density-degree census:");
     for bucket in DensityBucket::all() {
-        let n = dens.iter().filter(|&&d| d > 0.0 && density_bucket(d) == bucket).count();
+        let n = dens.iter().filter(|&&d| density_bucket(d) == Some(bucket)).count();
         println!("  {:<14} {:>3} regions", bucket.label(), n);
     }
 
@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let s = data.sample(day)?;
             let pred = model.predict(&data, &s.input)?;
             for (ri, &density) in dens.iter().enumerate() {
-                let b = density_bucket(density);
+                // All-zero regions carry no masked entries anyway; skip them.
+                let Some(b) = density_bucket(density) else { continue };
                 let bi = DensityBucket::all().iter().position(|x| *x == b).expect("bucket");
                 for ci in 0..data.num_categories() {
                     let t = s.target.at(&[ri, ci]);

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::BufReader;
 use std::path::PathBuf;
+use std::rc::Rc;
 use sthsl_data::loader::{dataset_from_csv_lenient, GridSpec};
 
 /// Parsed common flags.
@@ -28,6 +29,9 @@ struct Flags {
     resume: bool,
     patience: Option<usize>,
     threads: Option<usize>,
+    trace_out: Option<String>,
+    fake_clock: bool,
+    top: usize,
     help: bool,
 }
 
@@ -52,6 +56,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         resume: false,
         patience: None,
         threads: None,
+        trace_out: None,
+        fake_clock: false,
+        top: 10,
         help: false,
     };
     let mut i = 0;
@@ -126,6 +133,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--threads" => {
                 f.threads = Some(parse_value(key, value(i)?)?);
+                i += 2;
+            }
+            "--trace-out" => {
+                f.trace_out = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--fake-clock" => {
+                f.fake_clock = true;
+                i += 1;
+            }
+            "--top" => {
+                f.top = parse_value(key, value(i)?)?;
                 i += 2;
             }
             other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
@@ -254,7 +273,25 @@ fn cmd_train(flags: &Flags) -> Result<String, String> {
             None => eprintln!("no checkpoint found in {}; starting fresh", dir.display()),
         }
     }
-    let outcome = model.fit_with(&data, opts, &mut NoHooks).map_err(|e| e.to_string())?;
+    let outcome = match &flags.trace_out {
+        Some(trace) => {
+            let emitter = TraceEmitter::to_file(trace.as_ref(), Rc::new(WallClock::new()))
+                .map_err(|e| format!("{trace}: {e}"))?;
+            emitter.emit(&TraceEvent::Manifest {
+                run: "train".into(),
+                seed: flags.seed,
+                args: vec![
+                    ("city".into(), flags.city.clone()),
+                    ("epochs".into(), flags.epochs.to_string()),
+                ],
+            });
+            let mut hooks = TraceHooks::new(&emitter);
+            let outcome = model.fit_with(&data, opts, &mut hooks).map_err(|e| e.to_string())?;
+            emitter.flush().map_err(|e| format!("{trace}: {e}"))?;
+            outcome
+        }
+        None => model.fit_with(&data, opts, &mut NoHooks).map_err(|e| e.to_string())?,
+    };
     let path = flags.model.clone().unwrap_or_else(|| "model.bin".into());
     model.save(&path).map_err(|e| e.to_string())?;
     let report = &outcome.report;
@@ -392,12 +429,66 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
     }
 }
 
-const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict|graph-audit> [flags]
+/// `profile`: run one training-mode forward + backward pass with the tape
+/// profiler attached and print the top-K hot-op report. `--fake-clock`
+/// substitutes a deterministic clock (every op "takes" 100 ns) so the output
+/// is reproducible — rankings then reflect op *counts*, not wall time.
+fn cmd_profile(flags: &Flags) -> Result<String, String> {
+    let data = if flags.data.is_some() {
+        load_dataset(flags)?
+    } else {
+        // No CSV given: profile against a synthetic city of the requested
+        // dimensions. The tape depends only on the dataset's shape.
+        let cfg = city_config(flags)?;
+        let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
+        CrimeDataset::from_city(
+            &city,
+            DatasetConfig {
+                window: flags.window,
+                val_days: (flags.days / 20).max(5),
+                train_fraction: 7.0 / 8.0,
+            },
+        )
+        .map_err(|e| e.to_string())?
+    };
+    let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
+
+    let clock: Rc<dyn Clock> =
+        if flags.fake_clock { Rc::new(FakeClock::new(100)) } else { Rc::new(WallClock::new()) };
+    let profiler = TapeProfiler::shared(Rc::clone(&clock));
+    let g = Graph::training(flags.seed);
+    g.set_observer(Rc::clone(&profiler) as Rc<dyn TapeObserver>);
+    let (loss, _params) = model.record_training_graph(&g, &data).map_err(|e| e.to_string())?;
+    g.backward(loss).map_err(|e| e.to_string())?;
+    let report = profiler.report(flags.top);
+
+    if let Some(trace) = &flags.trace_out {
+        let emitter = TraceEmitter::to_file(trace.as_ref(), Rc::clone(&clock))
+            .map_err(|e| format!("{trace}: {e}"))?;
+        emitter.emit(&TraceEvent::Manifest {
+            run: "profile".into(),
+            seed: flags.seed,
+            args: vec![
+                ("city".into(), flags.city.clone()),
+                ("grid".into(), format!("{}x{}", flags.rows, flags.cols)),
+                ("fake_clock".into(), flags.fake_clock.to_string()),
+            ],
+        });
+        for event in report.to_events() {
+            emitter.emit(&event);
+        }
+        emitter.flush().map_err(|e| format!("{trace}: {e}"))?;
+    }
+    Ok(report.render())
+}
+
+const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict|graph-audit|profile> [flags]
   common flags:
     --city nyc|chi   synthetic city preset (default nyc)
     --rows N --cols N --days N --window N --seed N
     --threads N      kernel worker threads (default: $STHSL_THREADS or core count);
                      results are identical at any setting
+    --trace-out PATH write a structured JSONL trace of the run to PATH
     --help, -h       print this message
   simulate: --out crimes.csv
   train:    --data crimes.csv --model model.bin --epochs N
@@ -405,11 +496,17 @@ const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict|graph-audit> 
             --checkpoint-every N   also checkpoint every N batches (default: epoch ends only)
             --resume               continue from the latest checkpoint in DIR
             --patience N           early-stop after N epochs without validation improvement
+            (--trace-out traces every batch/epoch/divergence/checkpoint)
   evaluate: --data crimes.csv --model model.bin
   predict:  --data crimes.csv --model model.bin [--out forecast.csv]
   graph-audit: statically verify every model's training graph
             [--data crimes.csv]    audit against a real dataset (default: synthetic)
-            [--out report.txt]     write the full report to a file";
+            [--out report.txt]     write the full report to a file
+  profile:  time one training step per-op and print the hot-op report
+            [--data crimes.csv]    profile a real dataset (default: synthetic)
+            [--top N]              rows in the report (default 10)
+            [--fake-clock]         deterministic clock: rank by op count
+            (--trace-out also writes the stats as JSONL op_stat events)";
 
 /// Entry point: `args` as produced by `std::env::args().collect()`.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -437,6 +534,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => cmd_evaluate(&flags)?,
         "predict" => cmd_predict(&flags)?,
         "graph-audit" | "--graph-audit" => cmd_graph_audit(&flags)?,
+        "profile" => cmd_profile(&flags)?,
         other => return Err(format!("unknown command {other}\n{USAGE}")),
     };
     println!("{output}");
@@ -674,6 +772,97 @@ mod tests {
             "7",
         ]);
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn profile_fake_clock_is_deterministic_and_traced() {
+        let trace = tmp("profile_trace.jsonl");
+        let flags = parse_flags(&str_args(&[
+            "--rows",
+            "4",
+            "--cols",
+            "4",
+            "--days",
+            "60",
+            "--window",
+            "7",
+            "--fake-clock",
+            "--top",
+            "5",
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap();
+        assert!(flags.fake_clock);
+        assert_eq!(flags.top, 5);
+        let out1 = cmd_profile(&flags).unwrap();
+        let out2 = cmd_profile(&flags).unwrap();
+        // The fake clock makes the whole report a pure function of the tape.
+        assert_eq!(out1, out2);
+        // Golden pin from a verified run. With every op costing 100 ns,
+        // total_ns = 100 x (forward + backward notifications): the 4x4x60
+        // training tape fires 400 of them across 52 distinct (op, phase)
+        // pairs, dominated by reshapes. If an intentional tape change shifts
+        // these numbers, rerun with --nocapture, validate the new counts
+        // against the tape, and update the pin.
+        let golden = "\
+hot ops: top 5 of 52 (total 40000 ns)
+rank op                   phase        count       total_ns        bytes   share
+1    reshape              forward         47           4700       283392    11.7%
+2    reshape              backward        47           4700       283392    11.7%
+3    leaf                 forward         21           2100        10276     5.2%
+4    add                  forward         18           1800       143644     4.5%
+5    add                  backward        18           1800       143644     4.5%
+";
+        assert_eq!(out1, golden);
+
+        // The JSONL trace mirrors the report: manifest header + one op_stat
+        // per rendered row.
+        let text = fs::read_to_string(&trace).unwrap();
+        let events = crate::obs::parse_trace(&text).unwrap();
+        assert!(matches!(
+            &events[0],
+            crate::obs::TraceEvent::Manifest { run, .. } if run == "profile"
+        ));
+        let ops =
+            events.iter().filter(|e| matches!(e, crate::obs::TraceEvent::OpStat { .. })).count();
+        assert_eq!(ops, 5, "{text}");
+        fs::remove_file(trace).ok();
+    }
+
+    #[test]
+    fn train_trace_out_writes_batch_and_epoch_events() {
+        let csv = tmp("traced.csv");
+        let model = tmp("traced_model.bin");
+        let trace = tmp("traced_trace.jsonl");
+        let common =
+            ["--rows", "4", "--cols", "4", "--days", "80", "--window", "7", "--epochs", "2"];
+
+        let mut sim = str_args(&["sthsl", "simulate", "--out", &csv]);
+        sim.extend(str_args(&common));
+        run(&sim).unwrap();
+
+        let mut train =
+            str_args(&["sthsl", "train", "--data", &csv, "--model", &model, "--trace-out", &trace]);
+        train.extend(str_args(&common));
+        run(&train).unwrap();
+
+        let text = fs::read_to_string(&trace).unwrap();
+        let events = crate::obs::parse_trace(&text).unwrap();
+        assert!(matches!(
+            &events[0],
+            crate::obs::TraceEvent::Manifest { run, .. } if run == "train"
+        ));
+        let batches =
+            events.iter().filter(|e| matches!(e, crate::obs::TraceEvent::Batch { .. })).count();
+        let epochs =
+            events.iter().filter(|e| matches!(e, crate::obs::TraceEvent::Epoch { .. })).count();
+        assert!(batches > 0, "{text}");
+        assert_eq!(epochs, 2, "{text}");
+
+        for p in [csv, model, trace] {
+            fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! - [`parallel`] — the scoped thread pool behind every multi-threaded kernel.
 //! - [`tensor`] — dense f32 tensors, convolutions, matmul.
 //! - [`autograd`] — tape-based reverse-mode autodiff, NN layers, optimizers.
+//! - [`obs`] — structured JSONL tracing and the tape profiler.
 //! - [`data`] — the calibrated city simulator, datasets, metrics, graphs.
 //! - [`core`] — the ST-HSL model itself.
 //! - [`baselines`] — the 15 paper baselines (+ HA).
@@ -30,23 +31,28 @@ pub use sthsl_baselines as baselines;
 pub use sthsl_core as core;
 pub use sthsl_data as data;
 pub use sthsl_graphcheck as graphcheck;
+pub use sthsl_obs as obs;
 pub use sthsl_parallel as parallel;
 pub use sthsl_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sthsl_autograd::{
-        latest_checkpoint, Checkpoint, Gradients, Graph, ParamStore, TrainerState, Var,
+        latest_checkpoint, Checkpoint, Gradients, Graph, ParamStore, TapeObserver, TapePhase,
+        TrainerState, Var,
     };
     pub use sthsl_baselines::{all_auditable, all_baselines, BaselineConfig, GraphAudited};
     pub use sthsl_core::{
         Ablation, BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, StHsl,
-        StHslConfig, TrainHooks, TrainLoop, TrainOptions, TrainOutcome,
+        StHslConfig, TraceHooks, TrainHooks, TrainLoop, TrainOptions, TrainOutcome,
     };
     pub use sthsl_data::{
         CrimeDataset, DatasetConfig, EvalReport, FitReport, Predictor, Split, SynthCity,
         SynthConfig,
     };
     pub use sthsl_graphcheck::{AuditOptions, AuditReport};
+    pub use sthsl_obs::{
+        Clock, FakeClock, ProfileReport, TapeProfiler, TraceEmitter, TraceEvent, WallClock,
+    };
     pub use sthsl_tensor::Tensor;
 }

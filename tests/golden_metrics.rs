@@ -63,9 +63,12 @@ fn golden_raw_metric_functions_are_stable() {
 
 // ---------------------------------------------------------------- the pins
 // Computed once on the seed revision of this test (see module docs for the
-// update protocol).
-const GOLDEN_HA_MAE: f64 = 0.890168093504;
-const GOLDEN_HA_MAPE: f64 = 0.752688715290;
+// update protocol). Re-pinned when the metric accumulators were widened from
+// f32 to f64 and the overall averages stopped diluting with unscored (all
+// zero-truth) categories: the HA values shifted in the 9th decimal from the
+// accumulator widening alone — same masked entries, higher-precision sums.
+const GOLDEN_HA_MAE: f64 = 0.890168084556;
+const GOLDEN_HA_MAPE: f64 = 0.752688706624;
 const GOLDEN_RAW_MAE: f64 = 0.298611111111;
-const GOLDEN_RAW_MAPE: f64 = 0.761904762472;
+const GOLDEN_RAW_MAPE: f64 = 0.761904761905;
 const GOLDEN_RAW_RMSE: f64 = 0.583333333333;
