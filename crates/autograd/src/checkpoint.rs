@@ -25,11 +25,12 @@
 use crate::optim::AdamState;
 use crate::params::ParamStore;
 use crate::serialize::{
-    atomic_write, fnv1a, read_params, read_tensor, write_params, write_tensor, ByteReader, MAGIC,
+    atomic_write_io, fnv1a, read_params, read_tensor, with_path, write_params, write_tensor,
+    ByteReader, MAGIC,
 };
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use sthsl_chaos::{retry, Io, RealIo, RecoveryAction, RetryPolicy, Sleeper, VirtualSleeper};
 
 const VERSION: u32 = 2;
 
@@ -105,6 +106,11 @@ impl Checkpoint {
     /// Serialise to `path` atomically (temp file + fsync + rename): a crash
     /// mid-save can never leave a torn checkpoint at `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save_io(&RealIo, path.as_ref())
+    }
+
+    /// [`Checkpoint::save`] through an injectable I/O seam.
+    pub fn save_io(&self, io: &dyn Io, path: &Path) -> io::Result<()> {
         let mut out = Vec::with_capacity(64 + self.params.num_scalars() * 12);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
@@ -139,16 +145,39 @@ impl Checkpoint {
 
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
-        atomic_write(path.as_ref(), &out)
+        atomic_write_io(io, path, &out)
+    }
+
+    /// [`Checkpoint::save_io`] retried under `policy`: transient failures
+    /// (e.g. `EIO`) back off and retry; structural ones (`ENOSPC`, bad path)
+    /// fail immediately. Each retry is recorded in the seam's chaos log.
+    pub fn save_with_retry(
+        &self,
+        io: &dyn Io,
+        path: &Path,
+        policy: RetryPolicy,
+        sleeper: &dyn Sleeper,
+    ) -> io::Result<()> {
+        retry(policy, sleeper, io.chaos_log(), &path.to_string_lossy(), || self.save_io(io, path))
     }
 
     /// Load and fully validate a checkpoint written by [`Checkpoint::save`].
     ///
     /// The trailing checksum is verified against the file body *first*, so a
     /// bit-flipped file is rejected before any of its length fields are
-    /// trusted.
+    /// trusted. Every error names the offending path and the section that
+    /// failed (magic, version, checksum, truncation, a specific field).
     pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
-        let bytes = fs::read(path)?;
+        Checkpoint::load_io(&RealIo, path.as_ref())
+    }
+
+    /// [`Checkpoint::load`] through an injectable I/O seam.
+    pub fn load_io(io: &dyn Io, path: &Path) -> io::Result<Checkpoint> {
+        let bytes = io.read(path).map_err(|e| with_path(path, e))?;
+        Self::parse(&bytes).map_err(|e| with_path(path, e))
+    }
+
+    fn parse(bytes: &[u8]) -> io::Result<Checkpoint> {
         if bytes.len() < MAGIC.len() + 4 + 8 {
             return Err(bad("truncated checkpoint: shorter than the fixed header"));
         }
@@ -167,11 +196,11 @@ impl Checkpoint {
 
         let mut r = ByteReader::new(body);
         if r.take(8, "magic")? != MAGIC {
-            return Err(bad("not an ST-HSL checkpoint file"));
+            return Err(bad("magic: not an ST-HSL checkpoint file"));
         }
         let version = r.u32("version")?;
         if version != VERSION {
-            return Err(bad(format!("unsupported checkpoint version {version}")));
+            return Err(bad(format!("version: unsupported checkpoint version {version}")));
         }
         let params = read_params(&mut r)?;
 
@@ -219,51 +248,221 @@ pub fn checkpoint_file_name(global_step: u64) -> String {
     format!("ckpt-{global_step:010}.sthsl")
 }
 
+fn is_checkpoint_name(name: &str) -> bool {
+    name.starts_with("ckpt-") && name.ends_with(".sthsl")
+}
+
+/// All `ckpt-*.sthsl` files in `dir`, sorted ascending (= step order thanks
+/// to zero padding). Missing directory is an empty list, not an error.
+fn list_checkpoints(io: &dyn Io, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match io.list_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut ckpts: Vec<PathBuf> = entries
+        .into_iter()
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(is_checkpoint_name))
+        .collect();
+    ckpts.sort();
+    Ok(ckpts)
+}
+
 /// Find the most recent checkpoint (highest step) in `dir`. Returns `None`
 /// when the directory is missing or holds no `ckpt-*.sthsl` files.
 pub fn latest_checkpoint(dir: impl AsRef<Path>) -> io::Result<Option<PathBuf>> {
-    let entries = match fs::read_dir(dir.as_ref()) {
+    latest_checkpoint_io(&RealIo, dir.as_ref())
+}
+
+/// [`latest_checkpoint`] through an injectable I/O seam.
+pub fn latest_checkpoint_io(io: &dyn Io, dir: &Path) -> io::Result<Option<PathBuf>> {
+    Ok(list_checkpoints(io, dir)?.pop())
+}
+
+/// Rename a corrupt artifact to `{path}.corrupt`, preserving the evidence
+/// for post-mortem instead of deleting it. Returns the quarantine path.
+pub fn quarantine(io: &dyn Io, path: &Path) -> io::Result<PathBuf> {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".corrupt");
+    let dest = PathBuf::from(name);
+    io.rename(path, &dest).map_err(|e| with_path(path, e))?;
+    if let Some(log) = io.chaos_log() {
+        log.recovery(
+            RecoveryAction::Quarantine,
+            &path.to_string_lossy(),
+            format!("renamed to {}", dest.display()),
+        );
+    }
+    Ok(dest)
+}
+
+/// Remove stale `.{name}.tmp-{pid}` files left in `dir` by a crashed
+/// [`atomic_write_io`]. Returns the swept paths. Missing directory sweeps
+/// nothing.
+pub fn sweep_stale_tmp(io: &dyn Io, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match io.list_dir(dir) {
         Ok(e) => e,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
-    let mut best: Option<PathBuf> = None;
-    for entry in entries {
-        let path = entry?.path();
+    let mut swept = Vec::new();
+    for path in entries {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-        if name.starts_with("ckpt-") && name.ends_with(".sthsl") {
-            // Lexicographic max == highest step thanks to zero padding.
-            if best.as_ref().is_none_or(|b| path > *b) {
-                best = Some(path);
+        if name.starts_with('.') && name.contains(".tmp-") {
+            io.remove_file(&path)?;
+            if let Some(log) = io.chaos_log() {
+                log.recovery(RecoveryAction::TmpSweep, &path.to_string_lossy(), String::new());
+            }
+            swept.push(path);
+        }
+    }
+    Ok(swept)
+}
+
+/// Load [`Checkpoint::load_io`] with transient read errors retried under
+/// `policy`. A checksum/parse failure (`InvalidData`) is *also* retried
+/// once more via re-read — read-path corruption (a flaky controller, an
+/// injected bit flip) heals on a second read, while genuine on-disk
+/// corruption reproduces and is then reported.
+pub fn load_with_reread(
+    io: &dyn Io,
+    path: &Path,
+    policy: RetryPolicy,
+    sleeper: &dyn Sleeper,
+) -> io::Result<Checkpoint> {
+    let first = retry(policy, sleeper, io.chaos_log(), &path.to_string_lossy(), || {
+        Checkpoint::load_io(io, path)
+    });
+    match first {
+        Err(e) if e.kind() == io::ErrorKind::InvalidData && policy.max_attempts > 1 => {
+            match Checkpoint::load_io(io, path) {
+                Ok(ck) => {
+                    if let Some(log) = io.chaos_log() {
+                        log.recovery(
+                            RecoveryAction::Reread,
+                            &path.to_string_lossy(),
+                            "checksum healed on re-read".into(),
+                        );
+                    }
+                    Ok(ck)
+                }
+                Err(e2) => Err(e2),
+            }
+        }
+        other => other,
+    }
+}
+
+/// Scan `dir` newest-first for a checkpoint that loads and verifies.
+///
+/// Candidates that fail their checksum (persistently, after a healing
+/// re-read) are quarantined as `*.corrupt` — never deleted — and the scan
+/// falls back to the next older generation. Candidates that cannot be read
+/// at all are skipped in place. Returns the newest verified-good checkpoint
+/// and its path, or `None` when no generation survives.
+pub fn load_latest_verified(
+    io: &dyn Io,
+    dir: &Path,
+    policy: RetryPolicy,
+    sleeper: &dyn Sleeper,
+) -> io::Result<Option<(PathBuf, Checkpoint)>> {
+    let ckpts = list_checkpoints(io, dir)?;
+    let newest = ckpts.last().cloned();
+    for path in ckpts.into_iter().rev() {
+        match load_with_reread(io, &path, policy, sleeper) {
+            Ok(ck) => {
+                if newest.as_ref().is_some_and(|n| *n != path) {
+                    if let Some(log) = io.chaos_log() {
+                        log.recovery(
+                            RecoveryAction::Fallback,
+                            &path.to_string_lossy(),
+                            "older verified generation".into(),
+                        );
+                    }
+                }
+                return Ok(Some((path, ck)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Corrupt: preserve the evidence, fall back to older.
+                quarantine(io, &path).ok();
+            }
+            Err(_) => {
+                // Unreadable (permissions, transient beyond budget): leave
+                // it alone and keep scanning; it may become readable later.
             }
         }
     }
-    Ok(best)
+    Ok(None)
 }
 
-/// Delete all but the newest `keep` checkpoints in `dir`. Never touches
-/// non-checkpoint files (e.g. `best.params`).
-pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> io::Result<()> {
-    let mut ckpts: Vec<PathBuf> = fs::read_dir(dir.as_ref())?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".sthsl"))
-        })
-        .collect();
-    ckpts.sort();
-    let n = ckpts.len().saturating_sub(keep);
-    for old in &ckpts[..n] {
-        fs::remove_file(old)?;
+/// What [`prune_checkpoints_io`] did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Checkpoints deleted by retention.
+    pub deleted: Vec<PathBuf>,
+    /// Corrupt checkpoints quarantined as `*.corrupt` during verification.
+    pub quarantined: Vec<PathBuf>,
+    /// Stale atomic-write temp files removed.
+    pub swept_tmp: Vec<PathBuf>,
+    /// The newest checkpoint that loaded and verified, if any.
+    pub kept_verified: Option<PathBuf>,
+}
+
+/// Delete all but the newest `keep` checkpoints in `dir` — but never the
+/// newest *verified-good* generation, even when it is older than the
+/// retention window (later files may be corrupt, and deleting the only
+/// loadable checkpoint would strand the run). Corrupt files found while
+/// verifying are quarantined as `*.corrupt`; stale `.tmp` files from
+/// crashed atomic writes are swept. Never touches non-checkpoint files
+/// (e.g. `best.params`).
+pub fn prune_checkpoints_io(io: &dyn Io, dir: &Path, keep: usize) -> io::Result<PruneReport> {
+    let mut report = PruneReport { swept_tmp: sweep_stale_tmp(io, dir)?, ..Default::default() };
+    let sleeper = VirtualSleeper::new();
+    let mut ckpts = list_checkpoints(io, dir)?;
+
+    // Walk newest-down until one generation verifies; on the healthy path
+    // this is a single read of the newest file.
+    for path in ckpts.clone().into_iter().rev() {
+        match load_with_reread(io, &path, RetryPolicy::default_read(), &sleeper) {
+            Ok(_) => {
+                report.kept_verified = Some(path);
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                if let Ok(dest) = quarantine(io, &path) {
+                    report.quarantined.push(dest);
+                    ckpts.retain(|p| *p != path);
+                }
+            }
+            Err(_) => {
+                // Unreadable is not proof of corruption: keep the file and
+                // treat it as unverified.
+            }
+        }
     }
-    Ok(())
+
+    let n = ckpts.len().saturating_sub(keep);
+    for old in ckpts.into_iter().take(n) {
+        if report.kept_verified.as_ref().is_some_and(|v| *v == old) {
+            continue;
+        }
+        io.remove_file(&old)?;
+        report.deleted.push(old);
+    }
+    Ok(report)
+}
+
+/// [`prune_checkpoints_io`] against the real filesystem, discarding the
+/// report. Kept for existing call sites.
+pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> io::Result<()> {
+    prune_checkpoints_io(&RealIo, dir.as_ref(), keep).map(|_| ())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+    use std::fs;
     use sthsl_tensor::Tensor;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -390,6 +589,162 @@ mod tests {
             left,
             vec!["best.params".to_string(), checkpoint_file_name(19), checkpoint_file_name(25)]
         );
+        fs::remove_dir_all(dir).ok();
+    }
+
+    fn dir_names(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn load_errors_name_path_and_section() {
+        let dir = tmp_dir("errctx");
+        let path = dir.join("victim.sthsl");
+        sample_checkpoint().save(&path).unwrap();
+        let mut evil = fs::read(&path).unwrap();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0xA5;
+        fs::write(&path, &evil).unwrap();
+        let Err(err) = Checkpoint::load(&path) else { panic!("corrupt load must fail") };
+        let msg = err.to_string();
+        assert!(msg.contains("victim.sthsl"), "path missing from: {msg}");
+        assert!(msg.contains("checksum"), "failing section missing from: {msg}");
+
+        fs::write(&path, b"NOTMAGIC").unwrap();
+        let Err(err) = Checkpoint::load(&path) else { panic!("short load must fail") };
+        let msg = err.to_string();
+        assert!(msg.contains("victim.sthsl") && msg.contains("truncated"), "{msg}");
+
+        let Err(err) = ParamStore::load(dir.join("nope.params")) else {
+            panic!("missing file must fail")
+        };
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("nope.params"));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quarantine_preserves_evidence() {
+        let dir = tmp_dir("quarantine");
+        let path = dir.join(checkpoint_file_name(7));
+        fs::write(&path, b"corrupt bytes").unwrap();
+        let dest = quarantine(&RealIo, &path).unwrap();
+        assert!(!path.exists());
+        assert_eq!(fs::read(&dest).unwrap(), b"corrupt bytes");
+        assert!(dest.to_string_lossy().ends_with(".corrupt"));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_back_quarantines_corrupt_and_falls_back() {
+        let dir = tmp_dir("scanback");
+        let ck = sample_checkpoint();
+        for step in [5u64, 9, 12] {
+            ck.save(dir.join(checkpoint_file_name(step))).unwrap();
+        }
+        // Corrupt the two newest generations.
+        for step in [9u64, 12] {
+            let p = dir.join(checkpoint_file_name(step));
+            let mut bytes = fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            fs::write(&p, &bytes).unwrap();
+        }
+        let sleeper = VirtualSleeper::new();
+        let (path, loaded) =
+            load_latest_verified(&RealIo, &dir, RetryPolicy::default_read(), &sleeper)
+                .unwrap()
+                .expect("oldest generation survives");
+        assert_eq!(path, dir.join(checkpoint_file_name(5)));
+        assert_eq!(loaded.trainer, ck.trainer);
+        let names = dir_names(&dir);
+        assert!(names.contains(&format!("{}.corrupt", checkpoint_file_name(9))), "{names:?}");
+        assert!(names.contains(&format!("{}.corrupt", checkpoint_file_name(12))), "{names:?}");
+        assert!(!names.contains(&checkpoint_file_name(12)), "corrupt file must be renamed");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_back_with_no_survivor_returns_none() {
+        let dir = tmp_dir("nosurvivor");
+        let p = dir.join(checkpoint_file_name(3));
+        sample_checkpoint().save(&p).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[10] ^= 0x42;
+        fs::write(&p, &bytes).unwrap();
+        let sleeper = VirtualSleeper::new();
+        let got =
+            load_latest_verified(&RealIo, &dir, RetryPolicy::default_read(), &sleeper).unwrap();
+        assert!(got.is_none());
+        assert!(dir_names(&dir).contains(&format!("{}.corrupt", checkpoint_file_name(3))));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prune_never_deletes_newest_verified_good() {
+        let dir = tmp_dir("prune_verified");
+        let ck = sample_checkpoint();
+        for step in [1u64, 2, 3, 4] {
+            ck.save(dir.join(checkpoint_file_name(step))).unwrap();
+        }
+        // Corrupt the two newest: the newest verified-good is step 2.
+        for step in [3u64, 4] {
+            let p = dir.join(checkpoint_file_name(step));
+            let mut bytes = fs::read(&p).unwrap();
+            bytes[20] ^= 0x81;
+            fs::write(&p, &bytes).unwrap();
+        }
+        let report = prune_checkpoints_io(&RealIo, &dir, 1).unwrap();
+        assert_eq!(report.kept_verified, Some(dir.join(checkpoint_file_name(2))));
+        assert_eq!(report.quarantined.len(), 2);
+        let names = dir_names(&dir);
+        // Step 2 must survive even though retention alone would drop it;
+        // step 1 is pruned; 3 and 4 are quarantined, not deleted.
+        assert!(names.contains(&checkpoint_file_name(2)), "{names:?}");
+        assert!(!names.contains(&checkpoint_file_name(1)), "{names:?}");
+        assert!(names.contains(&format!("{}.corrupt", checkpoint_file_name(3))), "{names:?}");
+        assert!(names.contains(&format!("{}.corrupt", checkpoint_file_name(4))), "{names:?}");
+        Checkpoint::load(dir.join(checkpoint_file_name(2))).expect("survivor loads");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prune_sweeps_stale_tmp_files() {
+        let dir = tmp_dir("tmpsweep");
+        sample_checkpoint().save(dir.join(checkpoint_file_name(8))).unwrap();
+        let stale = dir.join(format!(".{}.tmp-99999", checkpoint_file_name(6)));
+        fs::write(&stale, b"half a checkpoint").unwrap();
+        fs::write(dir.join("best.params"), b"not a checkpoint").unwrap();
+        let report = prune_checkpoints_io(&RealIo, &dir, 2).unwrap();
+        assert_eq!(report.swept_tmp, vec![stale.clone()]);
+        assert!(!stale.exists());
+        let names = dir_names(&dir);
+        assert!(names.contains(&"best.params".to_string()), "{names:?}");
+        assert!(names.contains(&checkpoint_file_name(8)), "{names:?}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_with_retry_heals_transient_write_faults() {
+        use sthsl_chaos::{FaultKind, FaultPlan, FaultRule, FaultyIo, OpClass};
+        let dir = tmp_dir("saveretry");
+        let path = dir.join(checkpoint_file_name(1));
+        let plan = FaultPlan::new(21)
+            .rule(FaultRule::always(FaultKind::TransientEio, OpClass::Write).with_max_fires(2));
+        let io = FaultyIo::new(RealIo, plan);
+        let sleeper = VirtualSleeper::new();
+        let ck = sample_checkpoint();
+        ck.save_with_retry(&io, &path, RetryPolicy::default_checkpoint(), &sleeper).unwrap();
+        Checkpoint::load(&path).expect("retried save is loadable");
+        let log = io.chaos_log().unwrap();
+        assert_eq!(log.fault_count(), 2);
+        assert_eq!(log.recovery_count(), 2, "each fault answered by a retry");
+        assert!(sleeper.total_ns() > 0, "backoff charged to the virtual clock");
         fs::remove_dir_all(dir).ok();
     }
 }

@@ -43,9 +43,14 @@ pub mod nn;
 pub mod optim;
 pub mod tape;
 
-pub use checkpoint::{latest_checkpoint, Checkpoint, TrainerState};
+pub use checkpoint::{
+    checkpoint_file_name, latest_checkpoint, latest_checkpoint_io, load_latest_verified,
+    load_with_reread, prune_checkpoints, prune_checkpoints_io, quarantine, sweep_stale_tmp,
+    Checkpoint, PruneReport, TrainerState,
+};
 pub use gradcheck::{gradcheck, gradcheck_tol, try_gradcheck_tol};
 pub use graph::{Gradients, Graph, TapeObserver, TapePhase, Var};
+pub use optim::AdamState;
 pub use params::{ParamId, ParamStore, ParamVars};
 pub use tape::{NodeSpec, OpKind, TapeSpec};
 

@@ -19,9 +19,9 @@
 //! never leave a truncated file at the destination path.
 
 use crate::params::ParamStore;
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
+use sthsl_chaos::{Io, RealIo};
 use sthsl_tensor::Tensor;
 
 pub(crate) const MAGIC: &[u8; 8] = b"STHSLPRM";
@@ -36,6 +36,13 @@ pub(crate) const MAX_ELEMS: usize = 1 << 30;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Prefix `err` with the offending path, preserving its [`io::ErrorKind`] so
+/// callers can still dispatch on corruption vs. absence vs. transience.
+pub(crate) fn with_path(path: &Path, err: io::Error) -> io::Error {
+    let kind = err.kind();
+    io::Error::new(kind, format!("{}: {err}", path.display()))
 }
 
 /// Bounds-checked little-endian cursor over an in-memory file image.
@@ -196,21 +203,19 @@ pub(crate) fn read_params(r: &mut ByteReader) -> io::Result<ParamStore> {
     Ok(store)
 }
 
-/// 64-bit FNV-1a hash, used as the checkpoint integrity checksum.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+/// 64-bit FNV-1a hash, used as the checkpoint integrity checksum. The
+/// canonical implementation lives in `sthsl-chaos` so that integrity
+/// verification and fault injection agree on the function.
+pub(crate) use sthsl_chaos::fnv1a;
 
-/// Write `bytes` to `path` atomically: a unique temp file in the same
-/// directory is written, fsynced, then renamed over the destination, so the
-/// destination is always either the old complete file or the new complete
-/// file — never a torn write.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// Write `bytes` to `path` atomically through the injectable I/O seam: a
+/// unique temp file in the same directory is written + fsynced, then renamed
+/// over the destination, so the destination is always either the old
+/// complete file or the new complete file — never a torn write. On failure
+/// the temp file is removed (best-effort); a crash between write and cleanup
+/// leaves a stale `.{name}.tmp-{pid}` file that
+/// [`crate::checkpoint::sweep_stale_tmp`] reclaims.
+pub(crate) fn atomic_write_io(io: &dyn Io, path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -222,24 +227,25 @@ pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         None => Path::new(&format!(".{file_name}.tmp-{}", std::process::id())).to_path_buf(),
     };
     let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        drop(f);
-        fs::rename(&tmp, path)?;
+        io.write(&tmp, bytes)?;
+        io.rename(&tmp, path)?;
         // Persist the rename itself; not all filesystems support opening a
         // directory for sync, so failure here is not fatal.
         if let Some(d) = dir {
-            if let Ok(df) = File::open(d) {
-                let _ = df.sync_all();
-            }
+            let _ = io.fsync_dir(d);
         }
         Ok(())
     })();
     if result.is_err() {
-        fs::remove_file(&tmp).ok();
+        io.remove_file(&tmp).ok();
     }
     result
+}
+
+/// [`atomic_write_io`] against the real filesystem.
+#[cfg(test)]
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_io(&RealIo, path, bytes)
 }
 
 impl ParamStore {
@@ -248,29 +254,44 @@ impl ParamStore {
     /// The write is atomic: a crash mid-save leaves any previous file at
     /// `path` intact.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save_io(&RealIo, path.as_ref())
+    }
+
+    /// [`ParamStore::save`] through an injectable I/O seam.
+    pub fn save_io(&self, io: &dyn Io, path: &Path) -> io::Result<()> {
         let mut out = Vec::with_capacity(16 + self.num_scalars() * 4);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         write_params(&mut out, self);
-        atomic_write(path.as_ref(), &out)
+        atomic_write_io(io, path, &out)
     }
 
     /// Load a parameter file saved by [`ParamStore::save`]. Returns a fresh
     /// store with parameters in their original registration order.
     ///
     /// Corrupted, truncated or oversized files are rejected with
-    /// [`io::ErrorKind::InvalidData`]; no length field is trusted before it
-    /// has been checked against the actual file size.
+    /// [`io::ErrorKind::InvalidData`] naming the offending path and the
+    /// section that failed; no length field is trusted before it has been
+    /// checked against the actual file size.
     pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
-        let bytes = fs::read(path)?;
-        let mut r = ByteReader::new(&bytes);
+        ParamStore::load_io(&RealIo, path.as_ref())
+    }
+
+    /// [`ParamStore::load`] through an injectable I/O seam.
+    pub fn load_io(io: &dyn Io, path: &Path) -> io::Result<ParamStore> {
+        let bytes = io.read(path).map_err(|e| with_path(path, e))?;
+        Self::parse(&bytes).map_err(|e| with_path(path, e))
+    }
+
+    fn parse(bytes: &[u8]) -> io::Result<ParamStore> {
+        let mut r = ByteReader::new(bytes);
         if r.take(8, "magic")? != MAGIC {
-            return Err(bad("not an ST-HSL parameter file"));
+            return Err(bad("magic: not an ST-HSL parameter file"));
         }
         let version = r.u32("version")?;
         if version != VERSION {
             return Err(bad(format!(
-                "unsupported parameter file version {version} (checkpoints are loaded via Checkpoint::load)"
+                "version: unsupported parameter file version {version} (checkpoints are loaded via Checkpoint::load)"
             )));
         }
         let store = read_params(&mut r)?;

@@ -100,6 +100,17 @@ impl TrainHooks for TraceHooks<'_> {
             h.on_checkpoint(path);
         }
     }
+
+    fn on_checkpoint_degraded(&mut self, path: &Path, error: &str) {
+        self.emitter.emit(&TraceEvent::Recovery {
+            action: "degrade".into(),
+            path: path.to_string_lossy().into_owned(),
+            detail: error.to_string(),
+        });
+        if let Some(h) = self.inner.as_mut() {
+            h.on_checkpoint_degraded(path, error);
+        }
+    }
 }
 
 #[cfg(test)]

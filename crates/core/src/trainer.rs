@@ -10,7 +10,17 @@
 //! * **Resume** — [`TrainOptions::resume_from`] restores a checkpoint and
 //!   continues mid-epoch. Every random choice is derived from
 //!   `(seed, epoch, global_step)` counters rather than a long-lived RNG, so
-//!   a resumed run is **bit-identical** to an uninterrupted one.
+//!   a resumed run is **bit-identical** to an uninterrupted one. A corrupt
+//!   resume target is quarantined as `*.corrupt` and the loop scans back to
+//!   the newest verified-good generation in the checkpoint dir; because
+//!   every generation replays identically, falling back still reproduces
+//!   the uninterrupted run bit-for-bit.
+//! * **Checkpoint degradation** — every checkpoint write goes through an
+//!   injectable I/O seam ([`TrainLoop::with_io`]) with bounded-backoff
+//!   retries; when the retry budget is exhausted the loop latches
+//!   checkpointing *off* ([`TrainOutcome::checkpointing_disabled`]), fires
+//!   [`TrainHooks::on_checkpoint_degraded`] and keeps training — a full
+//!   disk must not kill a half-finished run.
 //! * **Divergence self-healing** — on a non-finite loss the loop restores
 //!   the last epoch-start snapshot, halves the learning-rate scale and
 //!   retries, up to [`TrainOptions::max_divergence_retries`]; when the
@@ -30,12 +40,15 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 use std::time::Instant;
 use sthsl_autograd::checkpoint::{
-    checkpoint_file_name, prune_checkpoints, Checkpoint, TrainerState,
+    checkpoint_file_name, load_latest_verified, load_with_reread, prune_checkpoints_io, quarantine,
+    sweep_stale_tmp, Checkpoint, TrainerState,
 };
 use sthsl_autograd::optim::{self, Adam, AdamState, Optimizer};
 use sthsl_autograd::{Graph, ParamStore};
+use sthsl_chaos::{retry, Io, RealIo, RecoveryAction, RetryPolicy, Sleeper, ThreadSleeper};
 use sthsl_data::{CrimeDataset, FitReport, Split};
 use sthsl_tensor::{Result, Tensor, TensorError};
 
@@ -147,6 +160,11 @@ pub trait TrainHooks {
 
     /// Called after every checkpoint file is durably written.
     fn on_checkpoint(&mut self, _path: &Path) {}
+
+    /// Called once when a checkpoint write exhausted its retry budget and
+    /// the loop latched checkpointing off. Training continues; `error` is
+    /// the final I/O failure.
+    fn on_checkpoint_degraded(&mut self, _path: &Path, _error: &str) {}
 }
 
 /// The do-nothing hook set.
@@ -199,6 +217,18 @@ pub struct TrainOutcome {
     pub best_val: Option<f64>,
     /// `(epoch, batch_in_epoch)` this run resumed from, if it resumed.
     pub resumed_at: Option<(u64, u64)>,
+    /// Checkpoint writes that failed even after retries.
+    pub checkpoint_failures: u32,
+    /// True when a failed write latched checkpointing off for the rest of
+    /// the run (training itself continued).
+    pub checkpointing_disabled: bool,
+}
+
+/// Latched health of the checkpoint write path.
+#[derive(Default)]
+struct CkptHealth {
+    failures: u32,
+    disabled: bool,
 }
 
 /// Epoch-start snapshot used for divergence recovery.
@@ -213,12 +243,34 @@ struct Snapshot {
 /// The resumable training loop. See the module docs for the feature set.
 pub struct TrainLoop {
     opts: TrainOptions,
+    io: Rc<dyn Io>,
+    sleeper: Rc<dyn Sleeper>,
+    retry: RetryPolicy,
 }
 
 impl TrainLoop {
-    /// A loop with the given fault-tolerance options.
+    /// A loop with the given fault-tolerance options, against the real
+    /// filesystem with real (bounded-backoff) retry sleeps.
     pub fn new(opts: TrainOptions) -> Self {
-        TrainLoop { opts }
+        TrainLoop::with_io(
+            opts,
+            Rc::new(RealIo),
+            Rc::new(ThreadSleeper),
+            RetryPolicy::default_checkpoint(),
+        )
+    }
+
+    /// A loop whose every filesystem touch (checkpoints, `best.params`,
+    /// resume reads, pruning, tmp sweeps) goes through `io` — the seam the
+    /// chaos campaign uses to inject faults — retried under `retry` with
+    /// backoff delays served by `sleeper`.
+    pub fn with_io(
+        opts: TrainOptions,
+        io: Rc<dyn Io>,
+        sleeper: Rc<dyn Sleeper>,
+        retry: RetryPolicy,
+    ) -> Self {
+        TrainLoop { opts, io, sleeper, retry }
     }
 
     /// Train `model` on `data`'s training split.
@@ -240,11 +292,19 @@ impl TrainLoop {
         let val_days = data.target_days(Split::Val);
         let want_val = self.opts.patience.is_some() || self.opts.validate;
 
+        let io = Rc::clone(&self.io);
+        // A crashed atomic write leaves `.{name}.tmp-{pid}` litter; sweep it
+        // before anything else so a stale partial file can never be confused
+        // with a real artifact.
+        if let Some(dir) = &self.opts.checkpoint_dir {
+            let _ = sweep_stale_tmp(io.as_ref(), dir);
+        }
+
         let mut state = TrainerState { seed: cfg.seed, ..TrainerState::default() };
         let mut resumed_at = None;
         let mut best_params: Option<ParamStore> = None;
         if let Some(path) = &self.opts.resume_from {
-            let ck = Checkpoint::load(path).map_err(ckpt_err)?;
+            let ck = self.load_resume_checkpoint(io.as_ref(), path)?;
             if ck.trainer.seed != cfg.seed {
                 return Err(TensorError::Invalid(format!(
                     "resume: checkpoint was trained with seed {} but config has seed {} — \
@@ -258,8 +318,9 @@ impl TrainLoop {
             resumed_at = Some((state.epoch, state.batch_in_epoch));
             if let Some(dir) = &self.opts.checkpoint_dir {
                 let best_path = dir.join("best.params");
-                if best_path.exists() {
-                    best_params = Some(ParamStore::load(&best_path).map_err(ckpt_err)?);
+                if io.exists(&best_path) {
+                    best_params =
+                        Some(ParamStore::load_io(io.as_ref(), &best_path).map_err(ckpt_err)?);
                 }
             }
         }
@@ -280,6 +341,7 @@ impl TrainLoop {
         let mut interrupted = false;
         let mut early_stopped = false;
         let mut divergence_events = 0u32;
+        let mut ckpt_health = CkptHealth::default();
 
         'training: while state.epoch < cfg.epochs as u64 {
             let epoch = state.epoch as usize;
@@ -373,7 +435,7 @@ impl TrainLoop {
                         && state.global_step.is_multiple_of(self.opts.checkpoint_every as u64);
                     let action = hooks.on_batch_end(&ctx);
                     if periodic || action != HookAction::Continue {
-                        self.write_checkpoint(model, &opt, &state, hooks)?;
+                        self.write_checkpoint(model, &opt, &state, hooks, &mut ckpt_health)?;
                     }
                     if action == HookAction::Stop {
                         interrupted = true;
@@ -395,8 +457,21 @@ impl TrainLoop {
                     state.epochs_since_improve = 0;
                     best_params = Some(model.store.clone());
                     if let Some(dir) = &self.opts.checkpoint_dir {
-                        std::fs::create_dir_all(dir).map_err(ckpt_err)?;
-                        model.store.save(dir.join("best.params")).map_err(ckpt_err)?;
+                        if !ckpt_health.disabled {
+                            let best_path = dir.join("best.params");
+                            let saved = io.create_dir_all(dir).and_then(|()| {
+                                retry(
+                                    self.retry,
+                                    self.sleeper.as_ref(),
+                                    io.chaos_log(),
+                                    &best_path.to_string_lossy(),
+                                    || model.store.save_io(io.as_ref(), &best_path),
+                                )
+                            });
+                            if let Err(e) = saved {
+                                self.degrade(&mut ckpt_health, hooks, &best_path, &e);
+                            }
+                        }
                     }
                 } else {
                     state.epochs_since_improve += 1;
@@ -413,7 +488,7 @@ impl TrainLoop {
                 lr: lr_sched * state.lr_scale,
             });
             if self.opts.checkpoint_dir.is_some() || action == HookAction::Checkpoint {
-                self.write_checkpoint(model, &opt, &state, hooks)?;
+                self.write_checkpoint(model, &opt, &state, hooks, &mut ckpt_health)?;
             }
             if action == HookAction::Stop {
                 interrupted = true;
@@ -446,6 +521,8 @@ impl TrainLoop {
             divergence_events,
             best_val: if state.best_val.is_nan() { None } else { Some(state.best_val) },
             resumed_at,
+            checkpoint_failures: ckpt_health.failures,
+            checkpointing_disabled: ckpt_health.disabled,
         })
     }
 
@@ -469,24 +546,87 @@ impl TrainLoop {
         Ok(total / val_days.len() as f64)
     }
 
+    /// Load the resume target through the seam. Transient read failures are
+    /// retried; a *corrupt* file (checksum/parse failure) is quarantined as
+    /// `*.corrupt` and the checkpoint dir is scanned back for the newest
+    /// verified-good generation. Only when nothing survives does resume fail,
+    /// with a typed error — never a silent fresh start over corrupt state.
+    fn load_resume_checkpoint(&self, io: &dyn Io, path: &Path) -> Result<Checkpoint> {
+        match load_with_reread(io, path, RetryPolicy::default_read(), self.sleeper.as_ref()) {
+            Ok(ck) => Ok(ck),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = quarantine(io, path);
+                let dir = self.opts.checkpoint_dir.as_deref().or_else(|| path.parent());
+                let survivor = match dir {
+                    Some(d) => load_latest_verified(
+                        io,
+                        d,
+                        RetryPolicy::default_read(),
+                        self.sleeper.as_ref(),
+                    )
+                    .map_err(ckpt_err)?,
+                    None => None,
+                };
+                match survivor {
+                    Some((_, ck)) => Ok(ck),
+                    None => Err(TensorError::Invalid(format!(
+                        "resume: checkpoint {} is corrupt ({e}); quarantined as *.corrupt and no \
+                         older verified generation survives",
+                        path.display()
+                    ))),
+                }
+            }
+            Err(e) => Err(ckpt_err(e)),
+        }
+    }
+
+    /// Latch checkpointing off after a write-path failure; training goes on.
+    fn degrade(
+        &self,
+        health: &mut CkptHealth,
+        hooks: &mut dyn TrainHooks,
+        path: &Path,
+        err: &std::io::Error,
+    ) {
+        health.failures += 1;
+        health.disabled = true;
+        if let Some(log) = self.io.chaos_log() {
+            log.recovery(
+                RecoveryAction::Degrade,
+                &path.to_string_lossy(),
+                format!("checkpointing disabled after exhausted retries: {err}"),
+            );
+        }
+        hooks.on_checkpoint_degraded(path, &err.to_string());
+    }
+
     fn write_checkpoint(
         &self,
         model: &StHsl,
         opt: &Adam,
         state: &TrainerState,
         hooks: &mut dyn TrainHooks,
+        health: &mut CkptHealth,
     ) -> Result<()> {
         let Some(dir) = &self.opts.checkpoint_dir else { return Ok(()) };
-        std::fs::create_dir_all(dir).map_err(ckpt_err)?;
+        if health.disabled {
+            return Ok(());
+        }
+        let io = self.io.as_ref();
         let path = dir.join(checkpoint_file_name(state.global_step));
         let ck = Checkpoint {
             params: model.store.clone(),
             adam: opt.export_state(),
             trainer: state.clone(),
         };
-        ck.save(&path).map_err(ckpt_err)?;
-        prune_checkpoints(dir, self.opts.keep_last.max(1)).map_err(ckpt_err)?;
-        hooks.on_checkpoint(&path);
+        let written = io
+            .create_dir_all(dir)
+            .and_then(|()| ck.save_with_retry(io, &path, self.retry, self.sleeper.as_ref()))
+            .and_then(|()| prune_checkpoints_io(io, dir, self.opts.keep_last.max(1)).map(|_| ()));
+        match written {
+            Ok(()) => hooks.on_checkpoint(&path),
+            Err(e) => self.degrade(health, hooks, &path, &e),
+        }
         Ok(())
     }
 }
@@ -689,5 +829,107 @@ mod tests {
         let loop_ = TrainLoop::new(TrainOptions::default());
         let v = loop_.validation_loss(&model, &data, &val_days).unwrap();
         assert!((v - best).abs() < 1e-9, "restored val {v} != best {best}");
+    }
+
+    #[test]
+    fn exhausted_checkpoint_retries_degrade_without_stopping_training() {
+        use sthsl_chaos::{FaultKind, FaultPlan, FaultRule, FaultyIo, OpClass, VirtualSleeper};
+
+        struct DegradeSpy {
+            degraded: Vec<String>,
+            checkpoints: usize,
+        }
+        impl TrainHooks for DegradeSpy {
+            fn on_checkpoint(&mut self, _path: &Path) {
+                self.checkpoints += 1;
+            }
+            fn on_checkpoint_degraded(&mut self, path: &Path, error: &str) {
+                self.degraded.push(format!("{}: {error}", path.display()));
+            }
+        }
+
+        let data = dataset();
+        let mut model = StHsl::new(cfg(), &data).unwrap();
+        let dir = std::env::temp_dir().join(format!("sthsl-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every write of a checkpoint file hits ENOSPC (non-retryable).
+        let plan = FaultPlan::new(7)
+            .rule(FaultRule::always(FaultKind::Enospc, OpClass::Write).on_path("ckpt-"));
+        let io: Rc<dyn Io> = Rc::new(FaultyIo::new(RealIo, plan));
+        let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+        let mut hooks = DegradeSpy { degraded: Vec::new(), checkpoints: 0 };
+        let outcome = TrainLoop::with_io(
+            opts,
+            io,
+            Rc::new(VirtualSleeper::new()),
+            RetryPolicy::default_checkpoint(),
+        )
+        .run(&mut model, &data, &mut hooks)
+        .unwrap();
+        assert!(outcome.checkpointing_disabled, "ENOSPC must latch checkpointing off");
+        assert_eq!(outcome.checkpoint_failures, 1);
+        assert_eq!(hooks.degraded.len(), 1, "degradation hook fires exactly once");
+        assert!(hooks.degraded[0].contains("ckpt-"), "{:?}", hooks.degraded);
+        assert_eq!(hooks.checkpoints, 0, "no checkpoint can succeed under this plan");
+        assert_eq!(outcome.report.epochs, 3, "training must continue after degradation");
+        assert!(outcome.report.final_loss.is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_resume_target_falls_back_to_older_generation_bit_identically() {
+        use sthsl_autograd::checkpoint::latest_checkpoint;
+
+        struct StopAt(u64);
+        impl TrainHooks for StopAt {
+            fn on_batch_end(&mut self, ctx: &BatchCtx) -> HookAction {
+                if ctx.global_step == self.0 {
+                    HookAction::Stop
+                } else {
+                    HookAction::Continue
+                }
+            }
+        }
+        let param_bytes = |model: &StHsl, path: &Path| -> Vec<u8> {
+            model.save(path).unwrap();
+            std::fs::read(path).unwrap()
+        };
+
+        let data = dataset();
+        let mut reference = StHsl::new(cfg(), &data).unwrap();
+        TrainLoop::new(TrainOptions::resilient()).run(&mut reference, &data, &mut NoHooks).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("sthsl-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let want = {
+            std::fs::create_dir_all(&dir).unwrap();
+            param_bytes(&reference, &dir.join("reference.params"))
+        };
+
+        // Kill at step 5: the run leaves ckpt-4 (epoch 0 end) and ckpt-5
+        // (written on stop) — two generations.
+        let opts = TrainOptions { checkpoint_dir: Some(dir.clone()), ..TrainOptions::resilient() };
+        let mut victim = StHsl::new(cfg(), &data).unwrap();
+        TrainLoop::new(opts.clone()).run(&mut victim, &data, &mut StopAt(5)).unwrap();
+
+        // Corrupt the newest generation; resume must quarantine it, fall
+        // back to ckpt-4 and still reproduce the uninterrupted run exactly.
+        let newest = latest_checkpoint(&dir).unwrap().expect("no checkpoint written");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let mut revived = StHsl::new(cfg(), &data).unwrap();
+        let opts = TrainOptions { resume_from: Some(newest.clone()), ..opts };
+        let outcome = TrainLoop::new(opts).run(&mut revived, &data, &mut NoHooks).unwrap();
+        assert_eq!(outcome.resumed_at, Some((1, 0)), "must resume from the epoch-0-end fallback");
+
+        let got = param_bytes(&revived, &dir.join("resumed.params"));
+        assert_eq!(got, want, "fallback resume diverged from the uninterrupted run");
+        let corrupt = PathBuf::from(format!("{}.corrupt", newest.display()));
+        assert!(corrupt.exists(), "corrupt generation must be quarantined, not deleted");
+        assert!(!newest.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

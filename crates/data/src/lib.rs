@@ -23,6 +23,10 @@ pub mod predictor;
 pub mod synth;
 
 pub use dataset::{CrimeDataset, DatasetConfig, Sample, Split};
+pub use loader::{
+    dataset_from_csv, dataset_from_csv_lenient, dataset_from_csv_path_io, parse_csv,
+    parse_csv_lenient, CrimeRecord, GridSpec, LoadStats, ParseReport,
+};
 pub use metrics::{density_bucket, density_degrees, mae, mape, rmse, DensityBucket, EvalReport};
 pub use predictor::{FitReport, Predictor};
 pub use synth::{CategorySpec, SynthCity, SynthConfig};

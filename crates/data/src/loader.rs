@@ -10,6 +10,8 @@
 use crate::dataset::{CrimeDataset, DatasetConfig};
 use std::collections::BTreeMap;
 use std::io::BufRead;
+use std::path::Path;
+use sthsl_chaos::{read_file_verified, retry, Io, RetryPolicy, Sleeper};
 use sthsl_tensor::{Result, Tensor, TensorError};
 
 /// One parsed crime report.
@@ -247,6 +249,44 @@ pub fn dataset_from_csv_lenient(
     Ok((data, stats, report.malformed))
 }
 
+/// Load a CSV extract from `path` through the injectable I/O seam, with
+/// transient read faults retried under `policy` and — when `expected_fnv`
+/// is given — the file's FNV-1a checksum verified before a single row is
+/// parsed.
+///
+/// Checksum verification is what makes the data path safe under bit rot:
+/// lenient CSV parsing would otherwise *absorb* a flipped digit as a valid,
+/// silently different record. A transient (read-path) corruption heals by
+/// re-reading; persistent corruption is a typed error naming the path —
+/// never a silently different dataset.
+#[allow(clippy::too_many_arguments)] // the full injectable-I/O loading contract
+pub fn dataset_from_csv_path_io(
+    io: &dyn Io,
+    path: &Path,
+    expected_fnv: Option<u64>,
+    policy: RetryPolicy,
+    sleeper: &dyn Sleeper,
+    grid: &GridSpec,
+    categories: &[&str],
+    days: usize,
+    config: DatasetConfig,
+) -> Result<(CrimeDataset, LoadStats)> {
+    let bytes = match expected_fnv {
+        Some(sum) => read_file_verified(io, path, sum, policy, sleeper),
+        None => retry(policy, sleeper, io.chaos_log(), &path.to_string_lossy(), || io.read(path)),
+    }
+    .map_err(|e| {
+        let msg = e.to_string();
+        let shown = path.display().to_string();
+        if msg.contains(&shown) {
+            TensorError::Invalid(msg)
+        } else {
+            TensorError::Invalid(format!("{shown}: {msg}"))
+        }
+    })?;
+    dataset_from_csv(bytes.as_slice(), grid, categories, days, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +426,90 @@ mod tests {
         assert!(rasterize(&[], &g, &["A", "A"], 5).is_err());
         assert!(rasterize(&[], &g, &[], 5).is_err());
         assert!(rasterize(&[], &g, &["A"], 0).is_err());
+    }
+
+    fn span_csv() -> String {
+        let mut csv = String::new();
+        for day in 0..120 {
+            csv.push_str(&format!("BURGLARY,{day},-74.0,40.7\n"));
+            csv.push_str(&format!("ROBBERY,{day},-73.9,40.8\n"));
+        }
+        csv
+    }
+
+    fn quick_cfg() -> DatasetConfig {
+        DatasetConfig { window: 10, val_days: 7, train_fraction: 7.0 / 8.0 }
+    }
+
+    #[test]
+    fn verified_path_load_heals_transient_corruption() {
+        use sthsl_chaos::{
+            fnv1a, FaultKind, FaultPlan, FaultRule, FaultyIo, OpClass, RealIo, VirtualSleeper,
+        };
+        let dir =
+            std::env::temp_dir().join(format!("sthsl_loader_verified_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crimes.csv");
+        let csv = span_csv();
+        std::fs::write(&path, &csv).unwrap();
+        let sum = fnv1a(csv.as_bytes());
+
+        // One injected bit flip on the first read; the re-read verifies.
+        let plan = FaultPlan::new(17)
+            .rule(FaultRule::always(FaultKind::BitFlip, OpClass::Read).with_max_fires(1));
+        let io = FaultyIo::new(RealIo, plan);
+        let sleeper = VirtualSleeper::new();
+        let (data, stats) = dataset_from_csv_path_io(
+            &io,
+            &path,
+            Some(sum),
+            sthsl_chaos::RetryPolicy::default_read(),
+            &sleeper,
+            &nyc_ish_grid(),
+            &["BURGLARY", "ROBBERY"],
+            120,
+            quick_cfg(),
+        )
+        .unwrap();
+        assert_eq!(stats.accepted, 240);
+        assert_eq!(data.num_days(), 120);
+        let log = io.chaos_log().unwrap();
+        assert_eq!(log.fault_count(), 1);
+        assert!(log.recovery_count() >= 1, "reread recovery must be recorded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verified_path_load_rejects_persistent_corruption_with_typed_error() {
+        use sthsl_chaos::{fnv1a, RealIo, VirtualSleeper};
+        let dir = std::env::temp_dir().join(format!("sthsl_loader_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crimes.csv");
+        let mut csv = span_csv();
+        let sum = fnv1a(csv.as_bytes());
+        // Persistent on-disk corruption: a flipped digit that lenient
+        // parsing would happily absorb as a different record.
+        csv.replace_range(9..10, "7");
+        std::fs::write(&path, &csv).unwrap();
+
+        let sleeper = VirtualSleeper::new();
+        let Err(err) = dataset_from_csv_path_io(
+            &RealIo,
+            &path,
+            Some(sum),
+            sthsl_chaos::RetryPolicy::default_read(),
+            &sleeper,
+            &nyc_ish_grid(),
+            &["BURGLARY", "ROBBERY"],
+            120,
+            quick_cfg(),
+        ) else {
+            panic!("persistently corrupt csv must not load")
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("crimes.csv"), "path in error: {msg}");
+        assert!(msg.contains("checksum mismatch"), "cause in error: {msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

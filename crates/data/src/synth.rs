@@ -367,6 +367,41 @@ impl SynthCity {
         sum
     }
 
+    /// Export the city as the headerless-CSV record format the loader
+    /// consumes (`category,day,lon,lat`, one row per simulated case, with
+    /// region centres as coordinates). The single source of the export
+    /// format: `sthsl simulate` and the chaos campaign both write this.
+    pub fn export_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let (r, t, c) = (self.num_regions(), self.num_days(), self.num_categories());
+        let mut csv = String::from("# synthetic export: category,day,lon,lat\n");
+        for ri in 0..r {
+            let (lat, lon) = ((ri / self.cols) as f64 + 0.5, (ri % self.cols) as f64 + 0.5);
+            for ti in 0..t {
+                for ci in 0..c {
+                    let count = self.tensor.at(&[ri, ti, ci]) as usize;
+                    for _ in 0..count {
+                        let _ = writeln!(csv, "{},{ti},{lon},{lat}", self.category_names[ci]);
+                    }
+                }
+            }
+        }
+        csv
+    }
+
+    /// The [`crate::GridSpec`] matching [`SynthCity::export_csv`]'s
+    /// coordinate convention (unit cells, region centres at `+0.5`).
+    pub fn export_grid_spec(&self) -> crate::GridSpec {
+        crate::GridSpec {
+            lat_min: 0.0,
+            lat_max: self.rows as f64,
+            lon_min: 0.0,
+            lon_max: self.cols as f64,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
     /// Per-region total counts of one category (for Fig. 2-style skew plots).
     pub fn region_totals(&self, category: usize) -> Vec<f64> {
         let (r, t, c) = (self.num_regions(), self.num_days(), self.num_categories());

@@ -39,6 +39,24 @@ impl TraceEmitter {
         Ok(Self::new(Box::new(io::BufWriter::new(file)), clock))
     }
 
+    /// [`TraceEmitter::to_file`] through an injectable I/O seam: the sink
+    /// comes from [`Io::open_writer`], so a chaos campaign can inject stream
+    /// faults into the trace path and assert they stay latched (never
+    /// fatal).
+    pub fn to_file_io(
+        io: &dyn sthsl_chaos::Io,
+        path: &Path,
+        clock: Rc<dyn Clock>,
+    ) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                io.create_dir_all(parent)?;
+            }
+        }
+        let sink = io.open_writer(path)?;
+        Ok(Self::new(sink, clock))
+    }
+
     /// Append one event as a JSON line: `{"seq":…,"t_ns":…,"type":…,…}`.
     pub fn emit(&self, event: &TraceEvent) {
         let mut fields = vec![

@@ -179,19 +179,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     let cfg = city_config(flags)?;
     let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
     let (r, t, c) = (city.num_regions(), city.num_days(), city.num_categories());
-    let mut csv = String::from("# synthetic export: category,day,lon,lat\n");
-    let cols = flags.cols;
-    for ri in 0..r {
-        let (lat, lon) = ((ri / cols) as f64 + 0.5, (ri % cols) as f64 + 0.5);
-        for ti in 0..t {
-            for ci in 0..c {
-                let count = city.tensor.at(&[ri, ti, ci]) as usize;
-                for _ in 0..count {
-                    let _ = writeln!(csv, "{},{ti},{lon},{lat}", city.category_names[ci]);
-                }
-            }
-        }
-    }
+    let csv = city.export_csv();
     let path = flags.out.clone().unwrap_or_else(|| "crimes.csv".into());
     fs::write(&path, &csv).map_err(|e| e.to_string())?;
     Ok(format!(
@@ -482,7 +470,22 @@ fn cmd_profile(flags: &Flags) -> Result<String, String> {
     Ok(report.render())
 }
 
-const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict|graph-audit|profile> [flags]
+/// `chaos`: run the seeded fault-injection campaign and write the verdict
+/// to a JSON report plus a JSONL fault trace. Exits nonzero when any
+/// scenario misses its recovery contract.
+fn cmd_chaos(flags: &Flags) -> Result<String, String> {
+    let report = flags.out.clone().unwrap_or_else(|| "results/chaos_report.json".into());
+    let trace = flags.trace_out.clone().unwrap_or_else(|| "results/chaos_fault_trace.jsonl".into());
+    let outcome = crate::chaos::run_campaign(flags.seed, report.as_ref(), trace.as_ref())?;
+    if outcome.passed {
+        Ok(outcome.summary)
+    } else {
+        Err(outcome.summary)
+    }
+}
+
+const USAGE: &str =
+    "usage: sthsl <simulate|train|evaluate|predict|graph-audit|profile|chaos> [flags]
   common flags:
     --city nyc|chi   synthetic city preset (default nyc)
     --rows N --cols N --days N --window N --seed N
@@ -506,7 +509,13 @@ const USAGE: &str = "usage: sthsl <simulate|train|evaluate|predict|graph-audit|p
             [--data crimes.csv]    profile a real dataset (default: synthetic)
             [--top N]              rows in the report (default 10)
             [--fake-clock]         deterministic clock: rank by op count
-            (--trace-out also writes the stats as JSONL op_stat events)";
+            (--trace-out also writes the stats as JSONL op_stat events)
+  chaos:    run the seeded fault-injection campaign; nonzero exit on any
+            missed recovery contract
+            [--seed N]             campaign seed (default 7)
+            [--out report.json]    verdict (default results/chaos_report.json)
+            [--trace-out t.jsonl]  fault/recovery trace
+                                   (default results/chaos_fault_trace.jsonl)";
 
 /// Entry point: `args` as produced by `std::env::args().collect()`.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -535,6 +544,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "predict" => cmd_predict(&flags)?,
         "graph-audit" | "--graph-audit" => cmd_graph_audit(&flags)?,
         "profile" => cmd_profile(&flags)?,
+        "chaos" => cmd_chaos(&flags)?,
         other => return Err(format!("unknown command {other}\n{USAGE}")),
     };
     println!("{output}");
@@ -861,6 +871,41 @@ rank op                   phase        count       total_ns        bytes   share
         assert_eq!(epochs, 2, "{text}");
 
         for p in [csv, model, trace] {
+            fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn chaos_campaign_passes_and_writes_schema_valid_artifacts() {
+        let report = tmp("chaos_report.json");
+        let trace = tmp("chaos_trace.jsonl");
+        let args =
+            str_args(&["sthsl", "chaos", "--seed", "11", "--out", &report, "--trace-out", &trace]);
+        run(&args).unwrap();
+
+        // Verdict: schema-valid JSON, passed, with every scenario ok.
+        let text = fs::read_to_string(&report).unwrap();
+        let json = crate::obs::parse_json(&text).unwrap();
+        assert_eq!(
+            json.get("schema").and_then(crate::obs::Json::as_str),
+            Some("sthsl-chaos-report-v1")
+        );
+        assert_eq!(json.get("passed").and_then(crate::obs::Json::as_bool), Some(true), "{text}");
+        let Some(crate::obs::Json::Arr(scenarios)) = json.get("scenarios") else {
+            panic!("scenarios must be an array: {text}");
+        };
+        assert!(scenarios.len() >= 10, "expected the full matrix, got {}", scenarios.len());
+        for s in scenarios {
+            assert_eq!(s.get("ok").and_then(crate::obs::Json::as_bool), Some(true), "{text}");
+        }
+
+        // Fault trace: parseable JSONL containing fault AND recovery events.
+        let trace_text = fs::read_to_string(&trace).unwrap();
+        let events = crate::obs::parse_trace(&trace_text).unwrap();
+        assert!(events.iter().any(|e| matches!(e, crate::obs::TraceEvent::Fault { .. })));
+        assert!(events.iter().any(|e| matches!(e, crate::obs::TraceEvent::Recovery { .. })));
+
+        for p in [report, trace] {
             fs::remove_file(p).ok();
         }
     }

@@ -4,6 +4,8 @@
 //! Self-Supervised Learning for Crime Prediction* (ICDE 2022) — re-exporting
 //! the public API of every workspace crate:
 //!
+//! - [`faults`] — the deterministic fault-injection I/O seam and retry
+//!   toolkit (the `sthsl chaos` campaign lives in [`chaos`]).
 //! - [`parallel`] — the scoped thread pool behind every multi-threaded kernel.
 //! - [`tensor`] — dense f32 tensors, convolutions, matmul.
 //! - [`autograd`] — tape-based reverse-mode autodiff, NN layers, optimizers.
@@ -24,10 +26,12 @@
 //! println!("MAE {:.4}", report.mae_overall());
 //! ```
 
+pub mod chaos;
 pub mod cli;
 
 pub use sthsl_autograd as autograd;
 pub use sthsl_baselines as baselines;
+pub use sthsl_chaos as faults;
 pub use sthsl_core as core;
 pub use sthsl_data as data;
 pub use sthsl_graphcheck as graphcheck;
@@ -38,10 +42,14 @@ pub use sthsl_tensor as tensor;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sthsl_autograd::{
-        latest_checkpoint, Checkpoint, Gradients, Graph, ParamStore, TapeObserver, TapePhase,
-        TrainerState, Var,
+        latest_checkpoint, load_latest_verified, prune_checkpoints, quarantine, Checkpoint,
+        Gradients, Graph, ParamStore, PruneReport, TapeObserver, TapePhase, TrainerState, Var,
     };
     pub use sthsl_baselines::{all_auditable, all_baselines, BaselineConfig, GraphAudited};
+    pub use sthsl_chaos::{
+        retry, FaultKind, FaultPlan, FaultRule, FaultyIo, Io, OpClass, RealIo, RetryPolicy,
+        ThreadSleeper, VirtualSleeper,
+    };
     pub use sthsl_core::{
         Ablation, BatchCtx, DivergenceCtx, EpochCtx, Fault, HookAction, NoHooks, StHsl,
         StHslConfig, TraceHooks, TrainHooks, TrainLoop, TrainOptions, TrainOutcome,
