@@ -86,7 +86,7 @@ fn bench_shared_vs_time_dependent_hypergraph(c: &mut Criterion) {
     for (name, td) in [("shared", false), ("time_dependent", true)] {
         let mut rng = StdRng::seed_from_u64(5);
         let mut store = ParamStore::new();
-        let enc = HypergraphEncoder::new(&mut store, 32, 256, 14, td, &mut rng);
+        let enc = HypergraphEncoder::new(&mut store, 32, 256, 14, td, false, &mut rng);
         let e = Tensor::rand_normal(&[14, 256, 8], 0.0, 1.0, &mut rng);
         group.bench_function(name, |bench| {
             bench.iter(|| {

@@ -159,6 +159,10 @@ pub struct StHslConfig {
     /// Learn a distinct hypergraph per window position (the paper's
     /// time-evolving `H_t`); `false` shares one structure.
     pub time_dependent_hypergraph: bool,
+    /// Route region↔hyperedge propagation through the CSR `sparse_matmul`
+    /// path (forward bit-identical to dense; touches only stored incidence
+    /// entries). `false` falls back to dense batched matmuls.
+    pub sparse_propagation: bool,
     /// RNG seed for parameter init and dropout.
     pub seed: u64,
     /// Component switches for ablation studies.
@@ -191,6 +195,7 @@ impl StHslConfig {
             batch_size: 8,
             max_batches_per_epoch: None,
             time_dependent_hypergraph: true,
+            sparse_propagation: true,
             seed: 7,
             ablation: Ablation::full(),
         }

@@ -64,6 +64,7 @@ impl StHsl {
             rows * cols * c,
             window,
             cfg.time_dependent_hypergraph,
+            cfg.sparse_propagation,
             &mut rng,
         );
         let global_temporal = GlobalTemporal::new(&mut store, &cfg, &mut rng);

@@ -73,18 +73,26 @@ fn every_named_ablation_certifies_clean() {
 /// The exact report for the fixed-seed tiny configuration. Pinned verbatim:
 /// any drift in node count, inference coverage, memory accounting or
 /// diagnostic text is a behavior change that must be reviewed, not absorbed.
+///
+/// Re-derived for the sparse hypergraph path (default
+/// `sparse_propagation: true`): the two batched propagation matmuls per view
+/// are now recorded as per-window-position `sparse_matmul` + `slice_axis` /
+/// `reshape` / `transpose2d` nodes, growing the tape from 196 to 316 nodes
+/// (forward values are bit-identical to the dense path; only the tape
+/// structure changed). Warning count and the single broadcast diagnostic are
+/// unchanged.
 const GOLDEN_TINY_REPORT: &str = "\
 == graph audit: ST-HSL ==
-nodes: 196   params: 21   errors: 0   warnings: 1   info: 0
-shape: OK (196/196 node shapes inferred ahead of time)
+nodes: 316   params: 21   errors: 0   warnings: 1   info: 0
+shape: OK (316/316 node shapes inferred ahead of time)
 grad-flow: OK (21/21 parameters reachable from the loss)
 nan-taint: 0 hazard(s)
-memory: tape 499.4 KiB | forward eager-free peak 46.6 KiB | backward peak 46.6 KiB (tape + grads 546.0 KiB)
-  reshape                 33 node(s)  82.8 KiB
-  permute                 10 node(s)  77.0 KiB
-  leaky_relu              12 node(s)  71.3 KiB
+memory: tape 597.4 KiB | forward eager-free peak 46.6 KiB | backward peak 46.6 KiB (tape + grads 644.0 KiB)
+  reshape                 75 node(s)  131.8 KiB
+  leaky_relu              24 node(s)  71.3 KiB
   add                     18 node(s)  70.2 KiB
   dropout                  8 node(s)  56.0 KiB
+  permute                  8 node(s)  56.0 KiB
   conv1d                   6 node(s)  42.0 KiB
 diagnostics:
   [warning/shape] %22 mul: broadcast expands both operands ([16, 7, 4, 1] and [4, 4] -> [16, 7, 4, 4]); check for a missing reshape/keepdim

@@ -24,12 +24,14 @@
 mod error;
 mod init;
 mod shape;
+mod sparse;
 mod tensor;
 
 pub mod ops;
 
 pub use error::TensorError;
 pub use shape::{broadcast_shapes, flatten_index, for_each_index, strides_of, Shape};
+pub use sparse::SparseTensor;
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

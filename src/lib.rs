@@ -62,5 +62,5 @@ pub mod prelude {
     pub use sthsl_obs::{
         Clock, FakeClock, ProfileReport, TapeProfiler, TraceEmitter, TraceEvent, WallClock,
     };
-    pub use sthsl_tensor::Tensor;
+    pub use sthsl_tensor::{SparseTensor, Tensor};
 }
