@@ -252,8 +252,13 @@ impl Graph {
     }
 
     /// Project the tape into an executable-free [`TapeSpec`] for static
-    /// analysis: op metadata, wiring and runtime shapes — no tensors, no
-    /// closures.
+    /// analysis: op metadata, wiring, runtime shapes and observed value
+    /// ranges — no tensors, no closures.
+    ///
+    /// The exported `value_range` of each *input* node is the snapshot's
+    /// declared range (what the data and parameters actually span at export
+    /// time); on op nodes it is the runtime witness the interval pass
+    /// cross-checks its predictions against.
     pub fn export_tape(&self) -> TapeSpec {
         let nodes = self.nodes.borrow();
         TapeSpec {
@@ -265,6 +270,8 @@ impl Graph {
                     label: n.label.clone(),
                     requires_grad: n.requires_grad,
                     runtime_shape: Some(n.value.shape().to_vec()),
+                    value_range: observed_range(n.value.data()),
+                    schedule: None,
                 })
                 .collect(),
         }
@@ -319,6 +326,26 @@ impl Graph {
         }
         Ok(Gradients { grads })
     }
+}
+
+/// Observed `(min, max)` of a forward value for tape export. A single NaN
+/// anywhere collapses the range to `(NaN, NaN)` so the analyzer sees the
+/// poisoning instead of `f32::min/max` silently skipping it; empty tensors
+/// have no range.
+fn observed_range(data: &[f32]) -> Option<(f32, f32)> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data {
+        if v.is_nan() {
+            return Some((f32::NAN, f32::NAN));
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Some((lo, hi))
 }
 
 fn stale_var(op: &str, v: Var, node_count: usize) -> TensorError {

@@ -352,15 +352,32 @@ impl StHsl {
         out
     }
 
-    /// Run the full static audit (shape, grad-flow, NaN-taint, liveness) over
-    /// the graph this model builds for training. Does not execute forward or
-    /// backward beyond the single tape-recording pass.
+    /// Run the full static audit (shape, grad-flow, NaN-taint, liveness,
+    /// value ranges, float-error depth, determinism certification, static
+    /// cost model) over the graph this model builds for training. Does not
+    /// execute forward or backward beyond the single tape-recording pass.
     pub fn graph_audit(&self, data: &CrimeDataset) -> Result<AuditReport> {
+        self.graph_audit_with(data, None)
+    }
+
+    /// [`Self::graph_audit`] with an explicit float-error accumulation
+    /// budget (`None` keeps [`sthsl_graphcheck::DEFAULT_MAX_ACCUM_DEPTH`]).
+    pub fn graph_audit_with(
+        &self,
+        data: &CrimeDataset,
+        max_accum_depth: Option<u64>,
+    ) -> Result<AuditReport> {
         let (g, loss, params) = self.audit_artifacts(data)?;
         let spec = g.export_tape();
         let indexed: Vec<(String, usize)> =
             params.iter().map(|(n, v)| (n.clone(), v.index())).collect();
-        let opts = AuditOptions { allow_unreachable: self.expected_inactive_prefixes() };
+        let mut opts = AuditOptions {
+            allow_unreachable: self.expected_inactive_prefixes(),
+            ..AuditOptions::default()
+        };
+        if let Some(depth) = max_accum_depth {
+            opts.max_accum_depth = depth;
+        }
         Ok(sthsl_graphcheck::audit("ST-HSL", &spec, loss.index(), &indexed, &opts))
     }
 

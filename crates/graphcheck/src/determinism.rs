@@ -1,0 +1,160 @@
+//! Determinism certification: proves "bit-identical at any thread count"
+//! structurally, op by op.
+//!
+//! Every tape node carries the [`sthsl_autograd::ScheduleMeta`] of the kernel that executes
+//! it (stamped by `Graph::export_tape`, or derived from the op kind for
+//! hand-built specs). A schedule is *thread-invariant* when its reduction
+//! order is a pure function of the data layout — no cross-element
+//! accumulation, sequential per-output accumulation, or fixed-block-tree
+//! reassociation — rather than of thread interleaving. The pass walks the
+//! stamped tape and:
+//!
+//! * **errors** on any thread-order-dependent schedule
+//!   (result bits would depend on the thread count) and on any schedule that
+//!   reads a wall clock (replay would diverge);
+//! * **warns** on ops with no schedule metadata at all (opaque test doubles
+//!   and foreign ops) — absence of evidence is not certification;
+//! * counts rng-consuming ops into the summary: deterministic for a fixed
+//!   seed, but a tape replay must restore the same seed to reproduce bits.
+
+use sthsl_autograd::TapeSpec;
+
+use crate::chain::producer_chain;
+use crate::report::{Diagnostic, Pass, Severity};
+
+/// Per-tape result of the determinism pass.
+#[derive(Debug, Clone, Default)]
+pub struct DeterminismSummary {
+    /// Ops whose schedule was proven thread-invariant and clock-free.
+    pub certified: usize,
+    /// Total nodes audited.
+    pub total: usize,
+    /// Certified ops that draw from the seeded rng stream.
+    pub rng_nodes: usize,
+    /// Ops with no schedule metadata (cannot be certified either way).
+    pub unknown: usize,
+    /// Blocking violations (thread-order-dependent or clock-reading).
+    pub violations: usize,
+}
+
+impl DeterminismSummary {
+    /// `true` iff every audited op was positively certified.
+    pub fn certified_clean(&self) -> bool {
+        self.violations == 0 && self.unknown == 0
+    }
+}
+
+/// Run the determinism pass.
+pub fn analyze(spec: &TapeSpec, diags: &mut Vec<Diagnostic>) -> DeterminismSummary {
+    let mut summary = DeterminismSummary { total: spec.nodes.len(), ..Default::default() };
+    for (i, node) in spec.nodes.iter().enumerate() {
+        let Some(meta) = node.effective_schedule() else {
+            summary.unknown += 1;
+            diags.push(Diagnostic {
+                pass: Pass::Determinism,
+                severity: Severity::Warning,
+                node: Some(i),
+                msg: format!(
+                    "{}: no schedule metadata; thread-count invariance cannot be certified",
+                    node.kind.name()
+                ),
+            });
+            continue;
+        };
+        let mut bad = false;
+        if !meta.thread_invariant() {
+            bad = true;
+            summary.violations += 1;
+            diags.push(Diagnostic {
+                pass: Pass::Determinism,
+                severity: Severity::Error,
+                node: Some(i),
+                msg: format!(
+                    "{}: reduction order is thread-order-dependent ({}) — result bits change \
+                     with the thread count; chain: {}",
+                    node.kind.name(),
+                    meta.describe(),
+                    producer_chain(spec, i)
+                ),
+            });
+        }
+        if meta.uses_clock {
+            bad = true;
+            summary.violations += 1;
+            diags.push(Diagnostic {
+                pass: Pass::Determinism,
+                severity: Severity::Error,
+                node: Some(i),
+                msg: format!(
+                    "{}: schedule reads a wall clock ({}) — replay cannot reproduce bits",
+                    node.kind.name(),
+                    meta.describe()
+                ),
+            });
+        }
+        if !bad {
+            summary.certified += 1;
+            if meta.uses_rng {
+                summary.rng_nodes += 1;
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sthsl_autograd::OpKind;
+    use sthsl_parallel::schedule::{PartitionStrategy, ReductionOrder, ScheduleMeta};
+
+    #[test]
+    fn first_party_tape_certifies_clean() {
+        let mut spec = TapeSpec::new();
+        let a = spec.leaf("a", &[4, 8]);
+        let b = spec.leaf("b", &[8, 4]);
+        let mm = spec.push(OpKind::Matmul, &[a, b]);
+        let d = spec.push(OpKind::Dropout { p: 0.1 }, &[mm]);
+        let _loss = spec.push(OpKind::SumAll, &[d]);
+        let mut diags = vec![];
+        let summary = analyze(&spec, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(summary.certified_clean());
+        assert_eq!(summary.certified, 5);
+        assert_eq!(summary.rng_nodes, 1, "dropout draws from the seeded rng");
+    }
+
+    #[test]
+    fn thread_order_dependent_schedule_is_a_blocking_error() {
+        let mut spec = TapeSpec::new();
+        let a = spec.leaf("a", &[4, 4]);
+        let scatter = ScheduleMeta {
+            partition: PartitionStrategy::RowBands,
+            reduction: ReductionOrder::ThreadOrderDependent,
+            uses_rng: false,
+            uses_clock: false,
+        };
+        let s = spec.push_scheduled(OpKind::SumAll, &[a], scatter);
+        let mut diags = vec![];
+        let summary = analyze(&spec, &mut diags);
+        assert_eq!(summary.violations, 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].node, Some(s));
+        assert!(diags[0].msg.contains("thread-order-dependent"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn opaque_ops_cannot_be_certified() {
+        let mut spec = TapeSpec::new();
+        let a = spec.leaf("a", &[4]);
+        let o = spec.push(OpKind::Opaque { name: "mystery" }, &[a]);
+        let _loss = spec.push(OpKind::SumAll, &[o]);
+        let mut diags = vec![];
+        let summary = analyze(&spec, &mut diags);
+        assert_eq!(summary.unknown, 1);
+        assert!(!summary.certified_clean());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+}

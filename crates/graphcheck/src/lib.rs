@@ -18,12 +18,31 @@
 //!    not provably positive are reported with their full producer chain.
 //! 5. **liveness** ([`liveness`]) — a peak-memory estimate and per-phase
 //!    byte budget.
+//! 6. **ranges** ([`range`]) — interval-domain abstract interpretation
+//!    seeded from declared input ranges: proves absence of overflow/NaN and
+//!    reports poles (`ln(≤0)`, `/0`, `sqrt(<0)`) an interval cannot exclude,
+//!    cross-checked against both the sign-taint lattice and the observed
+//!    runtime ranges stamped on the tape.
+//! 7. **float-error** ([`fperror`]) — worst-case f32 accumulation depth per
+//!    op and along the loss path; flags naive reduction chains deeper than
+//!    the configured budget.
+//! 8. **determinism** ([`determinism`]) — certifies "bit-identical at any
+//!    thread count" from per-op schedule metadata; thread-order-dependent
+//!    reductions and clock reads are blocking.
+//! 9. **cost** ([`cost`]) — static FLOP/bytes/intensity model with a ranked
+//!    hot-op table (advisory; cross-validated against the runtime profiler).
 //!
 //! The entry point is [`audit`]; [`AuditReport::has_errors`] decides whether
-//! a trainer pre-flight must fail.
+//! a trainer pre-flight must fail. Ranges and determinism findings block
+//! (they are Error-severity); float-error depth findings are Warnings and
+//! the cost model never diagnoses.
 
 pub mod chain;
+pub mod cost;
+pub mod determinism;
+pub mod fperror;
 pub mod liveness;
+pub mod range;
 pub mod reach;
 pub mod report;
 pub mod shape;
@@ -33,13 +52,31 @@ use sthsl_autograd::TapeSpec;
 
 pub use report::{AuditReport, Diagnostic, MemoryReport, Pass, Severity};
 
+/// Default single-op f32 accumulation budget: twice the fixed reassociation
+/// block of the workspace's full reductions
+/// ([`sthsl_parallel::REDUCE_BLOCK`]). A blocked reduction's dependent chain
+/// is `block + ceil(n / block)` adds — under `2·block` for any input up to
+/// `block²` (≈16.7M) elements — so every first-party reassociated kernel
+/// fits, while a naive single-accumulator chain longer than two blocks is
+/// flagged.
+pub const DEFAULT_MAX_ACCUM_DEPTH: u64 = 2 * sthsl_parallel::REDUCE_BLOCK as u64;
+
 /// Knobs for one audit run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AuditOptions {
     /// Name prefixes of parameters *expected* to be detached from the loss
     /// (ablated branches). Their grad-flow finding is downgraded from Error
     /// to Info.
     pub allow_unreachable: Vec<String>,
+    /// Longest single-op sequential f32 accumulation the float-error pass
+    /// accepts without a warning.
+    pub max_accum_depth: u64,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self { allow_unreachable: Vec::new(), max_accum_depth: DEFAULT_MAX_ACCUM_DEPTH }
+    }
 }
 
 /// Statically audit one model graph.
@@ -78,15 +115,24 @@ pub fn audit(
             diagnostics: diags,
             memory: MemoryReport::default(),
             op_counts,
+            ranges: None,
+            float_error: None,
+            determinism: None,
+            cost: None,
         };
     }
 
     let shape_info = shape::analyze(spec, &mut diags);
     let reach_info =
         reach::analyze(spec, loss, params, &shape_info.shapes, &opts.allow_unreachable, &mut diags);
-    taint::analyze(spec, &shape_info.shapes, &mut diags);
+    let signs = taint::analyze(spec, &shape_info.shapes, &mut diags);
     let memory =
         liveness::analyze(spec, &shape_info.shapes, &reach_info.grad_reachable, &mut diags);
+    let own = fperror::own_extents(spec, &shape_info.shapes);
+    let ranges = range::analyze(spec, &shape_info.shapes, &signs, &own, &mut diags);
+    let float_error = fperror::analyze(spec, &own, loss, opts.max_accum_depth, &mut diags);
+    let determinism = determinism::analyze(spec, &mut diags);
+    let cost = cost::analyze(spec, &shape_info.shapes);
 
     AuditReport {
         model: model.to_string(),
@@ -97,6 +143,10 @@ pub fn audit(
         diagnostics: diags,
         memory,
         op_counts,
+        ranges: Some(ranges),
+        float_error: Some(float_error),
+        determinism: Some(determinism),
+        cost: Some(cost),
     }
 }
 

@@ -16,6 +16,14 @@ pub enum Pass {
     NanTaint,
     /// Liveness / memory estimation.
     Liveness,
+    /// Interval-domain value ranges (overflow / NaN / pole proofs).
+    ValueRange,
+    /// Float-error accumulation depth.
+    FloatError,
+    /// Thread-count-invariance certification.
+    Determinism,
+    /// Static cost model (advisory).
+    Cost,
 }
 
 impl Pass {
@@ -27,6 +35,10 @@ impl Pass {
             Pass::GradFlow => "grad-flow",
             Pass::NanTaint => "nan-taint",
             Pass::Liveness => "liveness",
+            Pass::ValueRange => "ranges",
+            Pass::FloatError => "float-error",
+            Pass::Determinism => "determinism",
+            Pass::Cost => "cost",
         }
     }
 }
@@ -110,6 +122,14 @@ pub struct AuditReport {
     pub memory: MemoryReport,
     /// Node count per op family.
     pub op_counts: BTreeMap<&'static str, usize>,
+    /// Interval-domain value ranges (`None` when the audit short-circuited).
+    pub ranges: Option<crate::range::RangeSummary>,
+    /// Float-error accumulation depths.
+    pub float_error: Option<crate::fperror::FloatErrorSummary>,
+    /// Determinism certification.
+    pub determinism: Option<crate::determinism::DeterminismSummary>,
+    /// Static cost model.
+    pub cost: Option<crate::cost::CostSummary>,
 }
 
 impl AuditReport {
@@ -172,6 +192,60 @@ impl AuditReport {
         );
         let hazards = self.diagnostics.iter().filter(|d| d.pass == Pass::NanTaint).count();
         let _ = writeln!(out, "nan-taint: {hazards} hazard(s)");
+        match &self.ranges {
+            Some(r) => {
+                let status = if self
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.pass == Pass::ValueRange && d.severity == Severity::Error)
+                {
+                    "FAIL"
+                } else {
+                    "OK"
+                };
+                let _ = writeln!(
+                    out,
+                    "ranges: {status} ({}/{} intervals bounded; max |bound| {:.3e})",
+                    r.bounded, r.total, r.max_abs_bound
+                );
+            }
+            None => {
+                let _ = writeln!(out, "ranges: skipped");
+            }
+        }
+        match &self.float_error {
+            Some(fe) => {
+                let over = self.diagnostics.iter().filter(|d| d.pass == Pass::FloatError).count();
+                let _ = writeln!(
+                    out,
+                    "float-error: max f32 chain {} adds (budget {}); loss path ~{} adds; \
+                     {over} over-budget op(s)",
+                    fe.max_own, fe.limit, fe.loss_depth
+                );
+            }
+            None => {
+                let _ = writeln!(out, "float-error: skipped");
+            }
+        }
+        match &self.determinism {
+            Some(det) => {
+                let status = if det.violations > 0 { "FAIL" } else { "OK" };
+                let unknown = if det.unknown > 0 {
+                    format!("; {} uncertifiable", det.unknown)
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "determinism: {status} ({}/{} ops certified thread-invariant; {} \
+                     rng-seeded{unknown})",
+                    det.certified, det.total, det.rng_nodes
+                );
+            }
+            None => {
+                let _ = writeln!(out, "determinism: skipped");
+            }
+        }
         let _ = writeln!(
             out,
             "memory: tape {} | forward eager-free peak {} | backward peak {} (tape + grads {})",
@@ -187,11 +261,45 @@ impl AuditReport {
             let count = self.op_counts.get(name).copied().unwrap_or(0);
             let _ = writeln!(out, "  {name:<20} {count:>5} node(s)  {}", fmt_bytes(*bytes));
         }
+        match &self.cost {
+            Some(cost) => {
+                let _ = writeln!(
+                    out,
+                    "cost: fwd {} + bwd {} | traffic {} | {} flop/B",
+                    fmt_flops(cost.total_fwd_flops),
+                    fmt_flops(cost.total_bwd_flops),
+                    fmt_bytes(usize::try_from(cost.total_traffic_bytes).unwrap_or(usize::MAX)),
+                    fmt_hundredths(
+                        (cost.total_traffic_bytes > 0)
+                            .then(|| cost.total_flops() * 100 / cost.total_traffic_bytes)
+                    ),
+                );
+                for (name, row) in cost.ranked().into_iter().take(6) {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<20} {:>5} node(s)  {:>12}  {} flop/B",
+                        row.count,
+                        fmt_flops(row.total_flops()),
+                        fmt_hundredths(row.intensity_hundredths()),
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "cost: skipped");
+            }
+        }
         if self.diagnostics.is_empty() {
             let _ = writeln!(out, "diagnostics: none");
         } else {
+            // Render order is fully deterministic: pass, then severity, then
+            // tape index (unlocated findings last), with the stable sort
+            // preserving emission order for exact ties. `self.diagnostics`
+            // itself keeps emission order so index-based callers are
+            // unaffected.
+            let mut ordered: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+            ordered.sort_by_key(|d| (d.pass, d.severity, d.node.unwrap_or(usize::MAX)));
             let _ = writeln!(out, "diagnostics:");
-            for d in &self.diagnostics {
+            for d in ordered {
                 let at = d.node.map_or(String::new(), |n| format!(" %{n}"));
                 let _ =
                     writeln!(out, "  [{}/{}]{} {}", d.severity.name(), d.pass.name(), at, d.msg);
@@ -212,6 +320,30 @@ pub fn fmt_bytes(b: usize) -> String {
         format!("{}.{} KiB", tenths / 10, tenths % 10)
     } else {
         format!("{b} B")
+    }
+}
+
+/// Fixed-point flop formatting in decimal units (deterministic).
+pub fn fmt_flops(f: u128) -> String {
+    if f >= 1_000_000_000 {
+        let hundredths = f * 100 / 1_000_000_000;
+        format!("{}.{:02} Gflop", hundredths / 100, hundredths % 100)
+    } else if f >= 1_000_000 {
+        let hundredths = f * 100 / 1_000_000;
+        format!("{}.{:02} Mflop", hundredths / 100, hundredths % 100)
+    } else if f >= 1_000 {
+        let tenths = f * 10 / 1_000;
+        format!("{}.{} Kflop", tenths / 10, tenths % 10)
+    } else {
+        format!("{f} flop")
+    }
+}
+
+/// Render an integer hundredths value as `x.yz` (`-` when undefined).
+fn fmt_hundredths(h: Option<u128>) -> String {
+    match h {
+        Some(h) => format!("{}.{:02}", h / 100, h % 100),
+        None => "-".to_string(),
     }
 }
 
@@ -238,6 +370,10 @@ mod tests {
             diagnostics: vec![],
             memory: MemoryReport::default(),
             op_counts: BTreeMap::new(),
+            ranges: None,
+            float_error: None,
+            determinism: None,
+            cost: None,
         };
         assert!(!r.has_errors());
         r.diagnostics.push(Diagnostic {

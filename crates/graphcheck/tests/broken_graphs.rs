@@ -74,7 +74,8 @@ fn ablated_branch_is_downgraded_to_info() {
     let s = spec.push(OpKind::Square, &[w]);
     let loss = spec.push(OpKind::SumAll, &[s]);
     let params = vec![("w".to_string(), w), ("infomax.proj".to_string(), ablated)];
-    let opts = AuditOptions { allow_unreachable: vec!["infomax.".to_string()] };
+    let opts =
+        AuditOptions { allow_unreachable: vec!["infomax.".to_string()], ..AuditOptions::default() };
     let r = audit("ablated", &spec, loss, &params, &opts);
 
     assert!(!r.has_errors());
@@ -253,5 +254,186 @@ fn sparse_matmul_tape_audits_clean() {
     assert!(
         spec.nodes.iter().any(|n| n.kind.name() == "sparse_matmul"),
         "tape must record sparse_matmul nodes"
+    );
+}
+
+// ---- graphcheck v2 failure classes -----------------------------------------
+
+#[test]
+fn ranged_division_through_zero_is_a_blocking_pole() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf_ranged("w", &[4], 1.0, 2.0);
+    let gate = spec.constant_ranged(&[4], -1.0, 1.0);
+    let d = spec.push(OpKind::Div, &[w, gate]);
+    let loss = spec.push(OpKind::SumAll, &[d]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("div-pole", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::ValueRange);
+    assert_eq!(errs[0].node, Some(d));
+    assert_eq!(
+        errs[0].msg,
+        format!(
+            "div: denominator range [-1.000e0, 1.000e0] cannot exclude 0 \
+             (x/0 mints ±inf/NaN); chain: %{gate} = constant"
+        )
+    );
+}
+
+#[test]
+fn exp_of_a_wide_range_is_a_blocking_overflow() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf_ranged("w", &[4], 0.0, 200.0);
+    let e = spec.push(OpKind::Exp, &[w]);
+    let loss = spec.push(OpKind::SumAll, &[e]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("exp-overflow", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::ValueRange);
+    assert_eq!(errs[0].node, Some(e));
+    assert!(errs[0].msg.contains("exceeds f32 range"), "{}", errs[0].msg);
+    assert!(errs[0].msg.contains("chain:"), "{}", errs[0].msg);
+}
+
+#[test]
+fn nan_poisoned_input_is_a_blocking_error() {
+    let mut spec = TapeSpec::new();
+    let x = spec.constant_ranged(&[4], f32::NAN, f32::NAN);
+    let w = spec.leaf_ranged("w", &[4], -1.0, 1.0);
+    let m = spec.push(OpKind::Mul, &[w, x]);
+    let loss = spec.push(OpKind::SumAll, &[m]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("nan-input", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::ValueRange);
+    assert_eq!(errs[0].node, Some(x));
+    assert!(errs[0].msg.contains("contains NaN"), "{}", errs[0].msg);
+}
+
+/// The PR-5 metric-bug class: a naive f32 accumulation over 100k elements.
+/// An advisory warning, not an error — deep chains lose precision, they
+/// don't crash.
+#[test]
+fn deep_f32_accumulation_is_flagged() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2, 100_000]);
+    let s = spec.push(OpKind::SumAxis { axis: 1 }, &[w]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("deep-accum", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(!r.has_errors(), "advisory only:\n{}", r.render());
+    let flagged: Vec<_> = r.diagnostics.iter().filter(|d| d.pass == Pass::FloatError).collect();
+    assert_eq!(flagged.len(), 1);
+    assert_eq!(flagged[0].severity, Severity::Warning);
+    assert_eq!(flagged[0].node, Some(s));
+    assert!(
+        flagged[0].msg.contains("100000 sequential adds exceeds max-accum-depth 8192"),
+        "{}",
+        flagged[0].msg
+    );
+    // Tightening the budget is configurable; loosening it silences the flag.
+    let loose = AuditOptions { max_accum_depth: 200_000, ..AuditOptions::default() };
+    let r2 = audit("deep-accum", &spec, loss, &params, &loose);
+    assert!(r2.diagnostics.iter().all(|d| d.pass != Pass::FloatError));
+}
+
+#[test]
+fn thread_order_dependent_schedule_fails_determinism() {
+    use sthsl_autograd::{PartitionStrategy, ReductionOrder, ScheduleMeta};
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[8, 8]);
+    // Model a foreign op whose scatter commits in thread order.
+    let scatter = ScheduleMeta {
+        partition: PartitionStrategy::RowBands,
+        reduction: ReductionOrder::ThreadOrderDependent,
+        uses_rng: false,
+        uses_clock: false,
+    };
+    let s = spec.push_scheduled(OpKind::SumAll, &[w], scatter);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("toc-scatter", &spec, s, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::Determinism);
+    assert_eq!(errs[0].node, Some(s));
+    assert!(
+        errs[0].msg.contains("thread-order-dependent (row-bands/thread-order-dependent)"),
+        "{}",
+        errs[0].msg
+    );
+}
+
+#[test]
+fn opaque_ops_cannot_be_certified_deterministic() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[4]);
+    let o = spec.push(OpKind::Opaque { name: "foreign_kernel" }, &[w]);
+    let loss = spec.push(OpKind::SumAll, &[o]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("opaque-determinism", &spec, loss, &params, &AuditOptions::default());
+
+    // Opaque ops already draw shape/grad warnings; the determinism pass adds
+    // its own uncertifiable warning without escalating to an error.
+    let det: Vec<_> = r.diagnostics.iter().filter(|d| d.pass == Pass::Determinism).collect();
+    assert_eq!(det.len(), 1);
+    assert_eq!(det[0].severity, Severity::Warning);
+    assert_eq!(det[0].node, Some(o));
+    assert!(det[0].msg.contains("cannot be certified"), "{}", det[0].msg);
+}
+
+/// A runtime range escaping the predicted interval is an analyzer soundness
+/// violation — the cross-check that keeps the transfer functions honest.
+#[test]
+fn observed_range_outside_interval_is_a_soundness_error() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf_ranged("w", &[4], 0.0, 1.0);
+    let s = spec.push(OpKind::Square, &[w]);
+    spec.nodes[s].runtime_shape = Some(vec![4]);
+    spec.nodes[s].value_range = Some((0.0, 9.0)); // impossible for x in [0,1]
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let params = vec![("w".to_string(), w)];
+    let r = audit("escaped-range", &spec, loss, &params, &AuditOptions::default());
+
+    assert!(r.has_errors());
+    let errs: Vec<_> = r.errors().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].pass, Pass::ValueRange);
+    assert_eq!(errs[0].node, Some(s));
+    assert!(errs[0].msg.contains("escapes the predicted interval"), "{}", errs[0].msg);
+}
+
+/// Equal-severity, equal-pass diagnostics on different nodes must render in
+/// tape order regardless of emission order (the render-order fix).
+#[test]
+fn report_orders_tied_diagnostics_by_node_index() {
+    let mut spec = TapeSpec::new();
+    let a = spec.leaf_ranged("a", &[4], 0.0, 200.0);
+    let e2 = spec.push(OpKind::Exp, &[a]); // overflow at %1
+    let e1 = spec.push(OpKind::Exp, &[a]); // overflow at %2
+    let s = spec.push(OpKind::Add, &[e1, e2]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let params = vec![("a".to_string(), a)];
+    let r = audit("tied-order", &spec, loss, &params, &AuditOptions::default());
+
+    let rendered = r.render();
+    let p1 = rendered.find(&format!("%{e2} exp")).expect("first overflow rendered");
+    let p2 = rendered.find(&format!("%{e1} exp")).expect("second overflow rendered");
+    assert!(p1 < p2, "diagnostics must render in tape order:\n{rendered}");
+    // And the full render is reproducible.
+    assert_eq!(
+        rendered,
+        audit("tied-order", &spec, loss, &params, &AuditOptions::default()).render()
     );
 }

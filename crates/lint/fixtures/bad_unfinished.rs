@@ -1,0 +1,31 @@
+//! R8 fixture: scaffolding panics left in library code. Each of the three
+//! macros fires once; the test-module copy is exempt.
+
+pub fn half_done(x: u32) -> u32 {
+    if x > 10 {
+        todo!("handle the large-input path")
+    } else {
+        x + 1
+    }
+}
+
+pub fn not_started() -> f32 {
+    unimplemented!()
+}
+
+pub fn unproved(tag: u8) -> &'static str {
+    match tag {
+        0 => "dense",
+        1 => "sparse",
+        _ => unreachable!("caller never passes {tag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertion_style_unreachable_is_fine() {
+        let Some(v) = Some(3) else { unreachable!() };
+        assert_eq!(v, 3);
+    }
+}

@@ -32,6 +32,13 @@
 //!   a truncating `usize as f32` on a large tensor silently corrupts means
 //!   and norms. Use `From`/`try_from` or a documented rounding helper;
 //!   existing sites are grandfathered via the budget.
+//! - **R8 `unfinished-code`** — no `todo!` / `unimplemented!` /
+//!   `unreachable!` in library code outside `#[cfg(test)]`. R3 already bans
+//!   the recoverable-error panics; these three are the *scaffolding* panics:
+//!   a `todo!` that survives review is a feature that silently aborts a
+//!   training run, and an `unreachable!` is an unproved invariant — prove it
+//!   in the type system or return an error. Test code and binaries keep
+//!   them (an `else { unreachable!() }` in a test is an assertion).
 //!
 //! Rules are lexical by design: they see the token stream of
 //! [`crate::lexer`], never a full AST, so they are cheap, total and easy to
@@ -56,7 +63,7 @@ pub struct Violation {
 }
 
 /// All rule slugs, in catalog order.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     "unsafe-without-safety-comment",
     "thread-outside-pool",
     "panic-in-library",
@@ -64,6 +71,7 @@ pub const ALL_RULES: [&str; 7] = [
     "nondeterminism-in-kernel",
     "print-in-library",
     "lossy-cast-in-kernel",
+    "unfinished-code",
 ];
 
 /// How a file participates in the rule catalog, derived from its
@@ -435,6 +443,28 @@ pub fn check_file(rel: &str, toks: &[Tok]) -> Vec<Violation> {
                 ),
             });
         }
+
+        // R8: scaffolding panics in library code. Same macro-position shape
+        // as R3's `panic!` check: a bare ident followed by `!`, not inside an
+        // attribute (`#[allow(unreachable_code)]` names the lint, not the
+        // macro).
+        if class.is_library()
+            && !in_test
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "todo" | "unimplemented" | "unreachable")
+            && tok_at(ci + 1).is_some_and(|n| n.is_punct("!"))
+            && !tok_at(ci - 1).is_some_and(|p| p.is_punct("#") || p.is_punct("["))
+        {
+            out.push(Violation {
+                rule: "unfinished-code",
+                path: rel.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`{}!` in library code — finish the path or return an error; an unproved invariant aborts training",
+                    t.text
+                ),
+            });
+        }
     }
     out
 }
@@ -538,6 +568,22 @@ mod tests {
         // numeric truncation risk; only `as <numeric primitive>` fires.
         let src = "use std::fmt::Debug as Dbg;\nfn f(x: &dyn Dbg) -> &dyn Dbg { x as &dyn Dbg }";
         assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unfinished_code_banned_in_library_only() {
+        for mac in ["todo!()", "unimplemented!()", "unreachable!(\"x\")"] {
+            let src = format!("pub fn f() {{ {mac} }}");
+            assert_eq!(rules_hit("crates/core/src/x.rs", &src), vec!["unfinished-code"]);
+            // Binaries and tests keep their scaffolding/assertion macros.
+            assert!(rules_hit("src/main.rs", &src).is_empty());
+            assert!(rules_hit("crates/core/tests/x.rs", &src).is_empty());
+        }
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { unreachable!() }\n}";
+        assert!(rules_hit("crates/core/src/x.rs", in_test).is_empty());
+        // Lint names inside attributes are not macro calls.
+        let attr = "#[allow(unreachable_code)]\npub fn f() {}";
+        assert!(rules_hit("crates/core/src/x.rs", attr).is_empty());
     }
 
     #[test]

@@ -79,6 +79,16 @@ fn bad_lossy_cast_triggers_only_r7_in_numeric_kernels() {
 }
 
 #[test]
+fn bad_unfinished_triggers_only_r8_outside_tests_and_bins() {
+    let v = lint_fixture("bad_unfinished.rs", "crates/core/src/fixture.rs");
+    assert_eq!(by_rule(&v), BTreeMap::from([("unfinished-code", 3)]));
+    // A binary may keep `unreachable!` arms (clap-style dispatch), and test
+    // files keep the `else { unreachable!() }` assertion idiom.
+    assert!(lint_fixture("bad_unfinished.rs", "crates/bench/src/bin/fixture.rs").is_empty());
+    assert!(lint_fixture("bad_unfinished.rs", "crates/core/tests/fixture.rs").is_empty());
+}
+
+#[test]
 fn good_kernel_passes_every_rule_under_kernel_classification() {
     for class in [
         "crates/tensor/src/fixture.rs",

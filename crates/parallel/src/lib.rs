@@ -27,6 +27,8 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod schedule;
+
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -143,13 +145,20 @@ fn worker_loop(shared: Arc<Shared>) {
                 // drains (it blocks in `run_shards`).
                 let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(shard) })).is_ok();
                 state = recover(shared.state.lock());
-                let job = state.as_mut().expect("job cleared while shards active");
-                if !ok {
-                    job.panicked = true;
-                }
-                job.active -= 1;
-                if job.next >= job.shards && job.active == 0 {
-                    shared.done_cv.notify_all();
+                match state.as_mut() {
+                    Some(job) => {
+                        if !ok {
+                            job.panicked = true;
+                        }
+                        job.active -= 1;
+                        if job.next >= job.shards && job.active == 0 {
+                            shared.done_cv.notify_all();
+                        }
+                    }
+                    // The caller only clears the job after `active` drains to
+                    // zero, so this arm is unreachable; dropping the
+                    // bookkeeping beats unwinding inside the pool.
+                    None => debug_assert!(false, "job cleared while shards active"),
                 }
             }
             None => {
@@ -178,10 +187,15 @@ impl Pool {
         let mut spawned = recover(self.spawned.lock());
         while *spawned < target {
             let shared = Arc::clone(&self.shared);
-            std::thread::Builder::new()
+            let built = std::thread::Builder::new()
                 .name(format!("sthsl-worker-{spawned}"))
-                .spawn(move || worker_loop(shared))
-                .expect("failed to spawn pool worker");
+                .spawn(move || worker_loop(shared));
+            if built.is_err() {
+                // Degrade gracefully: the caller participates in every
+                // section and partitioning depends on the *configured* count,
+                // not the spawned count, so fewer workers only costs speed.
+                break;
+            }
             *spawned += 1;
         }
     }
@@ -218,7 +232,13 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
     // The caller participates in the section instead of idling.
     let mut caller_panic = None;
     loop {
-        let job = state.as_mut().expect("job vanished mid-section");
+        // The job lives in `state` until this function takes it back out
+        // below, so `as_mut()` only fails if that invariant broke; stop
+        // claiming shards rather than unwinding with the run lock held.
+        let Some(job) = state.as_mut() else {
+            debug_assert!(false, "job vanished mid-section");
+            break;
+        };
         if job.next >= job.shards {
             break;
         }
@@ -230,20 +250,23 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         let result = catch_unwind(AssertUnwindSafe(|| task(shard)));
         IN_SECTION.with(|f| f.set(false));
         state = recover(pool.shared.state.lock());
-        let job = state.as_mut().expect("job vanished mid-section");
-        job.active -= 1;
+        match state.as_mut() {
+            Some(job) => {
+                job.active -= 1;
+                if result.is_err() {
+                    job.panicked = true;
+                }
+            }
+            None => debug_assert!(false, "job vanished mid-section"),
+        }
         if let Err(payload) = result {
-            job.panicked = true;
             caller_panic = Some(payload);
         }
     }
-    while {
-        let job = state.as_ref().expect("job vanished mid-section");
-        job.next < job.shards || job.active > 0
-    } {
+    while state.as_ref().is_some_and(|job| job.next < job.shards || job.active > 0) {
         state = recover(pool.shared.done_cv.wait(state));
     }
-    let panicked = state.take().expect("job vanished mid-section").panicked;
+    let panicked = state.take().is_some_and(|job| job.panicked);
     drop(state);
     drop(guard);
     if let Some(payload) = caller_panic {
@@ -324,10 +347,13 @@ where
     T: Send,
     F: Fn(Range<usize>, &mut [T]) + Sync,
 {
+    // `checked_mul` keeps the overflow case inside the same assertion:
+    // `Some(len) != None` reports overflow, without a separate `expect`.
     assert_eq!(
-        data.len(),
-        rows.checked_mul(stride).expect("rows * stride overflows"),
-        "parallel_rows_mut: data length must equal rows * stride"
+        Some(data.len()),
+        rows.checked_mul(stride),
+        "parallel_rows_mut: data length {} must equal rows * stride ({rows} * {stride})",
+        data.len()
     );
     if rows == 0 {
         return;

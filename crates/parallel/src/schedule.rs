@@ -1,0 +1,209 @@
+//! Pure-data descriptions of how kernels partition and reduce work.
+//!
+//! The pool's determinism contract ("bit-identical at any thread count") is a
+//! *structural* property: every kernel either writes disjoint outputs with no
+//! cross-element accumulation, accumulates sequentially per output element in
+//! a partition-independent order, or reassociates through fixed-size blocks
+//! combined in ascending block order. This module gives each of those shapes a
+//! name so the `graphcheck` determinism pass can certify the claim op by op
+//! instead of trusting a comment.
+//!
+//! The types here are deliberately plain copyable data with no behaviour
+//! beyond classification: `crates/tensor` tags each kernel family with a
+//! [`ScheduleMeta`], `Graph::export_tape` stamps it onto every tape node, and
+//! the audit walks the stamped tape. A schedule that cannot be expressed in
+//! these terms (e.g. an atomic scatter whose commit order depends on thread
+//! interleaving) must use [`ReductionOrder::ThreadOrderDependent`], which the
+//! audit reports as an error.
+
+/// How a kernel splits its iteration space across the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartitionStrategy {
+    /// Runs entirely on the calling thread.
+    Serial,
+    /// Contiguous row bands via `parallel_rows_mut` / `parallel_for`; band
+    /// boundaries are a pure function of (rows, configured thread count).
+    RowBands,
+    /// One shard per independent output plane (the conv kernels).
+    OutputPlanes,
+    /// Contiguous element chunks above a size cutoff (elementwise kernels).
+    ElementChunks,
+}
+
+/// The order in which a kernel combines partially accumulated results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReductionOrder {
+    /// No cross-element accumulation at all (pure maps, data movement).
+    None,
+    /// Each output element accumulates its own inputs sequentially in index
+    /// order; the order is independent of how outputs were partitioned.
+    SequentialPerOutput,
+    /// Fixed-size block partials combined in ascending block order
+    /// ([`crate::blocked_sum_f32`]); `block_len` is independent of the
+    /// thread count, so the association never changes.
+    FixedBlockTree { block_len: usize },
+    /// The combination order depends on the thread count or on scheduling.
+    /// No kernel in this workspace is allowed to ship one of these; the
+    /// variant exists so hand-built tapes (and future foreign ops) can be
+    /// modelled — the determinism audit turns it into a blocking error.
+    ThreadOrderDependent,
+}
+
+/// Everything the determinism audit needs to know about one kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleMeta {
+    pub partition: PartitionStrategy,
+    pub reduction: ReductionOrder,
+    /// Draws from the graph's seeded rng stream (deterministic for a fixed
+    /// seed, but worth surfacing: replaying a tape needs the same seed).
+    pub uses_rng: bool,
+    /// Reads a wall clock. Lint rule R5 bans clocks in kernel crates, so no
+    /// first-party kernel sets this; hand-built tapes can model external ops.
+    pub uses_clock: bool,
+}
+
+impl ScheduleMeta {
+    /// Serial data movement or bookkeeping: no partitioning, no accumulation.
+    #[must_use]
+    pub const fn serial_move() -> Self {
+        Self {
+            partition: PartitionStrategy::Serial,
+            reduction: ReductionOrder::None,
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Serial kernel accumulating each output sequentially in index order
+    /// on the calling thread (small fused losses).
+    #[must_use]
+    pub const fn serial_sequential() -> Self {
+        Self {
+            partition: PartitionStrategy::Serial,
+            reduction: ReductionOrder::SequentialPerOutput,
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Elementwise map over chunked elements: disjoint outputs, no
+    /// accumulation.
+    #[must_use]
+    pub const fn elementwise() -> Self {
+        Self {
+            partition: PartitionStrategy::ElementChunks,
+            reduction: ReductionOrder::None,
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Row-banded kernel whose every output element accumulates sequentially
+    /// in index order (matmul, axis reductions, softmax).
+    #[must_use]
+    pub const fn banded_sequential() -> Self {
+        Self {
+            partition: PartitionStrategy::RowBands,
+            reduction: ReductionOrder::SequentialPerOutput,
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Plane-partitioned kernel with sequential per-output accumulation
+    /// (conv forward/backward).
+    #[must_use]
+    pub const fn planes_sequential() -> Self {
+        Self {
+            partition: PartitionStrategy::OutputPlanes,
+            reduction: ReductionOrder::SequentialPerOutput,
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Full reduction through fixed [`crate::REDUCE_BLOCK`]-sized partials
+    /// combined in ascending block order.
+    #[must_use]
+    pub const fn blocked_reduce() -> Self {
+        Self {
+            partition: PartitionStrategy::RowBands,
+            reduction: ReductionOrder::FixedBlockTree { block_len: crate::REDUCE_BLOCK },
+            uses_rng: false,
+            uses_clock: false,
+        }
+    }
+
+    /// Mark the kernel as consuming the graph's seeded rng stream.
+    #[must_use]
+    pub const fn with_rng(mut self) -> Self {
+        self.uses_rng = true;
+        self
+    }
+
+    /// `true` iff the schedule's result cannot depend on the thread count.
+    #[must_use]
+    pub const fn thread_invariant(&self) -> bool {
+        !matches!(self.reduction, ReductionOrder::ThreadOrderDependent)
+    }
+
+    /// Short human-readable form used in audit diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let partition = match self.partition {
+            PartitionStrategy::Serial => "serial",
+            PartitionStrategy::RowBands => "row-bands",
+            PartitionStrategy::OutputPlanes => "output-planes",
+            PartitionStrategy::ElementChunks => "element-chunks",
+        };
+        let reduction = match self.reduction {
+            ReductionOrder::None => "no-accumulation".to_string(),
+            ReductionOrder::SequentialPerOutput => "sequential-per-output".to_string(),
+            ReductionOrder::FixedBlockTree { block_len } => {
+                format!("fixed-block({block_len})")
+            }
+            ReductionOrder::ThreadOrderDependent => "thread-order-dependent".to_string(),
+        };
+        let mut out = format!("{partition}/{reduction}");
+        if self.uses_rng {
+            out.push_str("+rng");
+        }
+        if self.uses_clock {
+            out.push_str("+clock");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_party_schedules_are_thread_invariant() {
+        for meta in [
+            ScheduleMeta::serial_move(),
+            ScheduleMeta::elementwise(),
+            ScheduleMeta::banded_sequential(),
+            ScheduleMeta::planes_sequential(),
+            ScheduleMeta::blocked_reduce(),
+            ScheduleMeta::elementwise().with_rng(),
+        ] {
+            assert!(meta.thread_invariant(), "{}", meta.describe());
+        }
+        let bad = ScheduleMeta {
+            reduction: ReductionOrder::ThreadOrderDependent,
+            ..ScheduleMeta::banded_sequential()
+        };
+        assert!(!bad.thread_invariant());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(ScheduleMeta::blocked_reduce().describe(), "row-bands/fixed-block(4096)");
+        assert_eq!(
+            ScheduleMeta::elementwise().with_rng().describe(),
+            "element-chunks/no-accumulation+rng"
+        );
+    }
+}

@@ -33,6 +33,9 @@ struct Flags {
     fake_clock: bool,
     top: usize,
     dense_hypergraph: bool,
+    ranges: bool,
+    cost: bool,
+    max_accum_depth: Option<u64>,
     help: bool,
 }
 
@@ -61,6 +64,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         fake_clock: false,
         top: 10,
         dense_hypergraph: false,
+        ranges: false,
+        cost: false,
+        max_accum_depth: None,
         help: false,
     };
     let mut i = 0;
@@ -152,6 +158,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--dense-hypergraph" => {
                 f.dense_hypergraph = true;
                 i += 1;
+            }
+            "--ranges" => {
+                f.ranges = true;
+                i += 1;
+            }
+            "--cost" => {
+                f.cost = true;
+                i += 1;
+            }
+            "--max-accum-depth" => {
+                f.max_accum_depth = Some(parse_value(key, value(i)?)?);
+                i += 2;
             }
             other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
         }
@@ -389,7 +407,7 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
 
     let mut reports = Vec::new();
     let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
-    reports.push(model.graph_audit(&data).map_err(|e| e.to_string())?);
+    reports.push(model.graph_audit_with(&data, flags.max_accum_depth).map_err(|e| e.to_string())?);
     let bcfg = BaselineConfig { seed: flags.seed, ..BaselineConfig::quick() };
     for m in all_auditable(&bcfg, &data).map_err(|e| e.to_string())? {
         reports.push(m.graph_audit(&data).map_err(|e| e.to_string())?);
@@ -398,6 +416,12 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
     let mut out = String::new();
     for r in &reports {
         let _ = writeln!(out, "{}", r.render());
+        if flags.ranges {
+            let _ = write!(out, "{}", render_range_detail(r, flags.top));
+        }
+        if flags.cost {
+            let _ = write!(out, "{}", render_cost_detail(r));
+        }
     }
     let failing: Vec<&str> =
         reports.iter().filter(|r| r.has_errors()).map(|r| r.model.as_str()).collect();
@@ -422,6 +446,62 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
     } else {
         Err(out)
     }
+}
+
+/// `--ranges` detail: the widest proven intervals, widest first — the ops an
+/// overflow would reach first if the declared input ranges ever loosen.
+fn render_range_detail(r: &sthsl_graphcheck::AuditReport, top: usize) -> String {
+    let mut out = String::new();
+    let Some(ranges) = &r.ranges else {
+        return "ranges detail: skipped (audit short-circuited)\n\n".into();
+    };
+    let _ =
+        writeln!(out, "ranges detail ({}): widest {} of {} bounded", r.model, top, ranges.bounded);
+    let mut widest: Vec<(usize, &sthsl_graphcheck::range::Interval)> = ranges
+        .intervals
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.as_ref().map(|v| (i, v)))
+        .collect();
+    widest.sort_by(|a, b| b.1.abs_max().total_cmp(&a.1.abs_max()).then(a.0.cmp(&b.0)));
+    for (i, v) in widest.into_iter().take(top) {
+        let _ = writeln!(out, "  %{i:<5} [{:.3e}, {:.3e}]", v.lo, v.hi);
+    }
+    out.push('\n');
+    out
+}
+
+/// `--cost` detail: the full static cost table, hottest family first.
+fn render_cost_detail(r: &sthsl_graphcheck::AuditReport) -> String {
+    use sthsl_graphcheck::report::{fmt_bytes, fmt_flops};
+    let mut out = String::new();
+    let Some(cost) = &r.cost else {
+        return "cost detail: skipped (audit short-circuited)\n\n".into();
+    };
+    let _ = writeln!(out, "cost detail ({}):", r.model);
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>5}  {:>12}  {:>12}  {:>10}  {:>9}",
+        "op", "nodes", "fwd", "bwd", "out bytes", "flop/B"
+    );
+    for (name, row) in cost.ranked() {
+        let intensity = row
+            .intensity_hundredths()
+            .map_or_else(|| "-".to_string(), |h| format!("{}.{:02}", h / 100, h % 100));
+        let _ = writeln!(
+            out,
+            "  {name:<20} {:>5}  {:>12}  {:>12}  {:>10}  {intensity:>9}",
+            row.count,
+            fmt_flops(row.fwd_flops),
+            fmt_flops(row.bwd_flops),
+            fmt_bytes(usize::try_from(row.out_bytes).unwrap_or(usize::MAX)),
+        );
+    }
+    if cost.unknown_nodes > 0 {
+        let _ = writeln!(out, "  ({} node(s) skipped: unresolved shapes)", cost.unknown_nodes);
+    }
+    out.push('\n');
+    out
 }
 
 /// `profile`: run one training-mode forward + backward pass with the tape
@@ -515,6 +595,12 @@ const USAGE: &str =
   graph-audit: statically verify every model's training graph
             [--data crimes.csv]    audit against a real dataset (default: synthetic)
             [--out report.txt]     write the full report to a file
+            [--ranges]             also print the widest proven value intervals
+            [--cost]               also print the full static cost table
+            [--top N]              rows in the --ranges listing (default 10)
+            [--max-accum-depth N]  f32 accumulation budget for the float-error
+                                   pass (default 8192 = 2x the reduction block)
+            [--dense-hypergraph]   audit the dense propagation tape instead of CSR
   profile:  time one training step per-op and print the hot-op report
             [--data crimes.csv]    profile a real dataset (default: synthetic)
             [--top N]              rows in the report (default 10)
