@@ -36,6 +36,7 @@ mod gradcheck;
 mod graph;
 mod ops;
 mod params;
+mod replay;
 mod serialize;
 
 pub mod checkpoint;

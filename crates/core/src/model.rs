@@ -15,7 +15,9 @@ use rand::SeedableRng;
 use sthsl_autograd::{Graph, ParamStore, ParamVars, Var};
 use sthsl_data::predictor::sanitize_counts;
 use sthsl_data::{CrimeDataset, FitReport, Predictor, Split};
-use sthsl_graphcheck::{AuditOptions, AuditReport};
+use sthsl_graphcheck::{
+    AuditOptions, AuditReport, OptimizeGoal, OptimizedTape, ReplayVerdict, RewriteOptions,
+};
 use sthsl_tensor::{Result, Tensor, TensorError};
 
 /// One audit-ready sample graph: `(graph, loss, named parameter vars)`, as
@@ -379,6 +381,112 @@ impl StHsl {
             opts.max_accum_depth = depth;
         }
         Ok(sthsl_graphcheck::audit("ST-HSL", &spec, loss.index(), &indexed, &opts))
+    }
+
+    /// Build the inference-mode (serving) graph: one forward pass to the
+    /// predicted counts on the first training day, with no corruption
+    /// branch, no dropout nodes and no loss terms. Returns
+    /// `(graph, root, named params)` where `root` is a scalar `sum_all`
+    /// probe over the prediction — the audit passes want a scalar root, and
+    /// everything the prediction needs is an ancestor of the probe.
+    ///
+    /// This is the tape the [`Self::optimize_tape`] `Forward` profile
+    /// rewrites: without gradient-order obligations the optimizer can merge
+    /// and sweep far more aggressively than on the training tape.
+    pub fn serving_artifacts(&self, data: &CrimeDataset) -> Result<AuditGraph> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        let day = *data.target_days(Split::Train).first().ok_or_else(|| {
+            TensorError::Invalid("serving graph: dataset has no training days".into())
+        })?;
+        let sample = data.sample(day)?;
+        let z = data.zscore(&sample.input);
+        let art = self.forward(&g, &pv, &z, None)?;
+        let root = g.sum_all(art.pred);
+        Ok((g, root, self.store.named_vars(&pv)))
+    }
+
+    /// Parameter-name prefixes that legitimately do not reach the serving
+    /// output: everything that exists only for the self-supervised losses,
+    /// on top of the ablation-detached prefixes.
+    pub fn expected_serving_inactive_prefixes(&self) -> Vec<String> {
+        let mut out = self.expected_inactive_prefixes();
+        out.push("infomax.".to_string());
+        if !self.cfg.ablation.fusion && self.cfg.ablation.global_branch {
+            // Without fusion the head reads only the global view; the local
+            // stack feeds the contrastive loss, which a serving graph
+            // doesn't build.
+            out.push("local.".to_string());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Run the audit-certified tape optimizer over the graph this model
+    /// builds.
+    ///
+    /// * [`OptimizeGoal::ForwardBackward`] rewrites the *training* tape
+    ///   (loss output, corruption branch active) under the conservative
+    ///   gradient-preserving rules.
+    /// * [`OptimizeGoal::Forward`] rewrites the *serving* tape (prediction
+    ///   output, inference graph).
+    ///
+    /// Returns the recording graph, its output index, and the optimized
+    /// tape, so the caller can replay-verify via
+    /// [`sthsl_graphcheck::verify_bit_equivalence`].
+    pub fn optimize_tape(
+        &self,
+        data: &CrimeDataset,
+        goal: OptimizeGoal,
+    ) -> Result<(Graph, usize, OptimizedTape)> {
+        let ((g, out, params), allow) = match goal {
+            OptimizeGoal::ForwardBackward => {
+                (self.audit_artifacts(data)?, self.expected_inactive_prefixes())
+            }
+            OptimizeGoal::Forward => {
+                (self.serving_artifacts(data)?, self.expected_serving_inactive_prefixes())
+            }
+        };
+        let spec = g.export_tape();
+        let indexed: Vec<(String, usize)> =
+            params.iter().map(|(n, v)| (n.clone(), v.index())).collect();
+        let audit_opts = AuditOptions { allow_unreachable: allow, ..AuditOptions::default() };
+        let rw = match goal {
+            OptimizeGoal::ForwardBackward => RewriteOptions::default(),
+            OptimizeGoal::Forward => RewriteOptions::forward(),
+        };
+        let opt =
+            sthsl_graphcheck::optimize("ST-HSL", &spec, out.index(), &indexed, &audit_opts, &rw)
+                .map_err(|e| TensorError::Invalid(e.to_string()))?;
+        Ok((g, out.index(), opt))
+    }
+
+    /// [`Self::optimize_tape`] followed by the runtime replay harness:
+    /// every surviving node value (and, for the training goal, every
+    /// parameter gradient) must be `to_bits`-identical to the recording
+    /// graph. Returns the optimized tape and the replay verdict.
+    pub fn optimize_and_verify(
+        &self,
+        data: &CrimeDataset,
+        goal: OptimizeGoal,
+    ) -> Result<(OptimizedTape, ReplayVerdict)> {
+        let (g, out, opt) = self.optimize_tape(data, goal)?;
+        let replay = match goal {
+            // The training tape draws dropout masks from the seeded stream;
+            // an equal seed reproduces them draw for draw.
+            OptimizeGoal::ForwardBackward => Graph::training(self.cfg.seed),
+            OptimizeGoal::Forward => Graph::new(),
+        };
+        let verdict = sthsl_graphcheck::verify_bit_equivalence(&g, out, &opt, &replay)
+            .map_err(TensorError::Invalid)?;
+        Ok((opt, verdict))
+    }
+
+    /// Fusion-candidate analysis of the training tape (advisory).
+    pub fn fusion_report(&self, data: &CrimeDataset) -> Result<sthsl_graphcheck::FusionReport> {
+        let (g, _, _) = self.audit_artifacts(data)?;
+        Ok(sthsl_graphcheck::fusion::analyze("ST-HSL", &g.export_tape()))
     }
 
     /// Train with the full fault-tolerant runtime: checkpointing, resume,

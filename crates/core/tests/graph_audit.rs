@@ -116,8 +116,13 @@ fn every_named_ablation_certifies_clean_on_dense_and_sparse_tapes() {
 /// contrastive branch finite), no op exceeds the f32 accumulation budget,
 /// and all 316 ops certify thread-invariant with the 8 dropout nodes drawing
 /// from the seeded rng.
+///
+/// Re-derived for report v3: the render now carries a stable
+/// `report-version:` header (second line) so golden re-derivations across
+/// PRs diff cleanly — a format migration changes only that line.
 const GOLDEN_TINY_REPORT: &str = "\
 == graph audit: ST-HSL ==
+report-version: 3
 nodes: 316   params: 21   errors: 0   warnings: 1   info: 0
 shape: OK (316/316 node shapes inferred ahead of time)
 grad-flow: OK (21/21 parameters reachable from the loss)

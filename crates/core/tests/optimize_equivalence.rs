@@ -1,0 +1,193 @@
+//! Equivalence suite for the audit-certified tape optimizer (DESIGN.md §6i).
+//!
+//! The optimizer's contract is *bit-exactness*: replaying a rewritten tape
+//! must reproduce every surviving node value — and, for the training goal,
+//! every parameter gradient — `to_bits`-identical to the recording graph.
+//! This binary pins that contract on the real model, not fixtures:
+//!
+//! 1. Across crime-count densities {1%, 21%} × `STHSL_THREADS` {1, 4}, both
+//!    optimization goals replay bit-exact, and the recorded output bits are
+//!    invariant in the thread count.
+//! 2. Every named ablation variant, on both the dense and the CSR
+//!    propagation path (10 tapes), still certifies clean *after*
+//!    optimization: no audit regression, a clean post-report, and a
+//!    bit-exact replay.
+
+use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Mutex;
+use sthsl_autograd::{Graph, Tensor};
+use sthsl_core::{Ablation, StHsl, StHslConfig};
+use sthsl_data::{CrimeDataset, DatasetConfig};
+use sthsl_graphcheck::{verify_bit_equivalence, OptimizeGoal};
+use sthsl_parallel::set_num_threads;
+
+/// Thread counts from the issue spec.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Crime-count densities from the issue spec: 1% (sparser than any real
+/// category) and 21% (the calibrated NYC-like regime).
+const DENSITIES: [f64; 2] = [0.01, 0.21];
+
+/// Tests here mutate the process-global thread count; serialise them.
+fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A `[16, 80, 4]` count tensor where each cell is nonzero with probability
+/// `density`, wrapped as a dataset. Deterministic in `(density, seed)`.
+fn dataset_with_density(density: f64, seed: u64) -> CrimeDataset {
+    let (regions, days, cats) = (16usize, 80usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0.0f32; regions * days * cats];
+    for v in &mut counts {
+        if rng.gen_range(0.0..1.0) < density {
+            *v = rng.gen_range(1..6) as f32;
+        }
+    }
+    let tensor = Tensor::from_vec(counts, &[regions, days, cats]).unwrap();
+    let names = (0..cats).map(|c| format!("cat{c}")).collect();
+    CrimeDataset::new(
+        tensor,
+        4,
+        4,
+        names,
+        DatasetConfig { window: 7, val_days: 5, train_fraction: 7.0 / 8.0 },
+    )
+    .unwrap()
+}
+
+fn tiny_cfg() -> StHslConfig {
+    StHslConfig {
+        d: 4,
+        num_hyperedges: 6,
+        epochs: 2,
+        batch_size: 2,
+        max_batches_per_epoch: Some(3),
+        ..StHslConfig::quick()
+    }
+}
+
+/// Optimize under `goal`, replay-verify bit-exactness, and return the
+/// recorded output bits as a thread-invariance fingerprint.
+fn verify_and_fingerprint(
+    model: &StHsl,
+    data: &CrimeDataset,
+    goal: OptimizeGoal,
+    seed: u64,
+    label: &str,
+) -> Vec<u32> {
+    let (g, out, opt) = model.optimize_tape(data, goal).unwrap();
+    assert!(opt.warnings.is_empty(), "{label}: optimizer warnings: {:?}", opt.warnings);
+    assert!(!opt.post.has_errors(), "{label}: post-audit errors:\n{}", opt.post.render());
+    let replay = match goal {
+        OptimizeGoal::ForwardBackward => Graph::training(seed),
+        OptimizeGoal::Forward => Graph::new(),
+    };
+    let verdict = verify_bit_equivalence(&g, out, &opt, &replay)
+        .unwrap_or_else(|e| panic!("{label}: replay diverged: {e}"));
+    assert_eq!(
+        verdict.nodes_compared,
+        opt.spec.nodes.len(),
+        "{label}: every surviving node must be compared"
+    );
+    match goal {
+        OptimizeGoal::ForwardBackward => assert!(
+            verdict.grads_compared > 0,
+            "{label}: the training goal must compare parameter gradients"
+        ),
+        OptimizeGoal::Forward => assert_eq!(verdict.grads_compared, 0, "{label}"),
+    }
+    let v = g.node_var(out).unwrap();
+    g.try_value(v).unwrap().data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn optimized_tapes_replay_bit_exact_across_densities_and_thread_counts() {
+    let _guard = config_lock();
+    for &density in &DENSITIES {
+        let data = dataset_with_density(density, 0x5eed ^ density.to_bits());
+        let cfg = tiny_cfg();
+        let model = StHsl::new(cfg.clone(), &data).unwrap();
+        for goal in [OptimizeGoal::Forward, OptimizeGoal::ForwardBackward] {
+            let mut reference: Option<Vec<u32>> = None;
+            for &threads in &THREAD_COUNTS {
+                set_num_threads(threads);
+                let label = format!("density {density} / {} / {threads} threads", goal.name());
+                let bits = verify_and_fingerprint(&model, &data, goal, cfg.seed, &label);
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => {
+                        assert_eq!(r, &bits, "{label}: output bits changed with the thread count");
+                    }
+                }
+            }
+        }
+    }
+    set_num_threads(0); // back to the environment-resolved default
+}
+
+proptest! {
+    // Each case optimizes + replays two goals at two thread counts.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fuzzed densities over the whole {1%..21%} band: the rewrite proofs
+    /// must hold for *any* input data, not just the two pinned points —
+    /// the CSR pattern, the z-score statistics and every recorded witness
+    /// change with the draw, and the replay must stay bit-exact.
+    #[test]
+    fn fuzzed_densities_replay_bit_exact_at_both_thread_counts(
+        density in 0.01f64..0.21,
+        seed in 0u64..u64::MAX,
+    ) {
+        let _guard = config_lock();
+        let data = dataset_with_density(density, seed);
+        let cfg = tiny_cfg();
+        let model = StHsl::new(cfg.clone(), &data).unwrap();
+        for goal in [OptimizeGoal::Forward, OptimizeGoal::ForwardBackward] {
+            let mut reference: Option<Vec<u32>> = None;
+            for &threads in &THREAD_COUNTS {
+                set_num_threads(threads);
+                let label =
+                    format!("fuzzed density {density} / {} / {threads} threads", goal.name());
+                let bits = verify_and_fingerprint(&model, &data, goal, cfg.seed, &label);
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => prop_assert_eq!(
+                        r,
+                        &bits,
+                        "{}: output bits changed with the thread count",
+                        label
+                    ),
+                }
+            }
+        }
+        set_num_threads(0);
+    }
+}
+
+#[test]
+fn every_ablation_variant_certifies_clean_after_optimization() {
+    let data = dataset_with_density(0.21, 0xab1a);
+    for sparse in [true, false] {
+        for (name, ab) in Ablation::named_variants() {
+            let mut cfg = tiny_cfg().with_ablation(ab);
+            cfg.sparse_propagation = sparse;
+            let path = if sparse { "sparse" } else { "dense" };
+            let model = StHsl::new(cfg.clone(), &data).unwrap();
+            let label = format!("{name}/{path}");
+            // The conservative training goal must hold for every variant:
+            // clean post-audit, zero regressions, bit-exact replay with
+            // every parameter gradient compared.
+            let bits = verify_and_fingerprint(
+                &model,
+                &data,
+                OptimizeGoal::ForwardBackward,
+                cfg.seed,
+                &label,
+            );
+            assert!(!bits.is_empty(), "{label}: loss must have a value");
+        }
+    }
+}

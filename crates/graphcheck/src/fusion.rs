@@ -1,0 +1,256 @@
+//! Fusion-candidate analysis: rank chains of element-wise ops (optionally
+//! terminated by a reduction) that a fused kernel could execute without
+//! materializing intermediates.
+//!
+//! This is *advisory-only* static analysis — the interpreter-style autograd
+//! engine cannot fuse — but it quantifies the headroom: each single-consumer
+//! chain `a → b → c` of same-numel element-wise ops would, under fusion,
+//! skip writing every intermediate, saving `4 · numel` bytes of traffic per
+//! link. Chains ending in a full or axis reduction additionally avoid the
+//! last materialization entirely. Candidates are ranked by predicted bytes
+//! saved (the cost model's currency) and serialized to
+//! `results/fusion_candidates.json` by the CLI.
+
+use sthsl_autograd::{OpKind, TapeSpec};
+
+use crate::report::json_str;
+use crate::shape;
+
+/// One fusable chain on the tape.
+#[derive(Debug, Clone)]
+pub struct FusionCandidate {
+    /// Tape indices of the chain, producer first.
+    pub nodes: Vec<usize>,
+    /// Op names along the chain, same order.
+    pub ops: Vec<&'static str>,
+    /// `"elementwise"` or `"elementwise+reduce"`.
+    pub kind: &'static str,
+    /// Element count of the chain's working shape.
+    pub numel: u128,
+    /// Predicted bytes of intermediate traffic a fused kernel avoids.
+    pub saved_bytes: u128,
+}
+
+/// All candidates for one tape, ranked by predicted savings.
+#[derive(Debug, Clone)]
+pub struct FusionReport {
+    /// Display name for headers and the JSON payload.
+    pub model: String,
+    /// Candidates, descending `saved_bytes` (ties broken by first node).
+    pub candidates: Vec<FusionCandidate>,
+    /// Sum over all candidates.
+    pub total_saved_bytes: u128,
+}
+
+/// Element-wise ops a fused kernel could evaluate per element, with a
+/// same-shape output. Excludes rng consumers (dropout draws must stay
+/// stream-ordered), data movement, reductions and matmuls.
+fn elementwise(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Scale { .. }
+            | OpKind::AddScalar { .. }
+            | OpKind::Square
+            | OpKind::LeakyRelu { .. }
+            | OpKind::Sigmoid
+            | OpKind::Tanh
+            | OpKind::Exp
+            | OpKind::LnEps { .. }
+            | OpKind::SqrtEps { .. }
+            | OpKind::Softplus
+    )
+}
+
+/// Reductions that can terminate a fused chain (consume the last
+/// intermediate streaming, without materializing it).
+fn reduce(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::SumAll | OpKind::MeanAll | OpKind::SumAxis { .. } | OpKind::MeanAxis { .. }
+    )
+}
+
+/// Scan `spec` for single-consumer element-wise chains of length ≥ 2.
+pub fn analyze(model: &str, spec: &TapeSpec) -> FusionReport {
+    let n = spec.nodes.len();
+    let mut scratch = Vec::new();
+    let shapes = shape::analyze(spec, &mut scratch).shapes;
+    let numel = |i: usize| -> Option<u128> {
+        shapes.get(i).and_then(|s| s.as_ref()).map(|s| s.iter().map(|&d| d as u128).product())
+    };
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in spec.nodes.iter().enumerate() {
+        for &p in &node.parents {
+            consumers[p].push(i);
+        }
+    }
+
+    let mut visited = vec![false; n];
+    let mut candidates: Vec<FusionCandidate> = Vec::new();
+    for i in 0..n {
+        if visited[i] || !elementwise(&spec.nodes[i].kind) {
+            continue;
+        }
+        let Some(ne) = numel(i) else { continue };
+        let mut chain = vec![i];
+        let mut cur = i;
+        let mut terminal_reduce = false;
+        // Only single-consumer links fuse: a second consumer forces the
+        // intermediate to exist anyway.
+        while let [c] = consumers[cur][..] {
+            if visited[c] {
+                break;
+            }
+            if elementwise(&spec.nodes[c].kind) && numel(c) == Some(ne) {
+                chain.push(c);
+                cur = c;
+            } else if reduce(&spec.nodes[c].kind) {
+                chain.push(c);
+                terminal_reduce = true;
+                break;
+            } else {
+                break;
+            }
+        }
+        if chain.len() < 2 {
+            continue;
+        }
+        for &m in &chain {
+            visited[m] = true;
+        }
+        // Every non-final link's output is an intermediate a fused kernel
+        // never writes; with a terminal reduction the final element-wise
+        // value streams straight into the accumulator too.
+        let intermediates = (chain.len() - 1) as u128;
+        let saved_bytes = 4u128 * ne * intermediates;
+        candidates.push(FusionCandidate {
+            ops: chain.iter().map(|&m| spec.nodes[m].kind.name()).collect(),
+            nodes: chain,
+            kind: if terminal_reduce { "elementwise+reduce" } else { "elementwise" },
+            numel: ne,
+            saved_bytes,
+        });
+    }
+
+    candidates.sort_by(|a, b| {
+        b.saved_bytes.cmp(&a.saved_bytes).then_with(|| a.nodes[0].cmp(&b.nodes[0]))
+    });
+    let total_saved_bytes = candidates.iter().map(|c| c.saved_bytes).sum();
+    FusionReport { model: model.to_string(), candidates, total_saved_bytes }
+}
+
+impl FusionReport {
+    /// Deterministic JSON for `results/fusion_candidates.json`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"model\":{},\"total_saved_bytes\":{},\"candidates\":[",
+            json_str(&self.model),
+            self.total_saved_bytes
+        );
+        for (k, c) in self.candidates.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let nodes =
+                c.nodes.iter().map(std::string::ToString::to_string).collect::<Vec<_>>().join(",");
+            let ops = c.ops.iter().map(|o| json_str(o)).collect::<Vec<_>>().join(",");
+            let _ = write!(
+                s,
+                "{{\"nodes\":[{nodes}],\"ops\":[{ops}],\"kind\":{},\"numel\":{},\
+                 \"saved_bytes\":{}}}",
+                json_str(c.kind),
+                c.numel,
+                c.saved_bytes
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Human-readable top-`limit` table.
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fusion candidates: {} ({} chain(s), {} predicted bytes saved)",
+            self.model,
+            self.candidates.len(),
+            self.total_saved_bytes
+        );
+        for c in self.candidates.iter().take(limit) {
+            let _ = writeln!(
+                s,
+                "  %{:<5} {:<48} {:>14} bytes  [{}]",
+                c.nodes[0],
+                c.ops.join("->"),
+                c.saved_bytes,
+                c.kind
+            );
+        }
+        if self.candidates.len() > limit {
+            let _ = writeln!(s, "  ... {} more", self.candidates.len() - limit);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_elementwise_chain_ending_in_reduce() {
+        let mut spec = TapeSpec::new();
+        let x = spec.leaf("x", &[8, 8]);
+        let a = spec.push(OpKind::Sigmoid, &[x]);
+        let b = spec.push(OpKind::Square, &[a]);
+        let _loss = spec.push(OpKind::SumAll, &[b]);
+        let r = analyze("toy", &spec);
+        assert_eq!(r.candidates.len(), 1);
+        let c = &r.candidates[0];
+        assert_eq!(c.nodes, vec![a, b, 3]);
+        assert_eq!(c.ops, vec!["sigmoid", "square", "sum_all"]);
+        assert_eq!(c.kind, "elementwise+reduce");
+        // Two intermediates (sigmoid + square outputs) * 64 elements * 4B.
+        assert_eq!(c.saved_bytes, 2 * 64 * 4);
+        assert_eq!(r.total_saved_bytes, c.saved_bytes);
+    }
+
+    #[test]
+    fn multi_consumer_links_break_the_chain() {
+        let mut spec = TapeSpec::new();
+        let x = spec.leaf("x", &[4]);
+        let a = spec.push(OpKind::Sigmoid, &[x]);
+        let b = spec.push(OpKind::Square, &[a]);
+        let c = spec.push(OpKind::Tanh, &[a]); // second consumer of `a`
+        let m = spec.push(OpKind::Mul, &[b, c]);
+        let _loss = spec.push(OpKind::SumAll, &[m]);
+        let r = analyze("toy", &spec);
+        // `a` cannot fuse forward (two consumers); b and c are heads of
+        // their own chains into mul/sum.
+        assert!(r.candidates.iter().all(|cand| !cand.nodes.contains(&a)), "{:?}", r.candidates);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let mut spec = TapeSpec::new();
+        let x = spec.leaf("x", &[2]);
+        let a = spec.push(OpKind::Exp, &[x]);
+        let b = spec.push(OpKind::AddScalar { s: 1.0 }, &[a]);
+        let _ = spec.push(OpKind::SumAll, &[b]);
+        let r = analyze("m\"odel", &spec);
+        let j = r.to_json();
+        assert_eq!(j, r.to_json());
+        assert!(j.starts_with("{\"model\":\"m\\\"odel\""), "{j}");
+        assert!(j.contains("\"candidates\":["), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+    }
+}

@@ -1,0 +1,636 @@
+//! The audit-certified tape optimizer.
+//!
+//! [`optimize`] rewrites an exported [`TapeSpec`] with the four passes under
+//! [`crate::rewrite`] — constant folding, identity simplification, CSE and a
+//! final dead-node sweep — applying a rewrite only when its proof
+//! obligations are discharged by the audit passes (shape inference, interval
+//! ranges, determinism certification) plus the structural
+//! accumulation-order conditions the backward engine demands. The result
+//! carries the pre- and post-optimization [`AuditReport`]s, the full applied
+//! / skipped rewrite ledger, and the index maps needed to replay the
+//! optimized tape against the recording graph.
+//!
+//! Static proofs are then cross-checked at runtime by
+//! [`verify_bit_equivalence`]: replay the optimized spec on a fresh graph
+//! (binding inputs from the original's recorded values) and require
+//! `to_bits` equality of every surviving node value — and, for
+//! [`OptimizeGoal::ForwardBackward`], of every parameter gradient.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use sthsl_autograd::{Graph, TapeSpec, TensorError};
+
+use crate::rewrite::{
+    cse, dce, fold, identity, AppliedRewrite, DischargedObligation, OptimizeGoal, RewritePass,
+    SkippedRewrite, TapeFacts,
+};
+use crate::{audit, shape, AuditOptions, AuditReport, Diagnostic, Severity};
+
+/// Pass selection and certification goal for one optimize run.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// What the optimized tape must stay bit-identical for.
+    pub goal: OptimizeGoal,
+    /// Enable common-subexpression elimination.
+    pub cse: bool,
+    /// Enable the dead-node sweep.
+    pub dce: bool,
+    /// Enable constant folding.
+    pub fold: bool,
+    /// Enable identity simplification.
+    pub identity: bool,
+}
+
+impl Default for RewriteOptions {
+    /// All passes on, certified for training (`ForwardBackward`) — the
+    /// conservative profile.
+    fn default() -> Self {
+        RewriteOptions {
+            goal: OptimizeGoal::ForwardBackward,
+            cse: true,
+            dce: true,
+            fold: true,
+            identity: true,
+        }
+    }
+}
+
+impl RewriteOptions {
+    /// All passes on, certified for forward values only (serving tapes).
+    pub fn forward() -> Self {
+        RewriteOptions { goal: OptimizeGoal::Forward, ..RewriteOptions::default() }
+    }
+}
+
+/// Why an optimize run refused to start or finish.
+#[derive(Debug)]
+pub enum OptimizeError {
+    /// The pre-optimization audit found blocking errors; rewriting an
+    /// already-broken tape would certify garbage.
+    AuditFailed(Box<AuditReport>),
+    /// An internal invariant broke (a bug in the optimizer, never the
+    /// model's fault).
+    Internal(String),
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::AuditFailed(r) => write!(
+                f,
+                "pre-optimization audit of '{}' has {} blocking finding(s); fix the graph \
+                 before optimizing",
+                r.model,
+                r.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+            ),
+            OptimizeError::Internal(msg) => write!(f, "optimizer invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// The product of one optimize run: the rewritten tape plus everything
+/// needed to certify, replay and report it.
+pub struct OptimizedTape {
+    /// The rewritten spec (topological order preserved).
+    pub spec: TapeSpec,
+    /// Output/loss index on the rewritten spec.
+    pub output: usize,
+    /// Registered parameters remapped to rewritten-spec indices.
+    pub params: Vec<(String, usize)>,
+    /// What the rewrites were certified for.
+    pub goal: OptimizeGoal,
+    /// For each rewritten-spec node, the original-spec node it came from
+    /// (for folds: the folded op whose recorded value the constant binds).
+    pub origin: Vec<usize>,
+    /// For each original-spec node, where it went (`None` = swept).
+    /// Aliased/merged nodes map to their representative's new index.
+    pub remap: Vec<Option<usize>>,
+    /// Every rewrite applied, with discharged obligations.
+    pub applied: Vec<AppliedRewrite>,
+    /// Every matched-but-unproven rewrite.
+    pub skipped: Vec<SkippedRewrite>,
+    /// Regressions the post-audit surfaced relative to the pre-audit
+    /// (should be empty; `--deny-warnings` fails on them).
+    pub warnings: Vec<String>,
+    /// Audit of the original spec.
+    pub pre: AuditReport,
+    /// Audit of the rewritten spec.
+    pub post: AuditReport,
+}
+
+/// Statically optimize one exported tape. Arguments mirror [`audit`].
+pub fn optimize(
+    model: &str,
+    spec: &TapeSpec,
+    output: usize,
+    params: &[(String, usize)],
+    audit_opts: &AuditOptions,
+    rw: &RewriteOptions,
+) -> Result<OptimizedTape, OptimizeError> {
+    let pre = audit(model, spec, output, params, audit_opts);
+    if pre.has_errors() {
+        return Err(OptimizeError::AuditFailed(Box::new(pre)));
+    }
+
+    let n = spec.nodes.len();
+    let mut scratch: Vec<Diagnostic> = Vec::new();
+    let shapes = shape::analyze(spec, &mut scratch).shapes;
+    let empty_intervals;
+    let intervals = match &pre.ranges {
+        Some(r) => &r.intervals[..],
+        None => {
+            empty_intervals = vec![None; n];
+            &empty_intervals[..]
+        }
+    };
+    let facts = TapeFacts::compute(spec);
+
+    let mut applied: Vec<AppliedRewrite> = Vec::new();
+    let mut skipped: Vec<SkippedRewrite> = Vec::new();
+
+    let cse_plan = if rw.cse {
+        let plan = cse::plan(spec, &facts, &shapes, intervals, rw.goal);
+        skipped.extend(plan.skipped.iter().cloned());
+        Some(plan)
+    } else {
+        None
+    };
+    // Nodes whose gradient-accumulation order the CSE proofs rely on:
+    // aliasing any of them would reposition contributions and void the
+    // proof, so identity rewrites are fenced away from them.
+    let cse_involved: HashSet<usize> = cse_plan
+        .as_ref()
+        .map(|p| {
+            p.merge_into
+                .iter()
+                .enumerate()
+                .filter_map(|(d, rep)| rep.map(|r| [d, r]))
+                .flatten()
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // `repr[i]`: the original-spec node that now carries i's value.
+    // `old2mid[i]`: where repr'd nodes landed on the mid (pre-sweep) tape.
+    let mut repr: Vec<usize> = (0..n).collect();
+    let mut old2mid: Vec<Option<usize>> = vec![None; n];
+    let mut mid = TapeSpec::new();
+    let mut mid_origin: Vec<usize> = Vec::new();
+
+    for i in 0..n {
+        let node = &spec.nodes[i];
+
+        if rw.fold {
+            if let Some(f) = fold::try_fold(spec, &facts, &shapes, output, i) {
+                let idx = mid.nodes.len();
+                mid.nodes.push(f.replacement);
+                mid_origin.push(i);
+                old2mid[i] = Some(idx);
+                applied.push(AppliedRewrite {
+                    pass: RewritePass::Fold,
+                    node: i,
+                    into: None,
+                    detail: f.detail,
+                    obligations: f.obligations,
+                });
+                continue;
+            }
+        }
+
+        if rw.identity {
+            match identity::try_alias(spec, &facts, &shapes, intervals, rw.goal, output, i) {
+                identity::AliasOutcome::Alias { target, links, detail, obligations } => {
+                    let fenced = rw.goal == OptimizeGoal::ForwardBackward
+                        && node.requires_grad
+                        && [target].iter().chain(links.iter()).any(|l| cse_involved.contains(l));
+                    if fenced {
+                        skipped.push(SkippedRewrite {
+                            pass: RewritePass::Identity,
+                            node: i,
+                            reason: "identity: alias chain touches a CSE group; combining \
+                                     both would reposition gradient contributions the CSE \
+                                     order proof relies on"
+                                .to_string(),
+                        });
+                    } else {
+                        let r = repr[target];
+                        repr[i] = r;
+                        applied.push(AppliedRewrite {
+                            pass: RewritePass::Identity,
+                            node: i,
+                            into: Some(r),
+                            detail,
+                            obligations,
+                        });
+                        continue;
+                    }
+                }
+                identity::AliasOutcome::Skip(s) => skipped.push(s),
+                identity::AliasOutcome::None => {}
+            }
+        }
+
+        if let Some(plan) = &cse_plan {
+            if let Some(rep) = plan.merge_into[i] {
+                if repr[rep] == rep && old2mid[rep].is_some() {
+                    repr[i] = rep;
+                    applied.push(AppliedRewrite {
+                        pass: RewritePass::Cse,
+                        node: i,
+                        into: Some(rep),
+                        detail: format!(
+                            "%{i} {} merged into identical %{rep}",
+                            node.kind.display()
+                        ),
+                        obligations: plan.obligations.get(&i).cloned().unwrap_or_default(),
+                    });
+                    continue;
+                }
+                skipped.push(SkippedRewrite {
+                    pass: RewritePass::Cse,
+                    node: i,
+                    reason: format!(
+                        "cse: representative %{rep} was itself rewritten by an earlier pass"
+                    ),
+                });
+            }
+        }
+
+        // Materialize the node with parents resolved through earlier
+        // rewrites.
+        let mut parents = Vec::with_capacity(node.parents.len());
+        for &p in &node.parents {
+            let mapped = old2mid.get(repr[p]).copied().flatten().ok_or_else(|| {
+                OptimizeError::Internal(format!(
+                    "node %{i} parent %{p} resolves to %{} which was never materialized",
+                    repr[p]
+                ))
+            })?;
+            parents.push(mapped);
+        }
+        let idx = mid.nodes.len();
+        let mut kept = node.clone();
+        kept.parents = parents;
+        mid.nodes.push(kept);
+        mid_origin.push(i);
+        old2mid[i] = Some(idx);
+    }
+
+    // Final sweep: drop everything the output no longer needs, except rng
+    // pins and leaves.
+    let mid_facts_rng: Vec<bool> =
+        mid.nodes.iter().map(|nd| nd.effective_schedule().is_some_and(|s| s.uses_rng)).collect();
+    let mid_output = old2mid
+        .get(repr.get(output).copied().unwrap_or(output))
+        .copied()
+        .flatten()
+        .ok_or_else(|| OptimizeError::Internal(format!("output %{output} vanished")))?;
+
+    let keep = if rw.dce {
+        dce::keep_mask(&mid, mid_output, &mid_facts_rng)
+    } else {
+        vec![true; mid.nodes.len()]
+    };
+
+    let mut final_spec = TapeSpec::new();
+    let mut origin: Vec<usize> = Vec::new();
+    let mut mid2final: Vec<Option<usize>> = vec![None; mid.nodes.len()];
+    for (j, nd) in mid.nodes.iter().enumerate() {
+        if !keep[j] {
+            let old = mid_origin[j];
+            applied.push(AppliedRewrite {
+                pass: RewritePass::Dce,
+                node: old,
+                into: None,
+                detail: format!("%{old} {} removed as dead", nd.kind.display()),
+                obligations: vec![
+                    DischargedObligation::new(
+                        "reachability",
+                        "node is not an ancestor of the output on the rewritten tape".to_string(),
+                    ),
+                    DischargedObligation::new(
+                        "rng-stream",
+                        "node draws nothing from the seeded rng stream (rng consumers and \
+                         their ancestors are pinned)"
+                            .to_string(),
+                    ),
+                    DischargedObligation::new(
+                        "grad-flow",
+                        "the backward sweep only visits ancestors of the loss; a dead node \
+                         is never one"
+                            .to_string(),
+                    ),
+                ],
+            });
+            continue;
+        }
+        let mut kept = nd.clone();
+        for p in &mut kept.parents {
+            *p = mid2final[*p].ok_or_else(|| {
+                OptimizeError::Internal(format!("live node kept a swept parent %{p}"))
+            })?;
+        }
+        let idx = final_spec.nodes.len();
+        final_spec.nodes.push(kept);
+        origin.push(mid_origin[j]);
+        mid2final[j] = Some(idx);
+    }
+
+    let final_output = mid2final
+        .get(mid_output)
+        .copied()
+        .flatten()
+        .ok_or_else(|| OptimizeError::Internal("output swept by dce".to_string()))?;
+
+    // old -> final, through repr, mid and the sweep.
+    let remap: Vec<Option<usize>> = (0..n)
+        .map(|i| old2mid[repr[i]].and_then(|m| mid2final.get(m).copied().flatten()))
+        .collect();
+
+    let mut new_params = Vec::with_capacity(params.len());
+    for (name, old_idx) in params {
+        let idx = remap.get(*old_idx).copied().flatten().ok_or_else(|| {
+            OptimizeError::Internal(format!("parameter '{name}' (%{old_idx}) vanished"))
+        })?;
+        new_params.push((name.clone(), idx));
+    }
+
+    let post = audit(model, &final_spec, final_output, &new_params, audit_opts);
+    let warnings = diff_regressions(&pre, &post);
+
+    Ok(OptimizedTape {
+        spec: final_spec,
+        output: final_output,
+        params: new_params,
+        goal: rw.goal,
+        origin,
+        remap,
+        applied,
+        skipped,
+        warnings,
+        pre,
+        post,
+    })
+}
+
+/// Per-(pass, severity) diagnostic-count regressions between two audits.
+/// Message texts embed node indices, which legitimately shift under
+/// rewriting, so only the counts are comparable.
+fn diff_regressions(pre: &AuditReport, post: &AuditReport) -> Vec<String> {
+    let count = |r: &AuditReport| -> BTreeMap<(crate::Pass, Severity), usize> {
+        let mut m = BTreeMap::new();
+        for d in &r.diagnostics {
+            // Info is definitionally non-blocking, and rewrites create
+            // benign ones ("never used" on the pinned leaves of a swept
+            // branch); only Warning and Error counts are regressions.
+            if d.severity == Severity::Info {
+                continue;
+            }
+            *m.entry((d.pass, d.severity)).or_insert(0) += 1;
+        }
+        m
+    };
+    let before = count(pre);
+    let mut out = Vec::new();
+    for ((pass, sev), n_post) in count(post) {
+        let n_pre = before.get(&(pass, sev)).copied().unwrap_or(0);
+        if n_post > n_pre {
+            out.push(format!(
+                "post-optimization audit regressed: {} {:?} finding(s) from pass '{}' \
+                 (was {})",
+                n_post,
+                sev,
+                pass.name(),
+                n_pre
+            ));
+        }
+    }
+    if let (Some(a), Some(b)) = (&pre.determinism, &post.determinism) {
+        if a.violations == 0 && b.violations > 0 {
+            out.push(format!(
+                "post-optimization determinism certification broke: {} violation(s)",
+                b.violations
+            ));
+        }
+    }
+    out
+}
+
+impl OptimizedTape {
+    /// Count of applied rewrites per pass.
+    pub fn applied_by_pass(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.applied {
+            *m.entry(r.pass.name()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Static out-bytes saved, in basis points of the original total
+    /// (10000 = all of it). `None` when either audit lacks a cost model.
+    pub fn saved_out_bytes_bps(&self) -> Option<u64> {
+        let before = self.pre.cost.as_ref()?.total_out_bytes;
+        let after = self.post.cost.as_ref()?.total_out_bytes;
+        if before == 0 {
+            return Some(0);
+        }
+        let saved = before.saturating_sub(after);
+        u64::try_from(saved.saturating_mul(10_000) / before).ok()
+    }
+
+    /// Render the optimizer report: headline deltas, per-family byte table,
+    /// the applied-rewrite ledger (with obligations when `detail`), and
+    /// skips.
+    pub fn render(&self, detail: bool) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "tape optimizer: {} (goal: {})", self.pre.model, self.goal.name());
+        let by_pass = self.applied_by_pass();
+        let counts = ["fold", "identity", "cse", "dce"]
+            .iter()
+            .map(|p| format!("{p} {}", by_pass.get(p).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            s,
+            "  rewrites: {} applied ({counts}), {} skipped",
+            self.applied.len(),
+            self.skipped.len()
+        );
+        let _ = writeln!(s, "  nodes: {} -> {}", self.pre.node_count, self.post.node_count);
+        if let (Some(a), Some(b)) = (&self.pre.cost, &self.post.cost) {
+            let pct = self.saved_out_bytes_bps().unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "  static bytes: {} -> {} (saved {}.{:02}%)",
+                a.total_out_bytes,
+                b.total_out_bytes,
+                pct / 100,
+                pct % 100
+            );
+            let _ = writeln!(
+                s,
+                "  fwd flops: {} -> {}   bwd flops: {} -> {}",
+                a.total_fwd_flops, b.total_fwd_flops, a.total_bwd_flops, b.total_bwd_flops
+            );
+            let _ = writeln!(s, "  per-family out_bytes (before -> after):");
+            let mut fams: Vec<&'static str> =
+                a.per_family.keys().chain(b.per_family.keys()).copied().collect();
+            fams.sort_unstable();
+            fams.dedup();
+            fams.sort_by_key(|f| std::cmp::Reverse(a.per_family.get(f).map_or(0, |r| r.out_bytes)));
+            for f in fams {
+                let before = a.per_family.get(f).map_or(0, |r| r.out_bytes);
+                let after = b.per_family.get(f).map_or(0, |r| r.out_bytes);
+                if before == 0 && after == 0 {
+                    continue;
+                }
+                let marker = if after < before {
+                    "  (-)"
+                } else if after > before {
+                    "  (+)"
+                } else {
+                    ""
+                };
+                let _ = writeln!(s, "    {f:<16} {before:>14} -> {after:>14}{marker}");
+            }
+        }
+        for w in &self.warnings {
+            let _ = writeln!(s, "  WARNING: {w}");
+        }
+        let _ = writeln!(s, "applied rewrites:");
+        for r in &self.applied {
+            let arrow = match r.into {
+                Some(t) => format!(" -> %{t}"),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "  [{}] {}{arrow}", r.pass.name(), r.detail);
+            if detail {
+                for o in &r.obligations {
+                    let _ = writeln!(s, "      proof {}: {}", o.name, o.evidence);
+                }
+            }
+        }
+        if !self.skipped.is_empty() {
+            let _ = writeln!(s, "skipped (obligation not discharged):");
+            for k in &self.skipped {
+                let _ = writeln!(s, "  [{}] %{}: {}", k.pass.name(), k.node, k.reason);
+            }
+        }
+        s
+    }
+}
+
+/// Outcome of a successful replay-equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayVerdict {
+    /// Surviving node values compared bit-for-bit.
+    pub nodes_compared: usize,
+    /// Parameter gradients compared bit-for-bit (0 for forward-only goals).
+    pub grads_compared: usize,
+}
+
+/// Replay `opt.spec` on `replay` (a fresh graph, seeded like `original` if
+/// the tape draws rng) binding inputs from `original`'s recorded values,
+/// and require `to_bits` equality of every surviving node value — plus, for
+/// [`OptimizeGoal::ForwardBackward`], of every parameter gradient.
+///
+/// Returns the first divergence as an error string; a `Ok` verdict is the
+/// runtime counterpart of the static proof obligations.
+pub fn verify_bit_equivalence(
+    original: &Graph,
+    original_output: usize,
+    opt: &OptimizedTape,
+    replay: &Graph,
+) -> Result<ReplayVerdict, String> {
+    let fetch = |old: usize| -> Result<std::rc::Rc<sthsl_autograd::Tensor>, TensorError> {
+        let v = original
+            .node_var(old)
+            .ok_or_else(|| TensorError::Invalid(format!("original graph has no node %{old}")))?;
+        original.try_value(v)
+    };
+    let vars = replay
+        .replay_tape(&opt.spec, &mut |i| {
+            let old = *opt.origin.get(i).ok_or_else(|| {
+                TensorError::Invalid(format!("optimized node %{i} has no origin"))
+            })?;
+            fetch(old).map(|t| (*t).clone())
+        })
+        .map_err(|e| format!("replay failed: {e}"))?;
+
+    let mut nodes_compared = 0usize;
+    for (k, &rv) in vars.iter().enumerate() {
+        let old = opt.origin[k];
+        let a = fetch(old).map_err(|e| e.to_string())?;
+        let b = replay.try_value(rv).map_err(|e| e.to_string())?;
+        if a.shape() != b.shape() {
+            return Err(format!(
+                "node %{k} (origin %{old}): shape {:?} != {:?}",
+                a.shape(),
+                b.shape()
+            ));
+        }
+        for (e, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "node %{k} (origin %{old}) diverges at element {e}: {x:e} vs {y:e} \
+                     (bits {:08x} vs {:08x})",
+                    x.to_bits(),
+                    y.to_bits()
+                ));
+            }
+        }
+        nodes_compared += 1;
+    }
+
+    let mut grads_compared = 0usize;
+    if opt.goal == OptimizeGoal::ForwardBackward {
+        let loss_old = original
+            .node_var(original_output)
+            .ok_or_else(|| format!("original graph has no node %{original_output}"))?;
+        let ga = original.backward(loss_old).map_err(|e| format!("original backward: {e}"))?;
+        let loss_new =
+            *vars.get(opt.output).ok_or_else(|| "optimized output var out of range".to_string())?;
+        let gb = replay.backward(loss_new).map_err(|e| format!("replay backward: {e}"))?;
+        for (name, new_idx) in &opt.params {
+            let old_idx = opt.origin[*new_idx];
+            let a = original
+                .node_var(old_idx)
+                .ok_or_else(|| format!("param '{name}': original node %{old_idx} missing"))?;
+            let (pa, pb) = (ga.get(a), gb.get(vars[*new_idx]));
+            match (pa, pb) {
+                (None, None) => {}
+                (Some(ta), Some(tb)) => {
+                    if ta.shape() != tb.shape() {
+                        return Err(format!(
+                            "param '{name}' gradient shape {:?} != {:?}",
+                            ta.shape(),
+                            tb.shape()
+                        ));
+                    }
+                    for (e, (x, y)) in ta.data().iter().zip(tb.data().iter()).enumerate() {
+                        if x.to_bits() != y.to_bits() {
+                            return Err(format!(
+                                "param '{name}' gradient diverges at element {e}: {x:e} vs \
+                                 {y:e}"
+                            ));
+                        }
+                    }
+                }
+                (a, b) => {
+                    return Err(format!(
+                        "param '{name}' gradient presence differs: original {} vs replay {}",
+                        a.is_some(),
+                        b.is_some()
+                    ));
+                }
+            }
+            grads_compared += 1;
+        }
+    }
+
+    Ok(ReplayVerdict { nodes_compared, grads_compared })
+}

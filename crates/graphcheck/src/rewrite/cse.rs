@@ -1,0 +1,266 @@
+//! Common-subexpression elimination over the exported tape.
+//!
+//! Two op nodes are duplicate candidates when they apply the *same op with
+//! the same attributes to the same parents* ([`super::cse_key`]). That alone
+//! proves forward bit-equality only for deterministic ops (certified
+//! thread-invariant, rng-free, clock-free by the schedule metadata the
+//! determinism pass checks); rng consumers, opaque ops and NaN-attributed
+//! ops are categorically excluded, and the recorded value-range witnesses of
+//! all group members must agree bit-for-bit as a belt-and-braces runtime
+//! cross-check.
+//!
+//! Under [`OptimizeGoal::ForwardBackward`] the hard part is the *backward*
+//! pass: the autograd engine accumulates each node's gradient with f32
+//! `axpy` in reverse-consumer order, and f32 addition is non-associative, so
+//! merging duplicates regroups two accumulation streams into one. The merge
+//! is bit-exact iff:
+//!
+//! 1. the duplicates' backward is a pure element movement
+//!    ([`super::movement_backward`]: transpose/reshape/permute) — movement
+//!    distributes exactly over addition, `move(a) + move(b) ==
+//!    move(a + b)` bit-for-bit — or the node is `requires_grad = false`
+//!    (backward never visits it);
+//! 2. the duplicates' consumer sets are *index-separated* (every consumer
+//!    of an earlier duplicate precedes every consumer of a later one), so
+//!    the merged accumulator receives the same contributions in the same
+//!    order as the per-duplicate accumulators did, concatenated;
+//! 3. every *other* consumer of the shared parent sits at a lower tape
+//!    index than the whole group, so in the reverse sweep the merged
+//!    movement contribution still lands in the parent's accumulator at the
+//!    same position (first) as the per-duplicate contributions did.
+//!
+//! Conditions 2–3 sound exotic but hold for the mechanical duplication
+//! patterns real recorders emit (e.g. a loop re-transposing the same
+//! embedding matrix per window position, consumed immediately each
+//! iteration — when nothing else reads the embedding in between).
+
+use std::collections::HashMap;
+
+use sthsl_autograd::TapeSpec;
+
+use crate::range::Interval;
+
+use super::{
+    cse_key, fmt_shape, movement_backward, DischargedObligation, OptimizeGoal, RewritePass,
+    SkippedRewrite, TapeFacts,
+};
+
+/// The CSE plan: for each original-tape node, the original-tape
+/// representative it merges into (always a lower index with an identical
+/// key), plus the obligations discharged per merged node and the skips.
+pub(crate) struct CsePlan {
+    pub merge_into: Vec<Option<usize>>,
+    pub obligations: HashMap<usize, Vec<DischargedObligation>>,
+    pub skipped: Vec<SkippedRewrite>,
+}
+
+/// Plan all CSE merges on the original spec. The driver applies a planned
+/// merge only if the representative itself survives earlier rewrites.
+pub(crate) fn plan(
+    spec: &TapeSpec,
+    facts: &TapeFacts,
+    shapes: &[Option<Vec<usize>>],
+    intervals: &[Option<Interval>],
+    goal: OptimizeGoal,
+) -> CsePlan {
+    let n = spec.nodes.len();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if facts.rng[i] || !facts.deterministic[i] {
+            continue;
+        }
+        if let Some(key) = cse_key(&node.kind, &node.parents) {
+            groups.entry(key).or_default().push(i);
+        }
+    }
+
+    let mut plan =
+        CsePlan { merge_into: vec![None; n], obligations: HashMap::new(), skipped: Vec::new() };
+    let mut keyed: Vec<(String, Vec<usize>)> = groups.into_iter().collect();
+    keyed.sort(); // deterministic iteration for stable reports
+    for (_, group) in keyed {
+        if group.len() < 2 {
+            continue;
+        }
+        plan_group(spec, facts, shapes, intervals, goal, &group, &mut plan);
+    }
+    plan
+}
+
+fn plan_group(
+    spec: &TapeSpec,
+    facts: &TapeFacts,
+    shapes: &[Option<Vec<usize>>],
+    intervals: &[Option<Interval>],
+    goal: OptimizeGoal,
+    group: &[usize],
+    plan: &mut CsePlan,
+) {
+    let rep = group[0]; // groups collect in tape order: min index first
+    let node = &spec.nodes[rep];
+
+    // Forward proof: determinism is already a group-membership requirement;
+    // cross-check the recorded range witnesses agree bit-for-bit.
+    let witness = spec.nodes[rep].value_range.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+    for &d in &group[1..] {
+        let w = spec.nodes[d].value_range.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+        if w != witness {
+            plan.skipped.push(SkippedRewrite {
+                pass: RewritePass::Cse,
+                node: d,
+                reason: format!(
+                    "cse: recorded range witness of %{d} disagrees with representative %{rep} \
+                     (same key, different observed bits — refusing to merge)"
+                ),
+            });
+            return;
+        }
+    }
+
+    // Backward proof, required only when gradients must be preserved.
+    if goal == OptimizeGoal::ForwardBackward && node.requires_grad {
+        if !movement_backward(&node.kind) {
+            for &d in &group[1..] {
+                plan.skipped.push(SkippedRewrite {
+                    pass: RewritePass::Cse,
+                    node: d,
+                    reason: format!(
+                        "cse: {} backward does arithmetic; merging %{d} into %{rep} would \
+                         regroup non-associative f32 gradient accumulation",
+                        node.kind.name()
+                    ),
+                });
+            }
+            return;
+        }
+        // Condition 2a: the merged accumulator flattens each duplicate's
+        // internal gradient sub-sum into one left-nested chain. Flattening
+        // `(a+b) + (c+d)` to `((a+b)+c)+d` regroups f32 addition unless
+        // every sub-sum after the first is a single term — and the backward
+        // sweep runs descending, so "first" is the *highest-indexed*
+        // duplicate. Everything below it must have at most one consumer
+        // slot.
+        if let Some(&offender) =
+            group[..group.len() - 1].iter().find(|&&d| facts.consumers[d].len() > 1)
+        {
+            for &d in &group[1..] {
+                plan.skipped.push(SkippedRewrite {
+                    pass: RewritePass::Cse,
+                    node: d,
+                    reason: format!(
+                        "cse: duplicate %{offender} has {} consumer slots; merging would \
+                         flatten its gradient sub-sum into the group accumulator and regroup \
+                         non-associative f32 addition",
+                        facts.consumers[offender].len()
+                    ),
+                });
+            }
+            return;
+        }
+        // Condition 2b: consumer sets index-separated in group order.
+        for w in group.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let max_a = facts.consumers[a].iter().max().copied();
+            let min_b = facts.consumers[b].iter().min().copied();
+            if let (Some(ma), Some(mb)) = (max_a, min_b) {
+                if ma >= mb {
+                    for &d in &group[1..] {
+                        plan.skipped.push(SkippedRewrite {
+                            pass: RewritePass::Cse,
+                            node: d,
+                            reason: format!(
+                                "cse: consumer sets of %{a} (max %{ma}) and %{b} (min %{mb}) \
+                                 interleave; the merged gradient accumulator would receive \
+                                 contributions in a different order"
+                            ),
+                        });
+                    }
+                    return;
+                }
+            }
+        }
+        // Condition 3: every non-group consumer of each grad-carrying parent
+        // precedes the whole group.
+        for &p in &node.parents {
+            if !spec.nodes[p].requires_grad {
+                continue; // contributions into p are discarded anyway
+            }
+            if let Some(&outsider) =
+                facts.consumers[p].iter().find(|c| !group.contains(c) && **c > rep)
+            {
+                for &d in &group[1..] {
+                    plan.skipped.push(SkippedRewrite {
+                        pass: RewritePass::Cse,
+                        node: d,
+                        reason: format!(
+                            "cse: parent %{p} is also consumed by %{outsider} inside the \
+                             group's index span; merging would reorder %{p}'s gradient \
+                             accumulation"
+                        ),
+                    });
+                }
+                return;
+            }
+        }
+    }
+
+    let grad_evidence = if goal == OptimizeGoal::ForwardBackward {
+        if node.requires_grad {
+            format!(
+                "{} backward is a pure element movement (distributes bit-exactly over f32 \
+                 addition); duplicate consumer sets are index-separated, every duplicate \
+                 below the highest contributes a single term, and no other consumer of the \
+                 parent(s) falls inside the group span, so every gradient accumulator \
+                 receives identical contributions in identical order",
+                node.kind.name()
+            )
+        } else {
+            "node is requires_grad=false: the backward sweep never visits it".to_string()
+        }
+    } else {
+        "forward-only goal: no gradient obligations".to_string()
+    };
+
+    for &d in &group[1..] {
+        plan.merge_into[d] = Some(rep);
+        plan.obligations.insert(
+            d,
+            vec![
+                DischargedObligation::new(
+                    "op-equality",
+                    format!(
+                        "%{d} and %{rep} are {} with identical attributes and identical \
+                         parents",
+                        node.kind.display()
+                    ),
+                ),
+                DischargedObligation::new(
+                    "determinism",
+                    "schedule metadata certifies the op thread-invariant, rng-free and \
+                     clock-free, so equal inputs give equal bits"
+                        .to_string(),
+                ),
+                DischargedObligation::new(
+                    "witness-equality",
+                    "recorded value-range witnesses of all group members agree bit-for-bit"
+                        .to_string(),
+                ),
+                DischargedObligation::new(
+                    "shape-equality",
+                    format!("both compute shape {}", fmt_shape(&shapes[rep].clone())),
+                ),
+                DischargedObligation::new(
+                    "range-containment",
+                    format!(
+                        "merged node keeps %{rep}'s interval {}",
+                        match intervals.get(rep).copied().flatten() {
+                            Some(Interval { lo, hi }) => format!("[{lo:e}, {hi:e}]"),
+                            None => "(unknown)".to_string(),
+                        }
+                    ),
+                ),
+                DischargedObligation::new("grad-order", grad_evidence.clone()),
+            ],
+        );
+    }
+}

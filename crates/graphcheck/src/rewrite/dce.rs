@@ -1,0 +1,50 @@
+//! Dead-node elimination: drop ops that can no longer influence the output.
+//!
+//! Runs as the *final* sweep over the already-rewritten tape, because CSE,
+//! aliasing and folding all orphan nodes (a folded frontier strands its
+//! constant cone; an aliased identity strands itself). A node is live when
+//! it is an ancestor of the output — or when it must be *pinned*:
+//!
+//! * **rng consumers and their ancestors**: every dropout draw advances the
+//!   graph's seeded rng stream, so removing one would shift the masks of
+//!   every later draw and change bits globally. Dead rng nodes stay, along
+//!   with the inputs/ops they need to execute.
+//! * **leaf nodes**: parameters and bound data are the caller's contract
+//!   (the optimizer remaps `(name, index)` pairs through the rewrite, and a
+//!   vanished parameter would break it); they bind recorded values and draw
+//!   nothing from the rng stream, so keeping them is free of compute.
+//!
+//! Dead `Constant` nodes *do* drop — that is what lets a folded constant
+//! cone actually shrink the tape instead of just renaming its frontier.
+//!
+//! Removal is trivially bit-exact: the backward sweep only visits ancestors
+//! of the loss, and a dead node is by construction not one (the forward
+//! values of surviving nodes do not read it either).
+
+use sthsl_autograd::{OpKind, TapeSpec};
+
+/// Compute the keep-mask for `spec` given the output node and the rng pin
+/// set (computed on the same spec).
+pub(crate) fn keep_mask(spec: &TapeSpec, output: usize, rng: &[bool]) -> Vec<bool> {
+    let n = spec.nodes.len();
+    let mut keep = vec![false; n];
+    if output < n {
+        keep[output] = true;
+    }
+    for (i, k) in keep.iter_mut().enumerate() {
+        if rng.get(i).copied().unwrap_or(false) || matches!(spec.nodes[i].kind, OpKind::Leaf) {
+            *k = true;
+        }
+    }
+    // One reverse sweep closes over ancestors: parents precede children, so
+    // by the time we visit a node every consumer that could mark it live
+    // already has.
+    for i in (0..n).rev() {
+        if keep[i] {
+            for &p in &spec.nodes[i].parents {
+                keep[p] = true;
+            }
+        }
+    }
+    keep
+}

@@ -1,0 +1,101 @@
+//! Bit-exact constant folding.
+//!
+//! An op node whose value derives exclusively from `Constant` inputs through
+//! deterministic, rng-free ops computes the same bits on every execution of
+//! the tape. Folding replaces such a node with a `Constant` input whose
+//! replay binding is the *recorded value of the original node* — bit-exact
+//! by construction, with zero arithmetic re-derivation (so there is no
+//! "compile-time evaluation drift" to reason about). The spec carries no
+//! tensors, so the fold is expressed through the optimized tape's `origin`
+//! map: the new constant's origin points at the old op node, and the replay
+//! harness binds its recorded value verbatim.
+//!
+//! Only *frontier* nodes are folded (const-pure nodes with at least one
+//! non-const-pure consumer, or none at all): folding an interior node of a
+//! constant cone would just materialize intermediates the sweep deletes
+//! anyway.
+
+use sthsl_autograd::{NodeSpec, OpKind, TapeSpec};
+
+use super::{fmt_shape, DischargedObligation, TapeFacts};
+
+/// A planned fold: the replacement node and its discharged obligations.
+pub(crate) struct Fold {
+    pub replacement: NodeSpec,
+    pub detail: String,
+    pub obligations: Vec<DischargedObligation>,
+}
+
+/// Try to fold node `i`. Returns `None` when the node is not a foldable
+/// constant frontier (the common case, not an error).
+pub(crate) fn try_fold(
+    spec: &TapeSpec,
+    facts: &TapeFacts,
+    shapes: &[Option<Vec<usize>>],
+    output: usize,
+    i: usize,
+) -> Option<Fold> {
+    let node = &spec.nodes[i];
+    if node.kind.is_input() || !facts.const_pure[i] || node.requires_grad {
+        return None;
+    }
+    // Frontier check: some consumer escapes the constant cone (or the node
+    // is the output / unconsumed). Interior cone nodes die with the sweep.
+    let escapes = facts.consumers[i].iter().any(|&c| !facts.const_pure[c]);
+    if !(escapes || facts.consumers[i].is_empty() || i == output) {
+        return None;
+    }
+    // The replacement constant must carry the shape and the recorded range
+    // witness forward, so the post-audit sees the same facts.
+    let shape = shapes.get(i).cloned().flatten().or_else(|| node.runtime_shape.clone())?;
+    let range = node.value_range?;
+    if range.0.is_nan() || range.1.is_nan() {
+        return None; // poisoned witness: refuse to certify anything about it
+    }
+    let obligations = vec![
+        DischargedObligation::new(
+            "const-purity",
+            format!(
+                "every transitive input of %{i} is a Constant; all ops on the cone are \
+                 deterministic (thread-invariant, rng-free, clock-free)"
+            ),
+        ),
+        DischargedObligation::new(
+            "value-binding",
+            format!(
+                "the folded constant binds the recorded value of %{i} bit-verbatim at replay; \
+                 no re-evaluation occurs"
+            ),
+        ),
+        DischargedObligation::new(
+            "shape-equality",
+            format!("shape {} carried over unchanged", fmt_shape(&Some(shape.clone()))),
+        ),
+        DischargedObligation::new(
+            "range-containment",
+            format!("observed range witness [{:e}, {:e}] carried over unchanged", range.0, range.1),
+        ),
+        DischargedObligation::new(
+            "grad-flow",
+            format!("%{i} is requires_grad=false: the backward sweep never visits it"),
+        ),
+    ];
+    let replacement = NodeSpec {
+        kind: OpKind::Constant,
+        parents: Vec::new(),
+        label: Some(format!("fold(%{i} {})", node.kind.name())),
+        requires_grad: false,
+        runtime_shape: Some(shape),
+        value_range: Some(range),
+        schedule: None,
+    };
+    Some(Fold {
+        replacement,
+        detail: format!(
+            "%{i} {} folded to a bound constant ({} transitive-constant parent(s))",
+            node.kind.display(),
+            node.parents.len()
+        ),
+        obligations,
+    })
+}

@@ -1,0 +1,408 @@
+//! Identity / strength simplification: rewrites a node to an *alias* of an
+//! existing node when the op is provably the bit-exact identity on it.
+//!
+//! Every pattern here is gated on exact-value proofs, not algebraic ones:
+//! `x · 1.0`, `x / 1.0` and `x + (-0.0)`-free additions are IEEE-754
+//! identities only under specific conditions, and f32 makes the usual
+//! algebra (`x + 0.0 = x`) false at `x = -0.0`. The catalog:
+//!
+//! | pattern                | value proof                                       |
+//! |------------------------|---------------------------------------------------|
+//! | `scale(x, 1.0)`        | `x * 1.0` returns `x` bitwise for every f32       |
+//! | `add_scalar(x, +0.0)`  | needs interval proof `0 ∉ [lo, hi]` (else `-0.0 + 0.0 = +0.0` flips the sign bit) |
+//! | `mul(x, c)`, `c ≡ [1,1]` | interval pass proves every element of `c` is 1.0 |
+//! | `div(x, c)`, `c ≡ [1,1]` | `x / 1.0` returns `x` bitwise for every f32      |
+//! | `add(x, z)`, `z ≡ [0,0]` | needs `0 ∉ interval(x)` as above                 |
+//! | `sub(x, z)`, `z ≡ [0,0]` | needs `0 ∉ interval(x)` (`-0.0 - 0.0 = -0.0` is fine but `+0.0` subtraction of `-0.0`… the interval keeps it uniform) |
+//! | `transpose2d(transpose2d(x))` | pure index movement, composes to identity |
+//! | `reshape(x, shape(x))` | no data movement                                  |
+//! | `permute(x, identity)` | no data movement                                  |
+//!
+//! Under [`OptimizeGoal::ForwardBackward`] each alias additionally needs a
+//! gradient-accumulation proof: removing the node merges its gradient
+//! contribution into the target's accumulator stream, which is only
+//! bit-exact when the target had *no other* gradient consumers (f32 addition
+//! is non-associative, so regrouping a multi-consumer accumulation reorders
+//! sums). Single-consumer chains sidestep the issue entirely.
+
+use sthsl_autograd::{OpKind, TapeSpec};
+
+use crate::range::Interval;
+
+use super::{
+    fmt_shape, DischargedObligation, OptimizeGoal, RewritePass, SkippedRewrite, TapeFacts,
+};
+
+/// Outcome of matching node `i` against the identity catalog.
+pub(crate) enum AliasOutcome {
+    /// No pattern matched (the common case).
+    None,
+    /// Pattern matched and all obligations discharged: alias `i` to
+    /// `target` (an original-tape index). `links` lists intermediate nodes
+    /// the alias also removes (the inner transpose of a double-transpose);
+    /// the driver uses `target ∪ links` to fence aliases away from CSE
+    /// groups, whose accumulation-order proofs assume unmoved consumers.
+    Alias {
+        target: usize,
+        links: Vec<usize>,
+        detail: String,
+        obligations: Vec<DischargedObligation>,
+    },
+    /// Pattern matched but an obligation failed.
+    Skip(SkippedRewrite),
+}
+
+fn skip(node: usize, reason: String) -> AliasOutcome {
+    AliasOutcome::Skip(SkippedRewrite { pass: RewritePass::Identity, node, reason })
+}
+
+/// Exact-interval tests on audit-pass results. `[1,1]` / `[0,0]` are exact
+/// f64 comparisons: the interval pass computes them from f32 witnesses and
+/// constant declarations, so a constant-one tensor really yields `[1,1]`.
+fn is_exactly(iv: Option<Interval>, v: f64) -> bool {
+    matches!(iv, Some(Interval { lo, hi }) if lo == v && hi == v)
+}
+
+fn excludes_zero(iv: Option<Interval>) -> bool {
+    matches!(iv, Some(Interval { lo, hi }) if lo > 0.0 || hi < 0.0)
+}
+
+/// Exact bit patterns of the identity scalars. The comparisons below are
+/// deliberately bit-level (`to_bits`), not approximate: `x * s` is the
+/// identity only for the literal `1.0` encoding, and `x + s` only for `+0.0`
+/// (the `-0.0` encoding is *not* an identity on `-0.0` inputs).
+const ONE_F32_BITS: u32 = 0x3f80_0000;
+const POS_ZERO_F32_BITS: u32 = 0x0000_0000;
+
+fn fmt_iv(iv: Option<Interval>) -> String {
+    match iv {
+        Some(Interval { lo, hi }) => format!("[{lo:e}, {hi:e}]"),
+        None => "unknown".to_string(),
+    }
+}
+
+/// Try to alias node `i` to one of its ancestors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_alias(
+    spec: &TapeSpec,
+    facts: &TapeFacts,
+    shapes: &[Option<Vec<usize>>],
+    intervals: &[Option<Interval>],
+    goal: OptimizeGoal,
+    output: usize,
+    i: usize,
+) -> AliasOutcome {
+    let node = &spec.nodes[i];
+    let arity = match &node.kind {
+        OpKind::Mul | OpKind::Div | OpKind::Add | OpKind::Sub => 2,
+        OpKind::Scale { .. }
+        | OpKind::AddScalar { .. }
+        | OpKind::Transpose2d
+        | OpKind::Reshape { .. }
+        | OpKind::Permute { .. } => 1,
+        _ => return AliasOutcome::None,
+    };
+    if node.parents.len() != arity {
+        return AliasOutcome::None; // malformed fixture: structure pass reports it
+    }
+    let shape_of = |j: usize| shapes.get(j).cloned().flatten();
+    let iv = |j: usize| intervals.get(j).copied().flatten();
+
+    // (pattern name, alias target, value-identity evidence, extra obligations)
+    let matched: Option<(&'static str, usize, String, Vec<DischargedObligation>)> = match &node.kind
+    {
+        OpKind::Scale { s } if s.to_bits() == ONE_F32_BITS => Some((
+            "scale-one",
+            node.parents[0],
+            "x * 1.0 returns x bit-verbatim for every f32 (sign, subnormals, NaN payloads \
+             included)"
+                .to_string(),
+            Vec::new(),
+        )),
+        OpKind::AddScalar { s } if s.to_bits() == POS_ZERO_F32_BITS => {
+            let x = node.parents[0];
+            if !excludes_zero(iv(x)) {
+                return skip(
+                    i,
+                    format!(
+                        "add_scalar(+0.0): interval of %{x} is {} and cannot exclude 0 \
+                         (-0.0 + 0.0 flips to +0.0)",
+                        fmt_iv(iv(x))
+                    ),
+                );
+            }
+            Some((
+                "add-scalar-zero",
+                x,
+                format!(
+                    "x + 0.0 returns x bit-verbatim whenever x != ±0; range pass proves \
+                     %{x} ∈ {} which excludes 0",
+                    fmt_iv(iv(x))
+                ),
+                vec![DischargedObligation::new(
+                    "range-containment",
+                    format!("interval of %{x} is {} (0 excluded)", fmt_iv(iv(x))),
+                )],
+            ))
+        }
+        OpKind::Mul => {
+            let (a, b) = (node.parents[0], node.parents[1]);
+            // Which side is a proven all-ones tensor?
+            let one = [b, a].into_iter().find(|&c| is_exactly(iv(c), 1.0));
+            match one {
+                Some(c) => {
+                    let x = if c == b { a } else { b };
+                    if shape_of(x) != shape_of(i) || shape_of(i).is_none() {
+                        return skip(
+                            i,
+                            format!(
+                                "mul-one: %{x} shape {} != result shape {} (broadcast would \
+                                 change the value)",
+                                fmt_shape(&shape_of(x)),
+                                fmt_shape(&shape_of(i))
+                            ),
+                        );
+                    }
+                    Some((
+                        "mul-one",
+                        x,
+                        format!(
+                            "range pass proves every element of %{c} is exactly 1.0 \
+                             (interval {}); x * 1.0 is the bitwise identity",
+                            fmt_iv(iv(c))
+                        ),
+                        vec![DischargedObligation::new(
+                            "range-containment",
+                            format!("interval of %{c} is {}", fmt_iv(iv(c))),
+                        )],
+                    ))
+                }
+                None => None,
+            }
+        }
+        OpKind::Div => {
+            let (a, b) = (node.parents[0], node.parents[1]);
+            if is_exactly(iv(b), 1.0) {
+                if shape_of(a) != shape_of(i) || shape_of(i).is_none() {
+                    return skip(
+                        i,
+                        format!(
+                            "div-one: %{a} shape {} != result shape {}",
+                            fmt_shape(&shape_of(a)),
+                            fmt_shape(&shape_of(i))
+                        ),
+                    );
+                }
+                Some((
+                    "div-one",
+                    a,
+                    format!(
+                        "range pass proves every element of %{b} is exactly 1.0 (interval \
+                         {}); x / 1.0 is the bitwise identity",
+                        fmt_iv(iv(b))
+                    ),
+                    vec![DischargedObligation::new(
+                        "range-containment",
+                        format!("interval of %{b} is {}", fmt_iv(iv(b))),
+                    )],
+                ))
+            } else {
+                None
+            }
+        }
+        OpKind::Add | OpKind::Sub => {
+            let (a, b) = (node.parents[0], node.parents[1]);
+            // add: either side may be the zero; sub: only the subtrahend.
+            let zero = if matches!(node.kind, OpKind::Add) {
+                [b, a].into_iter().find(|&c| is_exactly(iv(c), 0.0))
+            } else {
+                is_exactly(iv(b), 0.0).then_some(b)
+            };
+            match zero {
+                Some(z) => {
+                    let x = if z == b { a } else { b };
+                    let name: &'static str =
+                        if matches!(node.kind, OpKind::Add) { "add-zero" } else { "sub-zero" };
+                    if shape_of(x) != shape_of(i) || shape_of(i).is_none() {
+                        return skip(
+                            i,
+                            format!(
+                                "{name}: %{x} shape {} != result shape {}",
+                                fmt_shape(&shape_of(x)),
+                                fmt_shape(&shape_of(i))
+                            ),
+                        );
+                    }
+                    if !excludes_zero(iv(x)) {
+                        return skip(
+                            i,
+                            format!(
+                                "{name}: interval of %{x} is {} and cannot exclude 0 \
+                                 (±0.0 ± 0.0 can flip the sign bit)",
+                                fmt_iv(iv(x))
+                            ),
+                        );
+                    }
+                    Some((
+                        name,
+                        x,
+                        format!(
+                            "range pass proves %{z} ≡ 0.0 exactly and %{x} ∈ {} excludes 0; \
+                             x ± 0.0 is then the bitwise identity",
+                            fmt_iv(iv(x))
+                        ),
+                        vec![DischargedObligation::new(
+                            "range-containment",
+                            format!(
+                                "interval of %{z} is {}; interval of %{x} is {}",
+                                fmt_iv(iv(z)),
+                                fmt_iv(iv(x))
+                            ),
+                        )],
+                    ))
+                }
+                None => None,
+            }
+        }
+        OpKind::Transpose2d => {
+            let t1 = node.parents[0];
+            if matches!(spec.nodes[t1].kind, OpKind::Transpose2d)
+                && spec.nodes[t1].parents.len() == 1
+                && !facts.rng[t1]
+            {
+                let x = spec.nodes[t1].parents[0];
+                Some((
+                    "double-transpose",
+                    x,
+                    format!(
+                        "transpose2d ∘ transpose2d is the identity permutation of %{x}'s \
+                         elements; no arithmetic touches any value"
+                    ),
+                    Vec::new(),
+                ))
+            } else {
+                None
+            }
+        }
+        OpKind::Reshape { shape } => {
+            let x = node.parents[0];
+            if shape_of(x).as_deref() == Some(shape.as_slice()) {
+                Some((
+                    "reshape-nop",
+                    x,
+                    format!(
+                        "%{x} already has shape {shape:?}; reshape moves no data and touches \
+                         no value"
+                    ),
+                    Vec::new(),
+                ))
+            } else {
+                None
+            }
+        }
+        OpKind::Permute { perm } => {
+            if perm.iter().enumerate().all(|(axis, &p)| p == axis) {
+                let x = node.parents[0];
+                Some((
+                    "permute-nop",
+                    x,
+                    format!("{perm:?} is the identity permutation; no data moves"),
+                    Vec::new(),
+                ))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+
+    let Some((name, target, value_evidence, extra)) = matched else {
+        return AliasOutcome::None;
+    };
+    if facts.rng[i] {
+        return skip(i, format!("{name}: %{i} draws from the seeded rng stream (pinned)"));
+    }
+
+    let mut obligations = vec![
+        DischargedObligation::new("value-identity", value_evidence),
+        DischargedObligation::new(
+            "shape-equality",
+            format!(
+                "alias target %{target} shape {} == node shape {}",
+                fmt_shape(&shape_of(target)),
+                fmt_shape(&shape_of(i))
+            ),
+        ),
+    ];
+    obligations.extend(extra);
+
+    // The inner link a double-transpose also removes.
+    let links: Vec<usize> = match &node.kind {
+        OpKind::Transpose2d if matches!(spec.nodes[node.parents[0]].kind, OpKind::Transpose2d) => {
+            vec![node.parents[0]]
+        }
+        _ => Vec::new(),
+    };
+
+    // Gradient-accumulation proof (training tapes only).
+    if goal == OptimizeGoal::ForwardBackward && node.requires_grad {
+        if i == output {
+            // Aliasing the loss itself would change which node backward
+            // seeds; not worth proving.
+            return skip(i, format!("{name}: node is the backward root"));
+        }
+        // A binary pattern removes the node's contribution into the
+        // *eliminated* parent (the proven-one/zero side). That is only
+        // bit-exact if that parent never accumulates gradients at all.
+        // Chain links (the inner transpose) are not eliminated operands —
+        // their contribution is preserved through the alias and they carry
+        // their own single-consumer proof below.
+        if let Some(&dropped) = node.parents.iter().find(|&&p| p != target && !links.contains(&p)) {
+            if spec.nodes[dropped].requires_grad {
+                return skip(
+                    i,
+                    format!(
+                        "{name}: eliminated operand %{dropped} is requires_grad=true and \
+                         would lose this node's gradient contribution"
+                    ),
+                );
+            }
+        }
+        // x→…→i must be a pure single-consumer chain: each removed link and
+        // the target feed exactly one gradient contribution, so no f32
+        // accumulation is regrouped.
+        for &link in [target].iter().chain(links.iter()) {
+            if spec.nodes[link].requires_grad && facts.consumers[link].len() != 1 {
+                return skip(
+                    i,
+                    format!(
+                        "{name}: %{link} has {} gradient consumers; removing the alias would \
+                         regroup its f32 gradient accumulation",
+                        facts.consumers[link].len()
+                    ),
+                );
+            }
+        }
+        obligations.push(DischargedObligation::new(
+            "grad-order",
+            format!(
+                "%{target} is consumed only by this chain and the eliminated operand (if \
+                 any) carries no gradient, so every accumulator receives exactly the same \
+                 contributions before and after the rewrite; the removed op's backward is \
+                 the bitwise identity on its single contribution"
+            ),
+        ));
+    } else if goal == OptimizeGoal::ForwardBackward {
+        obligations.push(DischargedObligation::new(
+            "grad-order",
+            format!("%{i} is requires_grad=false: the backward sweep never visits it"),
+        ));
+    }
+
+    AliasOutcome::Alias {
+        target,
+        links,
+        detail: format!("%{i} {} [{name}] aliased to %{target}", node.kind.display()),
+        obligations,
+    }
+}

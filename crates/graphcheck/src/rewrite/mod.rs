@@ -1,0 +1,206 @@
+//! Shared vocabulary of the tape rewrite engine: which passes exist, what an
+//! applied rewrite records, and the common tape facts (consumer lists,
+//! constant purity, rng pins) every pass consults.
+//!
+//! The engine is *certifying*: a rewrite is only applied when its proof
+//! obligations are discharged by facts the audit passes already compute —
+//! shape inference, interval ranges, schedule/determinism metadata — plus
+//! structural conditions (accumulation-order preservation) derived from the
+//! backward engine's exact semantics. Anything short of a proof is recorded
+//! as a [`SkippedRewrite`] with the failed obligation, never silently
+//! applied. See `DESIGN.md` §6i for the full rewrite catalog and
+//! proof-obligation table.
+
+pub mod cse;
+pub mod dce;
+pub mod fold;
+pub mod identity;
+
+use sthsl_autograd::{OpKind, TapeSpec};
+
+/// Which rewrite pass produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RewritePass {
+    /// Common-subexpression elimination.
+    Cse,
+    /// Dead-node elimination.
+    Dce,
+    /// Bit-exact constant folding.
+    Fold,
+    /// Identity / strength simplification (x·1, x+0, double-transpose, …).
+    Identity,
+}
+
+impl RewritePass {
+    /// Stable lowercase name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewritePass::Cse => "cse",
+            RewritePass::Dce => "dce",
+            RewritePass::Fold => "fold",
+            RewritePass::Identity => "identity",
+        }
+    }
+}
+
+/// What the optimized tape is certified for. The backward sweep accumulates
+/// gradients in reverse-consumer order with non-associative f32 addition, so
+/// rewrites that regroup gradient contributions are only bit-exact under
+/// extra structural conditions; a forward-only (serving) tape has no such
+/// constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeGoal {
+    /// Certify forward values only (inference/serving tapes). Gradient-order
+    /// obligations are vacuous.
+    Forward,
+    /// Certify forward values *and* every parameter gradient (training
+    /// tapes). Rewrites must provably preserve the backward accumulation
+    /// order, element for element.
+    ForwardBackward,
+}
+
+impl OptimizeGoal {
+    /// Stable lowercase name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizeGoal::Forward => "forward",
+            OptimizeGoal::ForwardBackward => "forward+backward",
+        }
+    }
+}
+
+/// One discharged proof obligation attached to an applied rewrite: which
+/// invariant had to hold and the evidence (from an audit pass or a
+/// structural check) that it does.
+#[derive(Debug, Clone)]
+pub struct DischargedObligation {
+    /// Obligation family (stable identifier, e.g. `shape-equality`).
+    pub name: &'static str,
+    /// Human-readable evidence for the discharge.
+    pub evidence: String,
+}
+
+impl DischargedObligation {
+    pub(crate) fn new(name: &'static str, evidence: impl Into<String>) -> Self {
+        DischargedObligation { name, evidence: evidence.into() }
+    }
+}
+
+/// One rewrite the engine applied, with its discharged obligations.
+/// `node` is always an index on the *original* tape.
+#[derive(Debug, Clone)]
+pub struct AppliedRewrite {
+    /// Producing pass.
+    pub pass: RewritePass,
+    /// Original-tape index of the rewritten node.
+    pub node: usize,
+    /// Original-tape index the node now resolves to (CSE representative or
+    /// identity-alias target); `None` when the node was removed outright
+    /// (DCE) or replaced in place (fold).
+    pub into: Option<usize>,
+    /// What happened, in one line.
+    pub detail: String,
+    /// Every obligation that had to be discharged before applying.
+    pub obligations: Vec<DischargedObligation>,
+}
+
+/// A rewrite whose pattern matched but whose proof obligations could not be
+/// discharged. Recorded for the report; never an error.
+#[derive(Debug, Clone)]
+pub struct SkippedRewrite {
+    /// Pass that matched the pattern.
+    pub pass: RewritePass,
+    /// Original-tape index of the matched node.
+    pub node: usize,
+    /// The undischarged obligation.
+    pub reason: String,
+}
+
+/// Tape facts shared by all rewrite passes, computed once per optimize run
+/// over the *original* spec.
+pub(crate) struct TapeFacts {
+    /// Consumers of each node, ascending by tape index.
+    pub consumers: Vec<Vec<usize>>,
+    /// Whether the node's value derives exclusively from `Constant` inputs
+    /// through deterministic, rng-free ops.
+    pub const_pure: Vec<bool>,
+    /// Whether the node draws from the graph's seeded rng stream (these are
+    /// pinned: never merged, folded, aliased or removed — any of those would
+    /// shift the stream for later draws).
+    pub rng: Vec<bool>,
+    /// Whether the node's effective schedule certifies deterministic
+    /// replay: thread-invariant, no rng, no clock reads.
+    pub deterministic: Vec<bool>,
+}
+
+impl TapeFacts {
+    pub fn compute(spec: &TapeSpec) -> Self {
+        let n = spec.nodes.len();
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut const_pure = vec![false; n];
+        let mut rng = vec![false; n];
+        let mut deterministic = vec![false; n];
+        for (i, node) in spec.nodes.iter().enumerate() {
+            for &p in &node.parents {
+                consumers[p].push(i);
+            }
+            let sched = node.effective_schedule();
+            rng[i] = sched.is_some_and(|s| s.uses_rng);
+            deterministic[i] = if node.kind.is_input() {
+                // Inputs are bound values: trivially reproducible.
+                true
+            } else {
+                sched.is_some_and(|s| s.thread_invariant() && !s.uses_rng && !s.uses_clock)
+            };
+            const_pure[i] = match node.kind {
+                OpKind::Constant => true,
+                OpKind::Leaf => false,
+                OpKind::Opaque { .. } => false,
+                _ => {
+                    deterministic[i]
+                        && !node.parents.is_empty()
+                        && node.parents.iter().all(|&p| const_pure[p])
+                }
+            };
+        }
+        TapeFacts { consumers, const_pure, rng, deterministic }
+    }
+}
+
+/// A canonical hashable key for CSE: the op (with all attributes, f32 bits
+/// included via shortest-roundtrip formatting) plus parent identities.
+/// `None` when the node is categorically ineligible: inputs (values unknown
+/// statically), rng consumers (each draw advances the stream), opaque ops
+/// (unknown semantics), and ops with NaN attributes (NaN formats
+/// indistinctly).
+pub(crate) fn cse_key(kind: &OpKind, parents: &[usize]) -> Option<String> {
+    if kind.is_input() {
+        return None;
+    }
+    match kind {
+        OpKind::Dropout { .. } | OpKind::Opaque { .. } => return None,
+        OpKind::Scale { s } | OpKind::AddScalar { s } if s.is_nan() => return None,
+        OpKind::LeakyRelu { alpha } if alpha.is_nan() => return None,
+        OpKind::LnEps { eps } | OpKind::SqrtEps { eps } if eps.is_nan() => return None,
+        _ => {}
+    }
+    Some(format!("{kind:?}|{parents:?}"))
+}
+
+/// Whether the op's backward is a pure element *movement* (a bijective
+/// reindexing of the output gradient with no arithmetic): transposes,
+/// reshapes and permutes. Movement backwards distribute exactly over f32
+/// addition — `move(a) + move(b)` and `move(a + b)` are bit-identical
+/// element for element — which is what lets CSE regroup their gradient
+/// contributions without changing a single bit.
+pub(crate) fn movement_backward(kind: &OpKind) -> bool {
+    matches!(kind, OpKind::Transpose2d | OpKind::Reshape { .. } | OpKind::Permute { .. })
+}
+
+/// Render a shape option for obligation evidence.
+pub(crate) fn fmt_shape(s: &Option<Vec<usize>>) -> String {
+    match s {
+        Some(v) => format!("{v:?}"),
+        None => "?".to_string(),
+    }
+}

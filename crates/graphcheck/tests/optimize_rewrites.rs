@@ -1,0 +1,322 @@
+//! Fixture-level tests of the certified tape optimizer: each rewrite pass
+//! is exercised on a hand-built spec, both in its applied form (obligations
+//! discharged) and its skipped form (an obligation provably fails), plus a
+//! real-graph replay cross-check.
+
+use sthsl_autograd::{Graph, OpKind, TapeSpec, Tensor};
+use sthsl_graphcheck::{
+    optimize, verify_bit_equivalence, AuditOptions, OptimizeError, OptimizeGoal, RewriteOptions,
+    RewritePass,
+};
+
+fn opts() -> AuditOptions {
+    AuditOptions::default()
+}
+
+/// Re-usable fixture: y = sum(square(x) + square(x)) where both squares are
+/// identical ops on the same parent.
+fn duplicate_square_spec() -> (TapeSpec, usize, Vec<(String, usize)>) {
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[4, 4], 0.5, 2.0);
+    let s1 = spec.push(OpKind::Square, &[x]);
+    let s2 = spec.push(OpKind::Square, &[x]);
+    let a = spec.push(OpKind::Add, &[s1, s2]);
+    let loss = spec.push(OpKind::SumAll, &[a]);
+    (spec, loss, vec![("x".to_string(), x)])
+}
+
+#[test]
+fn cse_merges_duplicates_on_forward_goal() {
+    let (spec, loss, params) = duplicate_square_spec();
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::forward())
+        .expect("optimize");
+    let merges: Vec<_> = t.applied.iter().filter(|r| r.pass == RewritePass::Cse).collect();
+    assert_eq!(merges.len(), 1, "one duplicate square should merge: {}", t.render(true));
+    assert_eq!(merges[0].node, 2);
+    assert_eq!(merges[0].into, Some(1));
+    assert!(merges[0].obligations.iter().any(|o| o.name == "determinism"));
+    assert!(merges[0].obligations.iter().any(|o| o.name == "op-equality"));
+    // 5 nodes -> 4 (one square gone), output remapped consistently.
+    assert_eq!(t.spec.nodes.len(), 4);
+    assert_eq!(t.origin[t.output], loss);
+    assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+}
+
+#[test]
+fn cse_skips_arithmetic_backward_on_training_goal() {
+    let (spec, loss, params) = duplicate_square_spec();
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::default())
+        .expect("optimize");
+    // Square's backward multiplies; merging would regroup f32 accumulation
+    // into x, so the training profile must refuse and say why.
+    assert!(t.applied.iter().all(|r| r.pass != RewritePass::Cse), "{}", t.render(true));
+    assert!(
+        t.skipped
+            .iter()
+            .any(|s| s.pass == RewritePass::Cse && s.reason.contains("backward does arithmetic")),
+        "{:?}",
+        t.skipped
+    );
+    assert_eq!(t.spec.nodes.len(), spec.nodes.len());
+}
+
+#[test]
+fn cse_merges_movement_backward_chain_on_training_goal() {
+    // transpose duplicates whose consumers are index-separated and whose
+    // parent has no other consumer in the group span: the movement-backward
+    // proof applies even for gradients.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[3, 5], -1.0, 1.0);
+    let t1 = spec.push(OpKind::Transpose2d, &[x]);
+    let s1 = spec.push(OpKind::SumAll, &[t1]);
+    let t2 = spec.push(OpKind::Transpose2d, &[x]);
+    let s2 = spec.push(OpKind::SumAll, &[t2]);
+    let a = spec.push(OpKind::Add, &[s1, s2]);
+    let loss = spec.push(OpKind::MeanAll, &[a]);
+    let params = vec![("x".to_string(), x)];
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::default())
+        .expect("optimize");
+    let merge = t
+        .applied
+        .iter()
+        .find(|r| r.pass == RewritePass::Cse)
+        .unwrap_or_else(|| panic!("expected a cse merge: {}", t.render(true)));
+    assert_eq!((merge.node, merge.into), (t2, Some(t1)));
+    assert!(merge.obligations.iter().any(|o| o.name == "grad-order"));
+}
+
+#[test]
+fn cse_skips_interleaved_consumers_on_training_goal() {
+    // Both transposes are consumed by the *same* downstream add, so their
+    // consumer sets interleave and the merged accumulator would sum in a
+    // different order.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[3, 5], -1.0, 1.0);
+    let t1 = spec.push(OpKind::Transpose2d, &[x]);
+    let t2 = spec.push(OpKind::Transpose2d, &[x]);
+    let a = spec.push(OpKind::Add, &[t1, t2]);
+    let loss = spec.push(OpKind::SumAll, &[a]);
+    let params = vec![("x".to_string(), x)];
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::default())
+        .expect("optimize");
+    assert!(t.applied.iter().all(|r| r.pass != RewritePass::Cse));
+    assert!(t.skipped.iter().any(|s| s.pass == RewritePass::Cse), "{:?}", t.skipped);
+}
+
+#[test]
+fn fold_replaces_constant_frontier_and_sweeps_the_cone() {
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[2, 2], 1.0, 2.0);
+    let c1 = spec.constant_ranged(&[2, 2], 3.0, 3.0);
+    let c2 = spec.constant_ranged(&[2, 2], 4.0, 4.0);
+    let m = spec.push(OpKind::Mul, &[c1, c2]); // const-pure interior/frontier
+    spec.nodes[m].value_range = Some((12.0, 12.0));
+    let y = spec.push(OpKind::Add, &[x, m]);
+    let loss = spec.push(OpKind::SumAll, &[y]);
+    let params = vec![("x".to_string(), x)];
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::default())
+        .expect("optimize");
+    let fold = t
+        .applied
+        .iter()
+        .find(|r| r.pass == RewritePass::Fold)
+        .unwrap_or_else(|| panic!("expected a fold: {}", t.render(true)));
+    assert_eq!(fold.node, m);
+    assert!(fold.obligations.iter().any(|o| o.name == "const-purity"));
+    assert!(fold.obligations.iter().any(|o| o.name == "value-binding"));
+    // The two feeding constants are dead after the fold and must sweep.
+    let dce: Vec<_> = t.applied.iter().filter(|r| r.pass == RewritePass::Dce).collect();
+    assert_eq!(dce.len(), 2, "{}", t.render(false));
+    // x, fold-constant, add, sum survive.
+    assert_eq!(t.spec.nodes.len(), 4);
+    let folded = t.remap[m].expect("folded node keeps a slot");
+    assert!(matches!(t.spec.nodes[folded].kind, OpKind::Constant));
+    assert_eq!(t.spec.nodes[folded].value_range, Some((12.0, 12.0)));
+    assert_eq!(t.origin[folded], m, "fold binds the original node's recorded value");
+}
+
+#[test]
+fn identity_scale_one_applies_and_scale_half_does_not() {
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[3], 0.5, 2.0);
+    let s = spec.push(OpKind::Scale { s: 1.0 }, &[x]);
+    let h = spec.push(OpKind::Scale { s: 0.5 }, &[s]);
+    let loss = spec.push(OpKind::SumAll, &[h]);
+    let params = vec![("x".to_string(), x)];
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::default())
+        .expect("optimize");
+    let ids: Vec<_> = t.applied.iter().filter(|r| r.pass == RewritePass::Identity).collect();
+    assert_eq!(ids.len(), 1, "{}", t.render(true));
+    assert_eq!((ids[0].node, ids[0].into), (s, Some(x)));
+    assert!(ids[0].obligations.iter().any(|o| o.name == "value-identity"));
+    assert_eq!(t.spec.nodes.len(), 3);
+}
+
+#[test]
+fn identity_add_scalar_zero_needs_the_range_proof() {
+    // Interval straddles zero: -0.0 + 0.0 would flip the sign bit, so the
+    // rewrite must be skipped with the range evidence.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[3], -1.0, 1.0);
+    let s = spec.push(OpKind::AddScalar { s: 0.0 }, &[x]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let t = optimize(
+        "fixture",
+        &spec,
+        loss,
+        &[("x".to_string(), x)],
+        &opts(),
+        &RewriteOptions::default(),
+    )
+    .expect("optimize");
+    assert!(t.applied.iter().all(|r| r.pass != RewritePass::Identity));
+    assert!(t.skipped.iter().any(|k| k.reason.contains("cannot exclude 0")), "{:?}", t.skipped);
+
+    // Positive interval: proof discharges, alias applies.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[3], 0.25, 4.0);
+    let s = spec.push(OpKind::AddScalar { s: 0.0 }, &[x]);
+    let loss = spec.push(OpKind::SumAll, &[s]);
+    let t = optimize(
+        "fixture",
+        &spec,
+        loss,
+        &[("x".to_string(), x)],
+        &opts(),
+        &RewriteOptions::default(),
+    )
+    .expect("optimize");
+    let id = t
+        .applied
+        .iter()
+        .find(|r| r.pass == RewritePass::Identity)
+        .unwrap_or_else(|| panic!("expected alias: {}", t.render(true)));
+    assert!(id.obligations.iter().any(|o| o.name == "range-containment"));
+}
+
+#[test]
+fn identity_double_transpose_collapses_single_consumer_chains() {
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[2, 3], -2.0, 2.0);
+    let t1 = spec.push(OpKind::Transpose2d, &[x]);
+    let t2 = spec.push(OpKind::Transpose2d, &[t1]);
+    let loss = spec.push(OpKind::SumAll, &[t2]);
+    let t = optimize(
+        "fixture",
+        &spec,
+        loss,
+        &[("x".to_string(), x)],
+        &opts(),
+        &RewriteOptions::default(),
+    )
+    .expect("optimize");
+    let id = t
+        .applied
+        .iter()
+        .find(|r| r.pass == RewritePass::Identity)
+        .unwrap_or_else(|| panic!("expected double-transpose alias: {}", t.render(true)));
+    assert_eq!((id.node, id.into), (t2, Some(x)));
+    // t1 is dead after the alias and sweeps; x, sum survive.
+    assert_eq!(t.spec.nodes.len(), 2);
+}
+
+#[test]
+fn dce_keeps_rng_pins_and_their_ancestors() {
+    // A dropout hanging off a dead branch must stay (stream order), along
+    // with the leaf it reads; the dead deterministic op next to it goes.
+    let mut spec = TapeSpec::new();
+    let x = spec.leaf_ranged("x", &[4], 1.0, 2.0);
+    let d = spec.leaf_ranged("data", &[4], 0.0, 1.0);
+    let drop = spec.push(OpKind::Dropout { p: 0.5 }, &[d]);
+    let dead = spec.push(OpKind::Square, &[drop]);
+    let _ = dead;
+    let loss = spec.push(OpKind::SumAll, &[x]);
+    let t = optimize(
+        "fixture",
+        &spec,
+        loss,
+        &[("x".to_string(), x)],
+        &AuditOptions { allow_unreachable: vec!["data".to_string()], ..opts() },
+        &RewriteOptions::default(),
+    )
+    .expect("optimize");
+    assert!(t.remap[drop].is_some(), "rng node must be pinned");
+    assert!(t.remap[d].is_some(), "rng ancestor must be pinned");
+    assert!(t.remap[dead].is_none(), "dead deterministic op must sweep");
+    let dropped: Vec<_> = t.applied.iter().filter(|r| r.pass == RewritePass::Dce).collect();
+    assert_eq!(dropped.len(), 1);
+    assert!(dropped[0].obligations.iter().any(|o| o.name == "rng-stream"));
+}
+
+#[test]
+fn broken_pre_audit_refuses_to_optimize() {
+    let mut spec = TapeSpec::new();
+    let w = spec.leaf("w", &[2]);
+    let s = spec.push(OpKind::Square, &[w]);
+    spec.nodes[s].parents = vec![s]; // self-loop
+    match optimize("bad", &spec, s, &[], &opts(), &RewriteOptions::default()) {
+        Err(OptimizeError::AuditFailed(report)) => assert!(report.has_errors()),
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("optimizing a malformed tape must fail"),
+    }
+}
+
+#[test]
+fn optimized_tape_replays_bit_exact_against_the_recording_graph() {
+    // Real graph with a mergeable transpose pair, a scale-one identity and
+    // a constant cone; optimize for training and verify values + grads.
+    let wave = |n: usize, f: f32| -> Tensor {
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * f).sin() + 0.1).collect();
+        Tensor::from_vec(data, &[4, 6]).expect("tensor")
+    };
+    let g = Graph::new();
+    let x = g.named_leaf("x", wave(24, 0.37));
+    let w = g.named_leaf("w", wave(24, 0.71));
+    let c1 = g.constant(Tensor::full(&[6, 4], 2.0));
+    let c2 = g.constant(Tensor::full(&[6, 4], 0.5));
+    let cone = g.mul(c1, c2).expect("mul"); // const-pure frontier
+    let t1 = g.transpose2d(x).expect("t1");
+    let s1 = g.sum_all(t1);
+    let t2 = g.transpose2d(x).expect("t2"); // duplicate of t1
+    let biased = g.add(t2, cone).expect("add");
+    let s2 = g.sum_all(biased);
+    let sw = g.scale(g.sum_all(w), 1.0); // scale-one identity
+    let loss = g.add(g.add(s1, s2).expect("a"), sw).expect("loss");
+
+    let spec = g.export_tape();
+    let params = vec![("x".to_string(), x.index()), ("w".to_string(), w.index())];
+    let t = optimize(
+        "replay-fixture",
+        &spec,
+        loss.index(),
+        &params,
+        &opts(),
+        &RewriteOptions::default(),
+    )
+    .expect("optimize");
+    assert!(
+        t.applied.iter().any(|r| r.pass == RewritePass::Fold),
+        "cone should fold: {}",
+        t.render(false)
+    );
+    assert!(t.applied.iter().any(|r| r.pass == RewritePass::Identity));
+    assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+
+    let replay = Graph::new();
+    let verdict = verify_bit_equivalence(&g, loss.index(), &t, &replay).expect("bit equivalence");
+    assert_eq!(verdict.nodes_compared, t.spec.nodes.len());
+    assert_eq!(verdict.grads_compared, 2);
+    assert_eq!(t.goal, OptimizeGoal::ForwardBackward);
+}
+
+#[test]
+fn render_lists_rewrites_with_discharged_proofs() {
+    let (spec, loss, params) = duplicate_square_spec();
+    let t = optimize("fixture", &spec, loss, &params, &opts(), &RewriteOptions::forward())
+        .expect("optimize");
+    let text = t.render(true);
+    assert!(text.contains("tape optimizer: fixture (goal: forward)"), "{text}");
+    assert!(text.contains("applied rewrites:"), "{text}");
+    assert!(text.contains("proof determinism:"), "{text}");
+    assert!(text.contains("static bytes:"), "{text}");
+}

@@ -16,8 +16,8 @@
 //! The pool itself is a lazily-spawned set of persistent workers woken through
 //! a condvar. A parallel section publishes a closure by reference (the caller
 //! blocks until every shard finished, so the borrow is sound), workers and the
-//! caller claim shard indices from a shared counter, and worker panics are
-//! surfaced as a caller panic after the section drains. Nested parallel
+//! caller claim shard indices from a shared counter, and a worker panic's
+//! payload is rethrown by the caller after the section drains. Nested parallel
 //! sections execute serially on the calling thread rather than deadlocking.
 //!
 //! Every `unsafe` site below carries a `SAFETY:` argument, checked
@@ -96,7 +96,9 @@ struct Job {
     next: usize,
     /// Shards currently executing.
     active: usize,
-    panicked: bool,
+    /// First worker-panic payload, held for the caller to rethrow verbatim
+    /// (via `resume_unwind`) once the section drains.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 struct Shared {
@@ -119,7 +121,7 @@ thread_local! {
 
 /// Recover the guard from a poisoned lock/wait. Pool state is plain
 /// bookkeeping data whose invariants are restored by the drain logic, and a
-/// panicked shard is already surfaced through `Job::panicked` — propagating
+/// panicked shard is already surfaced through `Job::panic` — propagating
 /// the poison would only turn one diagnosable panic into a cascade.
 fn recover<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
     r.unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -143,12 +145,14 @@ fn worker_loop(shared: Arc<Shared>) {
                 drop(state);
                 // SAFETY: the caller keeps the closure alive until the job
                 // drains (it blocks in `run_shards`).
-                let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(shard) })).is_ok();
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(shard) }));
                 state = recover(shared.state.lock());
                 match state.as_mut() {
                     Some(job) => {
-                        if !ok {
-                            job.panicked = true;
+                        if let Err(payload) = result {
+                            // Keep the first payload; later ones are usually
+                            // knock-on failures of the same root cause.
+                            job.panic.get_or_insert(payload);
                         }
                         job.active -= 1;
                         if job.next >= job.shards && job.active == 0 {
@@ -202,8 +206,10 @@ impl Pool {
 }
 
 /// Execute `task(0..shards)` with each shard running exactly once, possibly
-/// concurrently. Blocks until every shard completed. Panics (after draining)
-/// if any shard panicked. Nested calls from inside a shard run serially.
+/// concurrently. Blocks until every shard completed. If any shard panicked,
+/// its original payload is rethrown (after draining) via `resume_unwind`, so
+/// the message and any `downcast` survive the pool boundary. Nested calls
+/// from inside a shard run serially.
 pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
     match shards {
         0 => return,
@@ -227,7 +233,7 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
     let task_ref = TaskRef(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) });
     let mut state = recover(pool.shared.state.lock());
     debug_assert!(state.is_none(), "run_lock must serialise jobs");
-    *state = Some(Job { task: task_ref, shards, next: 0, active: 0, panicked: false });
+    *state = Some(Job { task: task_ref, shards, next: 0, active: 0, panic: None });
     pool.shared.work_cv.notify_all();
     // The caller participates in the section instead of idling.
     let mut caller_panic = None;
@@ -251,12 +257,7 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
         IN_SECTION.with(|f| f.set(false));
         state = recover(pool.shared.state.lock());
         match state.as_mut() {
-            Some(job) => {
-                job.active -= 1;
-                if result.is_err() {
-                    job.panicked = true;
-                }
-            }
+            Some(job) => job.active -= 1,
             None => debug_assert!(false, "job vanished mid-section"),
         }
         if let Err(payload) = result {
@@ -266,14 +267,14 @@ pub fn run_shards(shards: usize, task: &(dyn Fn(usize) + Sync)) {
     while state.as_ref().is_some_and(|job| job.next < job.shards || job.active > 0) {
         state = recover(pool.shared.done_cv.wait(state));
     }
-    let panicked = state.take().is_some_and(|job| job.panicked);
+    let worker_panic = state.take().and_then(|job| job.panic);
     drop(state);
     drop(guard);
-    if let Some(payload) = caller_panic {
+    // Rethrow the caller's own shard panic first (it is the one a backtrace
+    // points at), then any worker payload — verbatim, so `downcast` and the
+    // panic message both survive the pool boundary.
+    if let Some(payload) = caller_panic.or(worker_panic) {
         std::panic::resume_unwind(payload);
-    }
-    if panicked {
-        panic!("sthsl-parallel: a pool worker panicked during a parallel section");
     }
 }
 
@@ -548,7 +549,11 @@ mod tests {
                 }
             });
         });
-        assert!(result.is_err(), "shard panic must surface");
+        // The original payload crosses the pool boundary intact — no
+        // synthesized "a worker panicked" wrapper.
+        let payload = result.expect_err("shard panic must surface");
+        let msg = payload.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some("boom"), "payload must be rethrown verbatim");
         set_num_threads(0);
         // The pool must still be usable after a panicked section.
         let hits = AtomicUsize::new(0);

@@ -36,6 +36,11 @@ struct Flags {
     ranges: bool,
     cost: bool,
     max_accum_depth: Option<u64>,
+    json: bool,
+    apply: bool,
+    deny_warnings: bool,
+    optimize_preflight: bool,
+    fusion_out: Option<String>,
     help: bool,
 }
 
@@ -67,6 +72,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         ranges: false,
         cost: false,
         max_accum_depth: None,
+        json: false,
+        apply: false,
+        deny_warnings: false,
+        optimize_preflight: false,
+        fusion_out: None,
         help: false,
     };
     let mut i = 0;
@@ -171,6 +181,26 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.max_accum_depth = Some(parse_value(key, value(i)?)?);
                 i += 2;
             }
+            "--json" => {
+                f.json = true;
+                i += 1;
+            }
+            "--apply" => {
+                f.apply = true;
+                i += 1;
+            }
+            "--deny-warnings" => {
+                f.deny_warnings = true;
+                i += 1;
+            }
+            "--optimize-preflight" => {
+                f.optimize_preflight = true;
+                i += 1;
+            }
+            "--fusion-out" => {
+                f.fusion_out = Some(value(i)?.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
         }
     }
@@ -253,6 +283,27 @@ fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
     Ok(data)
 }
 
+/// Dataset for the static-analysis commands: the given CSV, or a synthetic
+/// city of the requested dimensions. The recorded graphs depend only on the
+/// dataset's shape, not its counts, so the synthetic stand-in certifies the
+/// real thing.
+fn dataset_or_synth(flags: &Flags) -> Result<CrimeDataset, String> {
+    if flags.data.is_some() {
+        return load_dataset(flags);
+    }
+    let cfg = city_config(flags)?;
+    let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
+    CrimeDataset::from_city(
+        &city,
+        DatasetConfig {
+            window: flags.window,
+            val_days: (flags.days / 20).max(5),
+            train_fraction: 7.0 / 8.0,
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
 fn model_config(flags: &Flags) -> StHslConfig {
     StHslConfig {
         d: 8,
@@ -279,6 +330,7 @@ fn cmd_train(flags: &Flags) -> Result<String, String> {
     opts.checkpoint_dir = flags.checkpoint_dir.clone().map(PathBuf::from);
     opts.checkpoint_every = flags.checkpoint_every;
     opts.patience = flags.patience;
+    opts.optimize_preflight = flags.optimize_preflight;
     if flags.resume {
         let dir = opts.checkpoint_dir.as_ref().ok_or("--resume requires --checkpoint-dir")?;
         match latest_checkpoint(dir).map_err(|e| e.to_string())? {
@@ -386,24 +438,7 @@ fn cmd_predict(flags: &Flags) -> Result<String, String> {
 /// neural baseline — shape consistency, gradient flow to every parameter,
 /// NaN hazards, memory budget — without running a single optimizer step.
 fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
-    let data = if flags.data.is_some() {
-        load_dataset(flags)?
-    } else {
-        // No CSV given: audit against a synthetic city of the requested
-        // dimensions. The recorded graphs depend only on the dataset's
-        // shape, not its counts, so this certifies the real thing.
-        let cfg = city_config(flags)?;
-        let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
-        CrimeDataset::from_city(
-            &city,
-            DatasetConfig {
-                window: flags.window,
-                val_days: (flags.days / 20).max(5),
-                train_fraction: 7.0 / 8.0,
-            },
-        )
-        .map_err(|e| e.to_string())?
-    };
+    let data = dataset_or_synth(flags)?;
 
     let mut reports = Vec::new();
     let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
@@ -411,6 +446,25 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
     let bcfg = BaselineConfig { seed: flags.seed, ..BaselineConfig::quick() };
     for m in all_auditable(&bcfg, &data).map_err(|e| e.to_string())? {
         reports.push(m.graph_audit(&data).map_err(|e| e.to_string())?);
+    }
+
+    let failing: Vec<&str> =
+        reports.iter().filter(|r| r.has_errors()).map(|r| r.model.as_str()).collect();
+
+    if flags.json {
+        // Machine-readable mode: one JSON document wrapping every per-model
+        // report, byte-deterministic for structural diffing in CI. The exit
+        // code still signals the verdict.
+        let body = reports.iter().map(sthsl_graphcheck::AuditReport::to_json).collect::<Vec<_>>();
+        let doc = format!(
+            "{{\"schema\":\"sthsl-graph-audit-v1\",\"clean\":{},\"reports\":[{}]}}",
+            failing.is_empty(),
+            body.join(",")
+        );
+        if let Some(path) = &flags.out {
+            fs::write(path, &doc).map_err(|e| e.to_string())?;
+        }
+        return if failing.is_empty() { Ok(doc) } else { Err(doc) };
     }
 
     let mut out = String::new();
@@ -423,8 +477,6 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
             let _ = write!(out, "{}", render_cost_detail(r));
         }
     }
-    let failing: Vec<&str> =
-        reports.iter().filter(|r| r.has_errors()).map(|r| r.model.as_str()).collect();
     let verdict = if failing.is_empty() {
         format!("audited {} model graphs: all clean", reports.len())
     } else {
@@ -504,28 +556,77 @@ fn render_cost_detail(r: &sthsl_graphcheck::AuditReport) -> String {
     out
 }
 
+/// `optimize`: run the audit-certified rewrite engine (CSE, dead-node
+/// elimination, constant folding, identity simplification) over both tape
+/// profiles — the serving tape under the aggressive forward-only rules and
+/// the training tape under the conservative gradient-preserving rules —
+/// printing before/after cost tables and the full rewrite ledger with each
+/// rewrite's discharged proof obligations. `--apply` additionally replays
+/// the optimized tapes and demands every surviving node value (and, for the
+/// training goal, every parameter gradient) be bit-identical to the
+/// recording graph. Also writes the advisory fusion-candidate report to
+/// `results/fusion_candidates.json` (override with `--fusion-out`).
+fn cmd_optimize(flags: &Flags) -> Result<String, String> {
+    let data = dataset_or_synth(flags)?;
+    let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let mut warnings: Vec<String> = Vec::new();
+    for goal in [OptimizeGoal::Forward, OptimizeGoal::ForwardBackward] {
+        let opt = if flags.apply {
+            let (opt, verdict) =
+                model.optimize_and_verify(&data, goal).map_err(|e| e.to_string())?;
+            let _ = write!(out, "{}", opt.render(true));
+            let _ = write!(out, "replay: {} node value(s) bit-identical", verdict.nodes_compared);
+            if verdict.grads_compared > 0 {
+                let _ =
+                    write!(out, ", {} parameter gradient(s) bit-identical", verdict.grads_compared);
+            }
+            let _ = writeln!(out);
+            opt
+        } else {
+            let (_, _, opt) = model.optimize_tape(&data, goal).map_err(|e| e.to_string())?;
+            let _ = write!(out, "{}", opt.render(true));
+            opt
+        };
+        warnings.extend(opt.warnings.iter().cloned());
+        let _ = writeln!(out);
+    }
+
+    let fusion = model.fusion_report(&data).map_err(|e| e.to_string())?;
+    let _ = write!(out, "{}", fusion.render(flags.top));
+    let fusion_path =
+        flags.fusion_out.clone().unwrap_or_else(|| "results/fusion_candidates.json".into());
+    if let Some(dir) = std::path::Path::new(&fusion_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    fs::write(&fusion_path, fusion.to_json()).map_err(|e| format!("{fusion_path}: {e}"))?;
+    let _ = write!(out, "fusion candidates written to {fusion_path}");
+
+    if let Some(path) = &flags.out {
+        fs::write(path, &out).map_err(|e| e.to_string())?;
+        out = format!("optimize report written to {path}");
+    }
+    if !warnings.is_empty() {
+        let _ = write!(out, "\noptimize finished with {} warning(s):", warnings.len());
+        for w in &warnings {
+            let _ = write!(out, "\n  {w}");
+        }
+        if flags.deny_warnings {
+            return Err(format!("{out}\n--deny-warnings: failing"));
+        }
+    }
+    Ok(out)
+}
+
 /// `profile`: run one training-mode forward + backward pass with the tape
 /// profiler attached and print the top-K hot-op report. `--fake-clock`
 /// substitutes a deterministic clock (every op "takes" 100 ns) so the output
 /// is reproducible — rankings then reflect op *counts*, not wall time.
 fn cmd_profile(flags: &Flags) -> Result<String, String> {
-    let data = if flags.data.is_some() {
-        load_dataset(flags)?
-    } else {
-        // No CSV given: profile against a synthetic city of the requested
-        // dimensions. The tape depends only on the dataset's shape.
-        let cfg = city_config(flags)?;
-        let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
-        CrimeDataset::from_city(
-            &city,
-            DatasetConfig {
-                window: flags.window,
-                val_days: (flags.days / 20).max(5),
-                train_fraction: 7.0 / 8.0,
-            },
-        )
-        .map_err(|e| e.to_string())?
-    };
+    let data = dataset_or_synth(flags)?;
     let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
 
     let clock: Rc<dyn Clock> =
@@ -572,7 +673,7 @@ fn cmd_chaos(flags: &Flags) -> Result<String, String> {
 }
 
 const USAGE: &str =
-    "usage: sthsl <simulate|train|evaluate|predict|graph-audit|profile|chaos> [flags]
+    "usage: sthsl <simulate|train|evaluate|predict|graph-audit|optimize|profile|chaos> [flags]
   common flags:
     --city nyc|chi   synthetic city preset (default nyc)
     --rows N --cols N --days N --window N --seed N
@@ -589,6 +690,9 @@ const USAGE: &str =
             --dense-hypergraph     use the dense batched hypergraph propagation
                                    instead of the CSR path (bit-identical; for
                                    A/B timing and debugging)
+            --optimize-preflight   run the audit-certified tape optimizer with
+                                   replay verification before training; abort
+                                   if any rewrite would regress the audit
             (--trace-out traces every batch/epoch/divergence/checkpoint)
   evaluate: --data crimes.csv --model model.bin
   predict:  --data crimes.csv --model model.bin [--out forecast.csv]
@@ -601,6 +705,22 @@ const USAGE: &str =
             [--max-accum-depth N]  f32 accumulation budget for the float-error
                                    pass (default 8192 = 2x the reduction block)
             [--dense-hypergraph]   audit the dense propagation tape instead of CSR
+            [--json]               emit one machine-readable JSON document
+                                   instead of the text report
+  optimize: rewrite the serving + training tapes (CSE, dead-node elimination,
+            constant folding, identity simplification); every rewrite is
+            certified by the static audit and listed with its discharged
+            proof obligations, alongside before/after cost tables
+            [--data crimes.csv]    optimize against a real dataset (default: synthetic)
+            [--apply]              replay both optimized tapes and require
+                                   bit-identical values (and gradients on the
+                                   training tape)
+            [--deny-warnings]      nonzero exit if any rewrite regressed an
+                                   audit pass
+            [--out report.txt]     write the full report to a file
+            [--fusion-out PATH]    fusion-candidate JSON destination
+                                   (default results/fusion_candidates.json)
+            [--top N]              rows in the fusion table (default 10)
   profile:  time one training step per-op and print the hot-op report
             [--data crimes.csv]    profile a real dataset (default: synthetic)
             [--top N]              rows in the report (default 10)
@@ -639,6 +759,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => cmd_evaluate(&flags)?,
         "predict" => cmd_predict(&flags)?,
         "graph-audit" | "--graph-audit" => cmd_graph_audit(&flags)?,
+        "optimize" => cmd_optimize(&flags)?,
         "profile" => cmd_profile(&flags)?,
         "chaos" => cmd_chaos(&flags)?,
         other => return Err(format!("unknown command {other}\n{USAGE}")),
@@ -878,6 +999,79 @@ mod tests {
             "7",
         ]);
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn graph_audit_json_emits_one_parseable_document() {
+        let flags = parse_flags(&str_args(&[
+            "--rows", "4", "--cols", "4", "--days", "60", "--window", "7", "--json",
+        ]))
+        .unwrap();
+        assert!(flags.json);
+        let doc = cmd_graph_audit(&flags).unwrap();
+        let json = crate::obs::parse_json(&doc).unwrap();
+        assert_eq!(
+            json.get("schema").and_then(crate::obs::Json::as_str),
+            Some("sthsl-graph-audit-v1")
+        );
+        assert_eq!(json.get("clean").and_then(crate::obs::Json::as_bool), Some(true));
+        let Some(crate::obs::Json::Arr(reports)) = json.get("reports") else {
+            panic!("reports must be an array: {doc}");
+        };
+        assert_eq!(reports.len(), 14, "one report per audited model");
+        for r in reports {
+            assert!(r.get("report_version").is_some(), "{doc}");
+            assert_eq!(r.get("errors").and_then(crate::obs::Json::as_u64), Some(0), "{doc}");
+        }
+        // Byte-determinism: CI diffs these structurally and textually.
+        assert_eq!(doc, cmd_graph_audit(&flags).unwrap());
+    }
+
+    #[test]
+    fn optimize_applies_verifies_and_writes_fusion_json() {
+        let fusion = tmp("fusion.json");
+        let flags = parse_flags(&str_args(&[
+            "--rows",
+            "4",
+            "--cols",
+            "4",
+            "--days",
+            "60",
+            "--window",
+            "7",
+            "--apply",
+            "--deny-warnings",
+            "--fusion-out",
+            &fusion,
+        ]))
+        .unwrap();
+        assert!(flags.apply && flags.deny_warnings);
+        let out = cmd_optimize(&flags).unwrap();
+        // Both profiles report, every applied rewrite carries discharged
+        // proofs, and the replay harness certifies bit-identity.
+        assert!(out.contains("tape optimizer: ST-HSL (goal: forward)"), "{out}");
+        assert!(out.contains("tape optimizer: ST-HSL (goal: forward+backward)"), "{out}");
+        assert!(out.contains("proof op-equality:"), "{out}");
+        assert!(out.contains("proof grad-order:"), "{out}");
+        assert!(out.contains("parameter gradient(s) bit-identical"), "{out}");
+        // The serving tape must clear the >=5% static-cost bar by a wide
+        // margin (the self-supervised branches are dead at inference).
+        let saved = out
+            .lines()
+            .find(|l| l.contains("static bytes:"))
+            .and_then(|l| l.split("saved ").nth(1))
+            .and_then(|s| s.trim_end_matches("%)").parse::<f64>().ok())
+            .unwrap();
+        assert!(saved >= 5.0, "serving tape saved only {saved}%: {out}");
+
+        let text = fs::read_to_string(&fusion).unwrap();
+        let json = crate::obs::parse_json(&text).unwrap();
+        assert!(json.get("total_saved_bytes").and_then(crate::obs::Json::as_u64).unwrap() > 0);
+        let Some(crate::obs::Json::Arr(cands)) = json.get("candidates") else {
+            panic!("candidates must be an array: {text}");
+        };
+        assert!(!cands.is_empty(), "{text}");
+        fs::remove_file(fusion).ok();
     }
 
     #[test]
