@@ -40,7 +40,16 @@ fn bad(msg: impl Into<String>) -> io::Error {
 
 /// Prefix `err` with the offending path, preserving its [`io::ErrorKind`] so
 /// callers can still dispatch on corruption vs. absence vs. transience.
+///
+/// *Retryable* errors (a transient EIO, an interrupted syscall) pass
+/// through untouched: `io::Error::new` would silently drop the raw OS code
+/// that [`sthsl_chaos::retry::is_retryable`] dispatches on, turning a
+/// transient fault into a fatal one. Everything else — absence, corruption,
+/// permissions — keeps the path prefix.
 pub(crate) fn with_path(path: &Path, err: io::Error) -> io::Error {
+    if sthsl_chaos::retry::is_retryable(&err) {
+        return err;
+    }
     let kind = err.kind();
     io::Error::new(kind, format!("{}: {err}", path.display()))
 }
@@ -450,5 +459,31 @@ mod tests {
         atomic_write(&path, b"second").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"second");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn with_path_preserves_retryable_errors() {
+        // Regression: decorating an EIO with the path used to erase its raw
+        // OS code, which made retry policies treat a transient fault as
+        // fatal (the serve checkpoint-load path then skipped a perfectly
+        // good checkpoint).
+        let transient = io::Error::from_raw_os_error(5); // EIO
+        let wrapped = with_path(Path::new("/tmp/x"), transient);
+        assert_eq!(wrapped.raw_os_error(), Some(5));
+        assert!(sthsl_chaos::retry::is_retryable(&wrapped));
+
+        // Non-retryable errors still gain the path prefix and keep their
+        // kind: absence...
+        let missing = io::Error::from_raw_os_error(2); // ENOENT
+        let wrapped = with_path(Path::new("/tmp/x"), missing);
+        assert_eq!(wrapped.kind(), io::ErrorKind::NotFound);
+        assert!(wrapped.to_string().contains("/tmp/x"));
+
+        // ...and corruption.
+        let parse = io::Error::new(io::ErrorKind::InvalidData, "bad magic");
+        let wrapped = with_path(Path::new("/tmp/x"), parse);
+        assert_eq!(wrapped.kind(), io::ErrorKind::InvalidData);
+        assert!(wrapped.to_string().contains("/tmp/x"));
+        assert!(wrapped.raw_os_error().is_none());
     }
 }

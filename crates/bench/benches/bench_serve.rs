@@ -1,0 +1,187 @@
+//! Load-generator bench for the `sthsl serve` runtime.
+//!
+//! For each load level (1k / 10k / 100k simulated clients) a server is bound
+//! to an ephemeral loopback port with `max_requests` set to the level, and a
+//! small pool of client threads replays that many HTTP forecast requests
+//! against it — a mix of cache-missing and cache-hitting queries across
+//! regions, categories and horizons, plus a sprinkle of `/metrics` probes,
+//! the way a fleet of dashboard clients would. Every request's wall-clock
+//! latency is recorded client-side (connect → full response), so the p50/p99
+//! numbers include connection setup, micro-batching and serialization — the
+//! user-visible cost, not just the forward pass.
+//!
+//! Results are written to `BENCH_serve.json` at the workspace root:
+//! throughput (requests/second), p50/p99 latency in milliseconds, and the
+//! final server-side cache hit counts per level.
+
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+use sthsl_core::StHslConfig;
+use sthsl_data::{CrimeDataset, DatasetConfig, SynthCity, SynthConfig};
+use sthsl_serve::{Counters, ForecastEngine, Server, ServerConfig};
+
+/// Client threads sharing each level's request budget.
+const CLIENT_THREADS: usize = 8;
+
+fn dataset() -> CrimeDataset {
+    let city = SynthCity::generate(&SynthConfig::nyc_like().scaled(4, 4, 60)).expect("city");
+    CrimeDataset::from_city(&city, DatasetConfig { window: 7, val_days: 5, train_fraction: 0.8 })
+        .expect("dataset")
+}
+
+fn tiny_cfg() -> StHslConfig {
+    StHslConfig { d: 8, num_hyperedges: 16, ..StHslConfig::quick() }
+}
+
+/// Bind a server that exits after `max_requests` responses; returns its
+/// address and a handle yielding the final counters.
+fn spawn_server(max_requests: u64) -> (String, thread::JoinHandle<Counters>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let engine = ForecastEngine::from_fresh(tiny_cfg(), dataset(), 4).expect("engine");
+        let cfg = ServerConfig {
+            city: "bench".into(),
+            cache_capacity: 4096,
+            max_requests: Some(max_requests),
+            // Zero-width batch window: drain whatever the backlog holds and
+            // answer immediately; latency numbers stay honest.
+            batch_window_ms: 0,
+            tile_regions: 4,
+            max_horizon: 4,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::bind(engine, cfg, None, None).expect("bind");
+        tx.send(server.local_addr().to_string()).expect("addr");
+        server.run().expect("serve");
+        server.metrics().counters()
+    });
+    (rx.recv().expect("server never bound"), handle)
+}
+
+/// One full HTTP round trip; returns latency in nanoseconds.
+fn round_trip(addr: &str, path: &str) -> u64 {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let msg = format!("GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n");
+    stream.write_all(msg.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("recv");
+    assert!(raw.starts_with(b"HTTP/1.1 200"), "non-200 under load");
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The i-th simulated client's request: regions × categories × horizons are
+/// cycled so the first pass per (day, horizon) misses the cache and the
+/// rest hit it; every 97th request polls `/metrics` like a dashboard would.
+fn request_path(i: usize) -> String {
+    if i.is_multiple_of(97) {
+        return "/metrics".into();
+    }
+    let region = i % 16;
+    let category = (i / 16) % 4;
+    let horizon = 1 + (i / 64) % 4;
+    format!("/forecast?region={region}&category={category}&horizon={horizon}")
+}
+
+struct Level {
+    clients: usize,
+    wall_seconds: f64,
+    latencies_ns: Vec<u64>,
+    counters: Counters,
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+fn run_level(clients: usize) -> Level {
+    let (addr, server) = spawn_server(clients as u64);
+    let per_thread = clients / CLIENT_THREADS;
+    let remainder = clients % CLIENT_THREADS;
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENT_THREADS)
+        .map(|w| {
+            let addr = addr.clone();
+            let n = per_thread + usize::from(w < remainder);
+            thread::spawn(move || {
+                let mut lat = Vec::with_capacity(n);
+                for j in 0..n {
+                    lat.push(round_trip(&addr, &request_path(w + j * CLIENT_THREADS)));
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(clients);
+    for worker in workers {
+        latencies_ns.extend(worker.join().expect("client thread"));
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let counters = server.join().expect("server thread");
+    latencies_ns.sort_unstable();
+    Level { clients, wall_seconds, latencies_ns, counters }
+}
+
+fn write_json(levels: &[Level]) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sthsl-bench-serve-v1\",");
+    let _ = writeln!(out, "  \"available_cores\": {cores},");
+    let _ = writeln!(out, "  \"client_threads\": {CLIENT_THREADS},");
+    let _ = writeln!(out, "  \"levels\": [");
+    #[allow(clippy::cast_precision_loss)]
+    for (i, level) in levels.iter().enumerate() {
+        let rps = level.clients as f64 / level.wall_seconds;
+        let _ = write!(
+            out,
+            "    {{\"clients\": {}, \"wall_seconds\": {:.3}, \"requests_per_second\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"ok\": {}, \"server_errors\": {}, \
+             \"forwards\": {}, \"cache_hit_rate\": {:.4}}}",
+            level.clients,
+            level.wall_seconds,
+            rps,
+            percentile_ms(&level.latencies_ns, 0.50),
+            percentile_ms(&level.latencies_ns, 0.99),
+            level.counters.ok,
+            level.counters.server_errors,
+            level.counters.forwards,
+            1.0 - level.counters.forwards as f64 / level.counters.requests.max(1) as f64,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < levels.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    // benches run with cwd = crate dir; the JSON belongs at the repo root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &out).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+    print!("{out}");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let levels: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let results: Vec<Level> = levels
+        .iter()
+        .map(|&n| {
+            let level = run_level(n);
+            println!(
+                "{n} clients: {:.2}s wall, p50 {:.3}ms p99 {:.3}ms, {} forwards",
+                level.wall_seconds,
+                percentile_ms(&level.latencies_ns, 0.50),
+                percentile_ms(&level.latencies_ns, 0.99),
+                level.counters.forwards
+            );
+            level
+        })
+        .collect();
+    write_json(&results);
+}

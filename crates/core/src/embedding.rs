@@ -32,9 +32,9 @@ impl CrimeEmbedding {
     /// Build `E ∈ R^{R×Tw×C×d}` from a z-scored window `z ∈ R^{R×Tw×C}`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, zscored_window: &Tensor) -> Result<Var> {
         let shape = zscored_window.shape();
-        debug_assert_eq!(shape.len(), 3);
+        crate::guard::expect_rank("embedding.e_c", shape, 3)?;
+        crate::guard::expect_dim("embedding.e_c", shape, 2, self.num_categories)?;
         let (r, tw, c) = (shape[0], shape[1], shape[2]);
-        debug_assert_eq!(c, self.num_categories);
         // [R,Tw,C] → [R,Tw,C,1], broadcast-multiplied by [C,d] → [R,Tw,C,d].
         let z = g.constant(zscored_window.reshape(&[r, tw, c, 1])?);
         let table = pv.var(self.e_c);

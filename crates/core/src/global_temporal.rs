@@ -44,6 +44,7 @@ impl GlobalTemporal {
     /// `Γ^{(R)}: [Tw, RC, d] → Γ^{(T)}: [Tw, RC, d]`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, gamma: Var) -> Result<Var> {
         let shape = g.shape_of(gamma)?;
+        crate::guard::expect_rank("global_temporal", &shape, 3)?;
         let (tw, n, d) = (shape[0], shape[1], shape[2]);
         // [Tw, RC, d] → [RC, d, Tw] → [RC·d, 1, Tw]: time is the conv axis,
         // every (node, slot) pair is a batch element.

@@ -1,0 +1,95 @@
+//! Release-mode shape guards for module boundaries.
+//!
+//! The encoders historically validated their input shapes with
+//! `debug_assert_eq!`, which compiles away in release builds — a mis-sized
+//! tensor then either surfaces as a confusing kernel error several ops
+//! downstream or, worse, silently produces a wrong answer (a broadcast that
+//! happens to fit). These helpers make the same checks typed and
+//! always-on: the serving path depends on every forward rejecting bad
+//! shapes loudly instead of panicking or guessing.
+
+use sthsl_tensor::{Result, TensorError};
+
+/// Require `shape` to have exactly `rank` dimensions.
+pub(crate) fn expect_rank(op: &'static str, shape: &[usize], rank: usize) -> Result<()> {
+    if shape.len() == rank {
+        Ok(())
+    } else {
+        Err(TensorError::RankMismatch {
+            op,
+            expected: rank,
+            got: shape.len(),
+            shape: shape.to_vec(),
+        })
+    }
+}
+
+/// Require `shape[axis] == want` (the rank must already be validated).
+///
+/// The error carries the full observed shape on the left and the expected
+/// shape (observed with `axis` corrected) on the right, so the message reads
+/// as "got X, wanted Y" without a stack trace.
+pub(crate) fn expect_dim(
+    op: &'static str,
+    shape: &[usize],
+    axis: usize,
+    want: usize,
+) -> Result<()> {
+    if shape.get(axis) == Some(&want) {
+        return Ok(());
+    }
+    let mut expected = shape.to_vec();
+    if axis < expected.len() {
+        expected[axis] = want;
+    } else {
+        expected.resize(axis + 1, 0);
+        expected[axis] = want;
+    }
+    Err(TensorError::ShapeMismatch { op, lhs: shape.to_vec(), rhs: expected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_guard_accepts_and_rejects() {
+        assert!(expect_rank("t", &[2, 3], 2).is_ok());
+        let err = expect_rank("t", &[2, 3], 3).unwrap_err();
+        match err {
+            TensorError::RankMismatch { op, expected, got, shape } => {
+                assert_eq!(op, "t");
+                assert_eq!(expected, 3);
+                assert_eq!(got, 2);
+                assert_eq!(shape, vec![2, 3]);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dim_guard_reports_expected_shape() {
+        assert!(expect_dim("t", &[4, 5, 6], 2, 6).is_ok());
+        let err = expect_dim("t", &[4, 5, 6], 2, 8).unwrap_err();
+        match err {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                assert_eq!(op, "t");
+                assert_eq!(lhs, vec![4, 5, 6]);
+                assert_eq!(rhs, vec![4, 5, 8]);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dim_guard_handles_missing_axis() {
+        let err = expect_dim("t", &[4], 2, 8).unwrap_err();
+        match err {
+            TensorError::ShapeMismatch { lhs, rhs, .. } => {
+                assert_eq!(lhs, vec![4]);
+                assert_eq!(rhs, vec![4, 0, 8]);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+}

@@ -51,8 +51,9 @@ impl HypergraphEncoder {
     /// Propagate: `E: [Tw, RC, d] → Γ^{(R)}: [Tw, RC, d]`.
     pub fn forward(&self, g: &Graph, pv: &ParamVars, e: Var) -> Result<Var> {
         let shape = g.shape_of(e)?;
-        debug_assert_eq!(shape[0], self.window);
-        debug_assert_eq!(shape[1], self.num_nodes);
+        crate::guard::expect_rank("hypergraph.h", &shape, 3)?;
+        crate::guard::expect_dim("hypergraph.h", &shape, 0, self.window)?;
+        crate::guard::expect_dim("hypergraph.h", &shape, 1, self.num_nodes)?;
         let tw = shape[0];
         if self.sparse {
             return self.forward_sparse(g, pv, e, tw, shape[2]);

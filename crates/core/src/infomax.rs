@@ -40,9 +40,10 @@ impl InfomaxHead {
         c: usize,
     ) -> Result<Var> {
         let shape = g.shape_of(gamma)?;
-        let (tw, rc, d) = (shape[0], shape[1], shape[2]);
-        debug_assert_eq!(rc, r * c);
-        debug_assert_eq!(d, self.d);
+        crate::guard::expect_rank("infomax.w", &shape, 3)?;
+        crate::guard::expect_dim("infomax.w", &shape, 1, r * c)?;
+        crate::guard::expect_dim("infomax.w", &shape, 2, self.d)?;
+        let (tw, d) = (shape[0], shape[2]);
 
         // Readout Ψ: mean over regions (Eq. 6) of the *original* embeddings.
         let g4 = g.reshape(gamma, &[tw, r, c, d])?;

@@ -41,6 +41,7 @@ pub mod config;
 pub mod contrastive;
 pub mod embedding;
 pub mod global_temporal;
+mod guard;
 pub mod hypergraph;
 pub mod infomax;
 pub mod local;

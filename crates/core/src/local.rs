@@ -120,9 +120,10 @@ impl LocalEncoder {
             return Ok(e);
         }
         let shape = g.shape_of(e)?;
+        crate::guard::expect_rank("local.encoder", &shape, 4)?;
+        crate::guard::expect_dim("local.encoder", &shape, 0, self.rows * self.cols)?;
+        crate::guard::expect_dim("local.encoder", &shape, 2, self.num_categories)?;
         let (r, tw, c, d) = (shape[0], shape[1], shape[2], shape[3]);
-        debug_assert_eq!(r, self.rows * self.cols);
-        debug_assert_eq!(c, self.num_categories);
         let k = self.kernel;
         let pad = (k / 2, k / 2);
 

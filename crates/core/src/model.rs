@@ -279,6 +279,87 @@ impl StHsl {
         self.store.restore_from(path)
     }
 
+    /// Snapshot the current parameters as a fresh checkpoint-v2 artifact
+    /// (empty optimizer moments, zeroed trainer progress, the config seed).
+    /// This is the hand-off format `sthsl serve` loads via
+    /// [`sthsl_autograd::load_latest_verified`] — useful for publishing a
+    /// trained model into a serving directory without re-running the
+    /// trainer's own checkpoint hook.
+    pub fn export_checkpoint(&self) -> sthsl_autograd::Checkpoint {
+        sthsl_autograd::Checkpoint {
+            params: self.store.clone(),
+            adam: sthsl_autograd::AdamState { t: 0, m: Vec::new(), v: Vec::new() },
+            trainer: sthsl_autograd::TrainerState {
+                seed: self.cfg.seed,
+                ..sthsl_autograd::TrainerState::default()
+            },
+        }
+    }
+
+    /// Named parameter table `(name, shape)` in registration order — the
+    /// contract a checkpoint's [`ParamStore`] must match before it can be
+    /// installed into this model.
+    pub fn param_table(&self) -> Vec<(String, Vec<usize>)> {
+        self.store
+            .ids()
+            .map(|id| (self.store.name(id).to_string(), self.store.get(id).shape().to_vec()))
+            .collect()
+    }
+
+    /// Install parameter values from another store (e.g. a checkpoint-v2
+    /// artifact), cross-checking every name and shape *before* mutating
+    /// anything. On disagreement the model is left untouched and the error
+    /// names the first offending parameter with both shapes — this is the
+    /// startup gate `sthsl serve` relies on to reject a checkpoint trained
+    /// under a different model config before the first request arrives.
+    pub fn install_params(&mut self, source: &ParamStore) -> Result<()> {
+        if source.len() != self.store.len() {
+            return Err(TensorError::Invalid(format!(
+                "checkpoint has {} parameters, model config expects {}",
+                source.len(),
+                self.store.len()
+            )));
+        }
+        for (id, other) in self.store.ids().zip(source.ids()) {
+            let (name, want) = (self.store.name(id), self.store.get(id).shape());
+            if source.name(other) != name {
+                return Err(TensorError::Invalid(format!(
+                    "checkpoint parameter #{} is '{}', model config expects '{}'",
+                    id.0,
+                    source.name(other),
+                    name
+                )));
+            }
+            let got = source.get(other).shape();
+            if got != want {
+                return Err(TensorError::Invalid(format!(
+                    "checkpoint parameter '{name}' has shape {got:?}, \
+                     model config expects {want:?}"
+                )));
+            }
+        }
+        self.store.copy_values_from(source).map_err(TensorError::Invalid)
+    }
+
+    /// Batched inference: predict every window in `windows` on a single
+    /// graph with a single parameter injection. Each prediction is
+    /// bit-identical to a standalone [`Predictor::predict`] call — the same
+    /// op sequence runs over the same values — while amortising the graph
+    /// and injection setup across the batch. This is the micro-batch entry
+    /// point the serving layer drains requests through.
+    pub fn predict_batch(&self, data: &CrimeDataset, windows: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let g = Graph::new();
+        let pv = self.store.inject(&g);
+        windows
+            .iter()
+            .map(|window| {
+                let z = data.zscore(window);
+                let art = self.forward(&g, &pv, &z, None)?;
+                Ok(sanitize_counts(g.value(art.pred).as_ref().clone()))
+            })
+            .collect()
+    }
+
     /// Build the exact training-mode graph the static analyzer inspects: one
     /// [`Self::sample_loss`] on the first training day with the infomax
     /// corruption branch active, plus every named parameter `Var`.
@@ -656,6 +737,58 @@ mod tests {
         let restored = other.predict(&data, &sample.input).unwrap();
         assert_eq!(restored.data(), before.data());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn predict_batch_matches_single_shot_bitwise() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let s20 = data.sample(20).unwrap();
+        let s25 = data.sample(25).unwrap();
+        let batch = model.predict_batch(&data, &[&s20.input, &s25.input]).unwrap();
+        assert_eq!(batch.len(), 2);
+        let single20 = model.predict(&data, &s20.input).unwrap();
+        let single25 = model.predict(&data, &s25.input).unwrap();
+        for (b, s) in [(&batch[0], &single20), (&batch[1], &single25)] {
+            assert_eq!(b.shape(), s.shape());
+            for (x, y) in b.data().iter().zip(s.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn install_params_rejects_mismatched_config() {
+        let data = tiny_dataset();
+        let mut model = StHsl::new(tiny_cfg(), &data).unwrap();
+        // A model built with a different embedding width has same-named
+        // params with different shapes.
+        let other = StHsl::new(StHslConfig { d: 8, ..tiny_cfg() }, &data).unwrap();
+        let err = model.install_params(&other.store).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("model config expects"), "unexpected error: {msg}");
+        // Matching config installs and reproduces the source's predictions.
+        let donor = StHsl::new(tiny_cfg().with_seed(7), &data).unwrap();
+        model.install_params(&donor.store).unwrap();
+        let sample = data.sample(20).unwrap();
+        let a = model.predict(&data, &sample.input).unwrap();
+        let b = donor.predict(&data, &sample.input).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn release_mode_shape_guards_are_typed_errors() {
+        let data = tiny_dataset();
+        let model = StHsl::new(tiny_cfg(), &data).unwrap();
+        let g = Graph::new();
+        let pv = model.store.inject(&g);
+        // Wrong category count reaches the embedding guard even in release
+        // builds (this used to be a debug_assert that compiled away).
+        let bad = Tensor::zeros(&[16, 7, 5]);
+        let Err(err) = model.forward(&g, &pv, &bad, None) else {
+            panic!("mis-shaped window accepted")
+        };
+        assert!(err.to_string().contains("16"), "untyped error: {err}");
     }
 
     #[test]

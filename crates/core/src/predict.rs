@@ -25,9 +25,16 @@ impl PredictionHead {
     }
 
     /// `pooled: [R, C, in_dim] → X̂: [R, C]`.
+    ///
+    /// The input width is validated in release builds too: a mis-sized
+    /// pooled embedding returns a typed [`ShapeMismatch`] here instead of a
+    /// confusing matmul error (or a silently wrong broadcast) downstream.
+    ///
+    /// [`ShapeMismatch`]: sthsl_tensor::TensorError::ShapeMismatch
     pub fn forward(&self, g: &Graph, pv: &ParamVars, pooled: Var) -> Result<Var> {
         let shape = g.shape_of(pooled)?;
-        debug_assert_eq!(shape[2], self.in_dim);
+        crate::guard::expect_rank("predict.head", &shape, 3)?;
+        crate::guard::expect_dim("predict.head", &shape, 2, self.in_dim)?;
         let (r, c) = (shape[0], shape[1]);
         let y = self.proj.forward(g, pv, pooled)?; // [R, C, 1]
         g.reshape(y, &[r, c])
@@ -50,6 +57,29 @@ mod tests {
         let pooled = g.constant(Tensor::ones(&[10, 4, 8]));
         let y = head.forward(&g, &pv, pooled).unwrap();
         assert_eq!(g.shape_of(y).unwrap(), vec![10, 4]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width_in_release_builds() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut store = ParamStore::new();
+        let head = PredictionHead::new(&mut store, 8, &mut rng);
+        let g = Graph::new();
+        let pv = store.inject(&g);
+        // Wrong embedding width: typed ShapeMismatch, not a deep matmul error.
+        let narrow = g.constant(Tensor::ones(&[10, 4, 6]));
+        let err = head.forward(&g, &pv, narrow).unwrap_err();
+        assert!(
+            matches!(err, sthsl_tensor::TensorError::ShapeMismatch { op: "predict.head", .. }),
+            "unexpected error: {err:?}"
+        );
+        // Wrong rank: typed RankMismatch.
+        let flat = g.constant(Tensor::ones(&[10, 8]));
+        let err = head.forward(&g, &pv, flat).unwrap_err();
+        assert!(
+            matches!(err, sthsl_tensor::TensorError::RankMismatch { op: "predict.head", .. }),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

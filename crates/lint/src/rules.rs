@@ -80,7 +80,10 @@ pub const ALL_RULES: [&str; 8] = [
 pub struct FileClass {
     /// Test-only compilation unit: integration tests, benches, examples.
     pub is_test_file: bool,
-    /// Binary / harness code: CLIs, `src/bin/`, the bench crate.
+    /// Binary / harness code: CLIs, `src/bin/`, the bench crate. The serve
+    /// runtime (`crates/serve`) is deliberately NOT here: its request loop
+    /// is library code under R3's zero panic budget, so no request path can
+    /// ever reach a panic.
     pub is_bin: bool,
     /// Inside a kernel crate (`tensor`, `autograd`, `parallel`).
     pub is_kernel: bool,
@@ -535,6 +538,23 @@ mod tests {
         let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }";
         assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["thread-outside-pool"]);
         assert!(rules_hit("crates/parallel/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_runtime_is_library_code_with_zero_panic_budget() {
+        // Pin the classification: the HTTP serving runtime must stay under
+        // R2/R3/R6 (no threads, no panics, no prints) even though it ships
+        // behind a CLI subcommand. A refactor that reclassified it as bin
+        // code would silently legalize panic-reachable request paths.
+        let fc = FileClass::of("crates/serve/src/server.rs");
+        assert!(!fc.is_bin && !fc.is_test_file && !fc.is_pool);
+        let src = "fn f() { println!(\"x\"); Some(1).unwrap(); std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", src),
+            vec!["print-in-library", "panic-in-library", "thread-outside-pool"]
+        );
+        // Its tests keep the usual exemptions.
+        assert!(rules_hit("crates/serve/tests/smoke.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Typed errors for the serving stack.
+//!
+//! Two distinct failure domains, two types:
+//!
+//! * [`ServeError`] — anything that can go wrong while answering a request.
+//!   Every variant maps to an HTTP status and a machine-readable `code`
+//!   slug, and renders as a JSON body. Nothing on the request path may
+//!   panic; this type is the proof obligation's currency.
+//! * [`StartupError`] — anything that can go wrong before the first request
+//!   is accepted: a missing or corrupt checkpoint, a checkpoint whose
+//!   parameter shapes disagree with the requested model config, a failed
+//!   graphcheck pre-flight, a bind failure. Startup errors abort the server
+//!   with a message; they never become 5xx responses because there is no
+//!   socket yet to answer on.
+
+use std::fmt;
+use sthsl_obs::Json;
+
+/// A request-path failure with an HTTP status, a stable `code` slug and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// 400 — the request could not be parsed (malformed HTTP, bad query
+    /// string, invalid JSON body, non-numeric parameter).
+    BadRequest(String),
+    /// 404 — no such endpoint.
+    NotFound(String),
+    /// 405 — the endpoint exists but not for this method.
+    MethodNotAllowed(String),
+    /// 413 — the body exceeds the configured size limit.
+    PayloadTooLarge(String),
+    /// 422 — syntactically valid but semantically impossible: region or
+    /// category out of range, horizon beyond the configured cap, a day the
+    /// dataset has no window for.
+    Unprocessable(String),
+    /// 500 — the model rejected a forward pass or another internal
+    /// invariant failed. Carries the underlying message.
+    Internal(String),
+    /// 503 — the engine is (temporarily) unable to serve: a reload found no
+    /// verified checkpoint, or the replacement failed validation.
+    Unavailable(String),
+}
+
+impl ServeError {
+    /// HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::MethodNotAllowed(_) => 405,
+            ServeError::PayloadTooLarge(_) => 413,
+            ServeError::Unprocessable(_) => 422,
+            ServeError::Internal(_) => 500,
+            ServeError::Unavailable(_) => 503,
+        }
+    }
+
+    /// Stable machine-readable slug for the `error.code` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::MethodNotAllowed(_) => "method_not_allowed",
+            ServeError::PayloadTooLarge(_) => "payload_too_large",
+            ServeError::Unprocessable(_) => "unprocessable",
+            ServeError::Internal(_) => "internal",
+            ServeError::Unavailable(_) => "unavailable",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::MethodNotAllowed(m)
+            | ServeError::PayloadTooLarge(m)
+            | ServeError::Unprocessable(m)
+            | ServeError::Internal(m)
+            | ServeError::Unavailable(m) => m,
+        }
+    }
+
+    /// The JSON response body every error renders as.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "error".into(),
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(self.code().into())),
+                    ("message".into(), Json::Str(self.message().into())),
+                ]),
+            ),
+            ("status".into(), Json::Int(i64::from(self.status()))),
+        ])
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.status(), self.code(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A failure before the server is ready to accept its first request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartupError {
+    /// No verified checkpoint generation survived the scan of the directory.
+    NoCheckpoint(String),
+    /// The checkpoint loaded but its parameter names/shapes disagree with
+    /// the requested model config. This is the satellite contract: shape
+    /// disagreement is rejected here, never at first request.
+    CheckpointMismatch(String),
+    /// The graphcheck pre-flight over the serving tape reported errors.
+    AuditFailed(String),
+    /// An I/O failure (reading the checkpoint or model file, opening the
+    /// trace sink).
+    Io(String),
+    /// The listener could not bind.
+    Bind(String),
+    /// The dataset cannot support serving (e.g. fewer days than one window).
+    Dataset(String),
+}
+
+impl fmt::Display for StartupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartupError::NoCheckpoint(d) => {
+                write!(f, "no verified checkpoint found in {d}")
+            }
+            StartupError::CheckpointMismatch(m) => {
+                write!(f, "checkpoint rejected at startup: {m}")
+            }
+            StartupError::AuditFailed(m) => {
+                write!(f, "serving-tape pre-flight audit failed: {m}")
+            }
+            StartupError::Io(m) => write!(f, "serve startup I/O error: {m}"),
+            StartupError::Bind(m) => write!(f, "serve bind failed: {m}"),
+            StartupError::Dataset(m) => write!(f, "serve dataset unusable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StartupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_maps_to_a_distinct_status_and_code() {
+        let all = [
+            ServeError::BadRequest("a".into()),
+            ServeError::NotFound("b".into()),
+            ServeError::MethodNotAllowed("c".into()),
+            ServeError::PayloadTooLarge("d".into()),
+            ServeError::Unprocessable("e".into()),
+            ServeError::Internal("f".into()),
+            ServeError::Unavailable("g".into()),
+        ];
+        let mut statuses: Vec<u16> = all.iter().map(ServeError::status).collect();
+        let mut codes: Vec<&str> = all.iter().map(ServeError::code).collect();
+        statuses.dedup();
+        codes.dedup();
+        assert_eq!(statuses.len(), all.len());
+        assert_eq!(codes.len(), all.len());
+        for e in &all {
+            assert!((400..=599).contains(&e.status()));
+        }
+    }
+
+    #[test]
+    fn json_body_carries_code_message_and_status() {
+        let e = ServeError::Unprocessable("horizon 99 exceeds cap 7".into());
+        let j = e.to_json();
+        let rendered = j.render();
+        let back = sthsl_obs::parse_json(&rendered).unwrap();
+        let err = back.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("unprocessable"));
+        assert!(err.get("message").and_then(Json::as_str).unwrap().contains("horizon 99"));
+        assert_eq!(back.get("status").and_then(Json::as_i64), Some(422));
+    }
+
+    #[test]
+    fn startup_errors_render_their_domain() {
+        let e = StartupError::CheckpointMismatch("parameter 'embedding.e_c' ...".into());
+        assert!(e.to_string().contains("rejected at startup"));
+        assert!(StartupError::NoCheckpoint("/tmp/ck".into()).to_string().contains("/tmp/ck"));
+    }
+}

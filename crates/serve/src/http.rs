@@ -1,0 +1,243 @@
+//! A deliberately small, panic-free HTTP/1.1 layer.
+//!
+//! The build environment has no registry access, so the server carries its
+//! own request reader and response writer instead of hyper. Scope is exactly
+//! what the forecast API needs: one request per connection
+//! (`Connection: close`), a request line, headers, an optional
+//! `Content-Length` body, and JSON responses. Every malformed input path
+//! returns a typed [`ServeError`] — the parser contains no `unwrap`, no
+//! indexing past checked bounds, and hard caps on header and body sizes so
+//! a hostile client cannot balloon memory.
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+use sthsl_obs::Json;
+
+/// Cap on the request line + headers, before the body.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/forecast`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value under `key`.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from `stream`, with the body capped at
+/// `max_body` bytes.
+pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, ServeError> {
+    // Read byte-wise until the blank line; a small buffer keeps this simple
+    // and the cap keeps it bounded. One request per connection means the
+    // tail of the stream after the body is never ours to consume.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(ServeError::PayloadTooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ServeError::BadRequest("connection closed mid-request".into()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => {
+                return Err(ServeError::BadRequest(format!("read failed: {e}")));
+            }
+        }
+    }
+    let Ok(head_text) = std::str::from_utf8(&head) else {
+        return Err(ServeError::BadRequest("request head is not UTF-8".into()));
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") && !m.is_empty() => (m, t),
+        _ => {
+            return Err(ServeError::BadRequest(format!("malformed request line '{request_line}'")));
+        }
+    };
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::BadRequest(format!("malformed header '{line}'")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ServeError::BadRequest(format!("bad Content-Length '{value}'")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(ServeError::PayloadTooLarge(format!(
+            "body of {content_length} bytes exceeds limit {max_body}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = stream.read_exact(&mut body) {
+            return Err(ServeError::BadRequest(format!("body truncated: {e}")));
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(Request { method: method.to_ascii_uppercase(), path, query, body })
+}
+
+/// Minimal percent-decoding (`%XX` and `+` for space).
+fn percent_decode(s: &str) -> Result<String, ServeError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => out.push(b),
+                    None => {
+                        return Err(ServeError::BadRequest(format!("bad percent-escape in '{s}'")));
+                    }
+                }
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| ServeError::BadRequest(format!("non-UTF-8 percent-escape in '{s}'")))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serialise `body` and write a complete `Connection: close` response.
+/// Write failures are returned, not panicked on — a client that hung up
+/// mid-response is routine.
+pub fn write_response(stream: &mut dyn Write, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.render();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ServeError> {
+        read_request(&mut &raw[..], 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse(b"GET /forecast?region=3&category=a%20b&horizon=2 HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/forecast");
+        assert_eq!(req.query_get("region"), Some("3"));
+        assert_eq!(req.query_get("category"), Some("a b"));
+        assert_eq!(req.query_get("horizon"), Some("2"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /forecast HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn malformed_inputs_become_typed_errors_not_panics() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GARBAGE\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn oversized_body_and_head_are_413() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+        let mut huge = b"GET /x HTTP/1.1\r\n".to_vec();
+        while huge.len() < MAX_HEAD_BYTES + 10 {
+            huge.extend_from_slice(b"X-Pad: yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy\r\n");
+        }
+        huge.extend_from_slice(b"\r\n");
+        let err = read_request(&mut &huge[..], 1024).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &Json::Obj(vec![("ok".into(), Json::Bool(true))])).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Request metrics: counters, latency percentiles and trace emission.
+//!
+//! Latencies are kept in a bounded ring of the most recent observations;
+//! p50/p99 are computed over that window by sorting a copy (the ring is a
+//! few thousand entries — the sort is microseconds, and it keeps the
+//! structure allocation-free in steady state).
+
+use sthsl_obs::{Json, TraceEmitter, TraceEvent};
+
+/// How many recent request latencies feed the percentile gauges.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// Monotonic request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Requests fully processed (any status).
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Responses with a 4xx status.
+    pub client_errors: u64,
+    /// Responses with a 5xx status.
+    pub server_errors: u64,
+    /// Micro-batches drained from the accept loop.
+    pub batches: u64,
+    /// Forward passes actually executed (after cache + dedup).
+    pub forwards: u64,
+    /// Checkpoint reloads completed.
+    pub reloads: u64,
+}
+
+/// The serving metrics registry.
+pub struct Metrics {
+    counters: Counters,
+    latencies_ns: Vec<u64>,
+    next_slot: usize,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics { counters: Counters::default(), latencies_ns: Vec::new(), next_slot: 0 }
+    }
+
+    /// Record one completed request.
+    pub fn observe(&mut self, status: u16, dur_ns: u64) {
+        self.counters.requests += 1;
+        match status {
+            200..=299 => self.counters.ok += 1,
+            400..=499 => self.counters.client_errors += 1,
+            _ => self.counters.server_errors += 1,
+        }
+        if self.latencies_ns.len() < LATENCY_WINDOW {
+            self.latencies_ns.push(dur_ns);
+        } else {
+            self.latencies_ns[self.next_slot] = dur_ns;
+            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Counters, mutable (batch/forward/reload accounting).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Latency percentile over the recent window, in nanoseconds.
+    /// `q` is clamped to `[0, 1]`; returns 0 with no observations.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let pos = (q * (sorted.len() - 1) as f64).round();
+        let idx =
+            if pos.is_finite() && pos >= 0.0 { (pos as usize).min(sorted.len() - 1) } else { 0 };
+        sorted[idx]
+    }
+
+    /// The `/metrics` JSON document (counters + cache stats + gauges).
+    pub fn to_json(&self, cache: &crate::cache::CacheStats, cache_len: usize) -> Json {
+        let c = self.counters;
+        let ns_to_ms = |ns: u64| Json::Float(ns as f64 / 1.0e6);
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("sthsl-serve-metrics-v1".into())),
+            ("requests".into(), Json::Int(i64::try_from(c.requests).unwrap_or(i64::MAX))),
+            ("ok".into(), Json::Int(i64::try_from(c.ok).unwrap_or(i64::MAX))),
+            ("client_errors".into(), Json::Int(i64::try_from(c.client_errors).unwrap_or(i64::MAX))),
+            ("server_errors".into(), Json::Int(i64::try_from(c.server_errors).unwrap_or(i64::MAX))),
+            ("batches".into(), Json::Int(i64::try_from(c.batches).unwrap_or(i64::MAX))),
+            ("forwards".into(), Json::Int(i64::try_from(c.forwards).unwrap_or(i64::MAX))),
+            ("reloads".into(), Json::Int(i64::try_from(c.reloads).unwrap_or(i64::MAX))),
+            ("cache_hits".into(), Json::Int(i64::try_from(cache.hits).unwrap_or(i64::MAX))),
+            ("cache_misses".into(), Json::Int(i64::try_from(cache.misses).unwrap_or(i64::MAX))),
+            (
+                "cache_evictions".into(),
+                Json::Int(i64::try_from(cache.evictions).unwrap_or(i64::MAX)),
+            ),
+            (
+                "cache_invalidations".into(),
+                Json::Int(i64::try_from(cache.invalidations).unwrap_or(i64::MAX)),
+            ),
+            ("cache_entries".into(), Json::Int(i64::try_from(cache_len).unwrap_or(i64::MAX))),
+            ("p50_ms".into(), ns_to_ms(self.percentile_ns(0.50))),
+            ("p99_ms".into(), ns_to_ms(self.percentile_ns(0.99))),
+        ])
+    }
+
+    /// Emit the counters and percentile gauges as trace events.
+    pub fn emit(&self, emitter: &TraceEmitter, cache: &crate::cache::CacheStats) {
+        let c = self.counters;
+        let int = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        for (name, value) in [
+            ("serve.requests", c.requests),
+            ("serve.ok", c.ok),
+            ("serve.client_errors", c.client_errors),
+            ("serve.server_errors", c.server_errors),
+            ("serve.batches", c.batches),
+            ("serve.forwards", c.forwards),
+            ("serve.cache_hits", cache.hits),
+            ("serve.cache_misses", cache.misses),
+        ] {
+            emitter.emit(&TraceEvent::Counter { name: name.into(), value: int(value) });
+        }
+        for (name, q) in [("serve.p50_ms", 0.50), ("serve.p99_ms", 0.99)] {
+            emitter.emit(&TraceEvent::Gauge {
+                name: name.into(),
+                value: self.percentile_ns(q) as f64 / 1.0e6,
+            });
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let mut m = Metrics::new();
+        for i in 1..=100u64 {
+            m.observe(200, i * 1000);
+        }
+        assert_eq!(m.counters().requests, 100);
+        assert_eq!(m.counters().ok, 100);
+        let p50 = m.percentile_ns(0.50);
+        let p99 = m.percentile_ns(0.99);
+        assert!((49_000..=52_000).contains(&p50), "p50={p50}");
+        assert!((98_000..=100_000).contains(&p99), "p99={p99}");
+        assert_eq!(m.percentile_ns(0.0), 1000);
+        assert_eq!(m.percentile_ns(1.0), 100_000);
+    }
+
+    #[test]
+    fn status_classes_route_to_the_right_counter() {
+        let mut m = Metrics::new();
+        m.observe(200, 1);
+        m.observe(404, 1);
+        m.observe(422, 1);
+        m.observe(500, 1);
+        let c = m.counters();
+        assert_eq!((c.ok, c.client_errors, c.server_errors), (1, 2, 1));
+    }
+
+    #[test]
+    fn ring_stays_bounded() {
+        let mut m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW as u64 + 500) {
+            m.observe(200, i);
+        }
+        assert_eq!(m.latencies_ns.len(), LATENCY_WINDOW);
+        assert_eq!(m.counters().requests, LATENCY_WINDOW as u64 + 500);
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_complete() {
+        let mut m = Metrics::new();
+        m.observe(200, 2_000_000);
+        let j = m.to_json(&CacheStats { hits: 3, misses: 1, ..CacheStats::default() }, 4);
+        let doc = j.render();
+        let back = sthsl_obs::parse_json(&doc).unwrap();
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some("sthsl-serve-metrics-v1"));
+        assert_eq!(back.get("requests").and_then(Json::as_i64), Some(1));
+        assert_eq!(back.get("cache_hits").and_then(Json::as_i64), Some(3));
+        assert!(back.get("p50_ms").and_then(Json::as_f64).unwrap() >= 1.9);
+    }
+}

@@ -7,9 +7,65 @@ use crate::prelude::*;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::BufReader;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use sthsl_data::loader::{dataset_from_csv_lenient, GridSpec};
+use sthsl_serve::{ForecastEngine, Server, ServerConfig};
+
+/// A CLI failure, split by who got it wrong.
+///
+/// * [`CliError::Usage`] — the *invocation* is wrong: unknown command or
+///   flag, malformed value, a missing required flag. The message carries a
+///   usage hint and the process exits with code **2** (the conventional
+///   "bad usage" status), never a Rust backtrace.
+/// * [`CliError::Runtime`] — the invocation was fine but the work failed
+///   (I/O error, failed audit, training fault). Exit code **1**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation: exit code 2, message includes a usage pointer.
+    Usage(String),
+    /// The command ran and failed: exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// The process exit code `main` should terminate with.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+// Command bodies accumulate errors as plain strings (via
+// `.map_err(|e| e.to_string())?`); anything not explicitly classified as a
+// usage error is a runtime failure.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Runtime(msg.to_string())
+    }
+}
 
 /// Parsed common flags.
 #[derive(Debug)]
@@ -41,6 +97,12 @@ struct Flags {
     deny_warnings: bool,
     optimize_preflight: bool,
     fusion_out: Option<String>,
+    addr: Option<String>,
+    cache_capacity: usize,
+    tile_regions: usize,
+    max_horizon: usize,
+    batch_window_ms: u64,
+    max_requests: Option<u64>,
     help: bool,
 }
 
@@ -77,6 +139,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         deny_warnings: false,
         optimize_preflight: false,
         fusion_out: None,
+        addr: None,
+        cache_capacity: 1024,
+        tile_regions: 4,
+        max_horizon: 7,
+        batch_window_ms: 2,
+        max_requests: None,
         help: false,
     };
     let mut i = 0;
@@ -201,6 +269,30 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.fusion_out = Some(value(i)?.clone());
                 i += 2;
             }
+            "--addr" => {
+                f.addr = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--cache-capacity" => {
+                f.cache_capacity = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--tile-regions" => {
+                f.tile_regions = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--max-horizon" => {
+                f.max_horizon = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--batch-window-ms" => {
+                f.batch_window_ms = parse_value(key, value(i)?)?;
+                i += 2;
+            }
+            "--max-requests" => {
+                f.max_requests = Some(parse_value(key, value(i)?)?);
+                i += 2;
+            }
             other => return Err(format!("unknown flag '{other}' (run with --help for usage)")),
         }
     }
@@ -213,11 +305,13 @@ fn grid_spec(rows: usize, cols: usize) -> GridSpec {
     GridSpec { lat_min: 0.0, lat_max: rows as f64, lon_min: 0.0, lon_max: cols as f64, rows, cols }
 }
 
-fn city_config(flags: &Flags) -> Result<SynthConfig, String> {
+fn city_config(flags: &Flags) -> Result<SynthConfig, CliError> {
     let base = match flags.city.as_str() {
         "nyc" => SynthConfig::nyc_like(),
         "chi" | "chicago" => SynthConfig::chicago_like(),
-        other => return Err(format!("unknown --city {other} (expected nyc|chi)")),
+        other => {
+            return Err(CliError::usage(format!("unknown --city {other} (expected nyc|chi)")));
+        }
     };
     let mut cfg = base.scaled(flags.rows, flags.cols, flags.days);
     cfg.seed ^= flags.seed;
@@ -229,7 +323,7 @@ fn categories_of(cfg: &SynthConfig) -> Vec<String> {
 }
 
 /// `simulate`: generate a city and export it as `category,day,lon,lat` rows.
-fn cmd_simulate(flags: &Flags) -> Result<String, String> {
+fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let cfg = city_config(flags)?;
     let city = SynthCity::generate(&cfg).map_err(|e| e.to_string())?;
     let (r, t, c) = (city.num_regions(), city.num_days(), city.num_categories());
@@ -245,8 +339,8 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     ))
 }
 
-fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
-    let path = flags.data.as_ref().ok_or("--data is required")?;
+fn load_dataset(flags: &Flags) -> Result<CrimeDataset, CliError> {
+    let path = flags.data.as_ref().ok_or_else(|| CliError::usage("--data is required"))?;
     let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let cfg = city_config(flags)?;
     let cats = categories_of(&cfg);
@@ -287,7 +381,7 @@ fn load_dataset(flags: &Flags) -> Result<CrimeDataset, String> {
 /// city of the requested dimensions. The recorded graphs depend only on the
 /// dataset's shape, not its counts, so the synthetic stand-in certifies the
 /// real thing.
-fn dataset_or_synth(flags: &Flags) -> Result<CrimeDataset, String> {
+fn dataset_or_synth(flags: &Flags) -> Result<CrimeDataset, CliError> {
     if flags.data.is_some() {
         return load_dataset(flags);
     }
@@ -301,7 +395,7 @@ fn dataset_or_synth(flags: &Flags) -> Result<CrimeDataset, String> {
             train_fraction: 7.0 / 8.0,
         },
     )
-    .map_err(|e| e.to_string())
+    .map_err(|e| CliError::Runtime(e.to_string()))
 }
 
 fn model_config(flags: &Flags) -> StHslConfig {
@@ -323,7 +417,7 @@ fn model_config(flags: &Flags) -> StHslConfig {
 /// `train`: fit ST-HSL on a CSV dataset and persist the parameters, with the
 /// full fault-tolerant runtime (checkpointing, resume, early stopping) wired
 /// to the corresponding flags.
-fn cmd_train(flags: &Flags) -> Result<String, String> {
+fn cmd_train(flags: &Flags) -> Result<String, CliError> {
     let data = load_dataset(flags)?;
     let mut model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
     let mut opts = TrainOptions::resilient();
@@ -332,7 +426,10 @@ fn cmd_train(flags: &Flags) -> Result<String, String> {
     opts.patience = flags.patience;
     opts.optimize_preflight = flags.optimize_preflight;
     if flags.resume {
-        let dir = opts.checkpoint_dir.as_ref().ok_or("--resume requires --checkpoint-dir")?;
+        let dir = opts
+            .checkpoint_dir
+            .as_ref()
+            .ok_or_else(|| CliError::usage("--resume requires --checkpoint-dir"))?;
         match latest_checkpoint(dir).map_err(|e| e.to_string())? {
             Some(ckpt) => opts.resume_from = Some(ckpt),
             None => eprintln!("no checkpoint found in {}; starting fresh", dir.display()),
@@ -380,15 +477,15 @@ fn cmd_train(flags: &Flags) -> Result<String, String> {
     Ok(msg)
 }
 
-fn restore_model(flags: &Flags, data: &CrimeDataset) -> Result<StHsl, String> {
-    let path = flags.model.as_ref().ok_or("--model is required")?;
+fn restore_model(flags: &Flags, data: &CrimeDataset) -> Result<StHsl, CliError> {
+    let path = flags.model.as_ref().ok_or_else(|| CliError::usage("--model is required"))?;
     let mut model = StHsl::new(model_config(flags), data).map_err(|e| e.to_string())?;
     model.restore(path).map_err(|e| format!("{path}: {e}"))?;
     Ok(model)
 }
 
 /// `evaluate`: paper-style metrics over the test period.
-fn cmd_evaluate(flags: &Flags) -> Result<String, String> {
+fn cmd_evaluate(flags: &Flags) -> Result<String, CliError> {
     let data = load_dataset(flags)?;
     let model = restore_model(flags, &data)?;
     let report = model.evaluate(&data).map_err(|e| e.to_string())?;
@@ -408,7 +505,7 @@ fn cmd_evaluate(flags: &Flags) -> Result<String, String> {
 }
 
 /// `predict`: forecast the day after the last window in the data.
-fn cmd_predict(flags: &Flags) -> Result<String, String> {
+fn cmd_predict(flags: &Flags) -> Result<String, CliError> {
     let data = load_dataset(flags)?;
     let model = restore_model(flags, &data)?;
     let last = data.num_days() - 1;
@@ -437,7 +534,7 @@ fn cmd_predict(flags: &Flags) -> Result<String, String> {
 /// `graph-audit`: statically certify the training graphs of ST-HSL and every
 /// neural baseline — shape consistency, gradient flow to every parameter,
 /// NaN hazards, memory budget — without running a single optimizer step.
-fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
+fn cmd_graph_audit(flags: &Flags) -> Result<String, CliError> {
     let data = dataset_or_synth(flags)?;
 
     let mut reports = Vec::new();
@@ -464,7 +561,7 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
         if let Some(path) = &flags.out {
             fs::write(path, &doc).map_err(|e| e.to_string())?;
         }
-        return if failing.is_empty() { Ok(doc) } else { Err(doc) };
+        return if failing.is_empty() { Ok(doc) } else { Err(doc.into()) };
     }
 
     let mut out = String::new();
@@ -496,7 +593,7 @@ fn cmd_graph_audit(flags: &Flags) -> Result<String, String> {
     if failing.is_empty() {
         Ok(out)
     } else {
-        Err(out)
+        Err(out.into())
     }
 }
 
@@ -566,7 +663,7 @@ fn render_cost_detail(r: &sthsl_graphcheck::AuditReport) -> String {
 /// training goal, every parameter gradient) be bit-identical to the
 /// recording graph. Also writes the advisory fusion-candidate report to
 /// `results/fusion_candidates.json` (override with `--fusion-out`).
-fn cmd_optimize(flags: &Flags) -> Result<String, String> {
+fn cmd_optimize(flags: &Flags) -> Result<String, CliError> {
     let data = dataset_or_synth(flags)?;
     let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
 
@@ -615,7 +712,7 @@ fn cmd_optimize(flags: &Flags) -> Result<String, String> {
             let _ = write!(out, "\n  {w}");
         }
         if flags.deny_warnings {
-            return Err(format!("{out}\n--deny-warnings: failing"));
+            return Err(format!("{out}\n--deny-warnings: failing").into());
         }
     }
     Ok(out)
@@ -625,7 +722,7 @@ fn cmd_optimize(flags: &Flags) -> Result<String, String> {
 /// profiler attached and print the top-K hot-op report. `--fake-clock`
 /// substitutes a deterministic clock (every op "takes" 100 ns) so the output
 /// is reproducible — rankings then reflect op *counts*, not wall time.
-fn cmd_profile(flags: &Flags) -> Result<String, String> {
+fn cmd_profile(flags: &Flags) -> Result<String, CliError> {
     let data = dataset_or_synth(flags)?;
     let model = StHsl::new(model_config(flags), &data).map_err(|e| e.to_string())?;
 
@@ -661,19 +758,92 @@ fn cmd_profile(flags: &Flags) -> Result<String, String> {
 /// `chaos`: run the seeded fault-injection campaign and write the verdict
 /// to a JSON report plus a JSONL fault trace. Exits nonzero when any
 /// scenario misses its recovery contract.
-fn cmd_chaos(flags: &Flags) -> Result<String, String> {
+fn cmd_chaos(flags: &Flags) -> Result<String, CliError> {
     let report = flags.out.clone().unwrap_or_else(|| "results/chaos_report.json".into());
     let trace = flags.trace_out.clone().unwrap_or_else(|| "results/chaos_fault_trace.jsonl".into());
     let outcome = crate::chaos::run_campaign(flags.seed, report.as_ref(), trace.as_ref())?;
     if outcome.passed {
         Ok(outcome.summary)
     } else {
-        Err(outcome.summary)
+        Err(outcome.summary.into())
     }
 }
 
+/// `serve`: load a trained artifact and answer forecast requests over HTTP.
+///
+/// The model comes from `--checkpoint-dir` (newest *verified* checkpoint-v2
+/// generation; corrupt files are quarantined and older good generations
+/// win) or from a `--model` parameter file. Either way the parameters are
+/// cross-checked against the model config and the serving tape passes a
+/// graphcheck audit before the socket opens. Concurrent requests are
+/// micro-batched through one batched forward pass per accept-loop drain,
+/// behind an LRU forecast cache that `POST /reload` explicitly invalidates.
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let data = dataset_or_synth(flags)?;
+    let cfg = model_config(flags);
+    let (engine, ckpt_path) = if let Some(dir) = &flags.checkpoint_dir {
+        let (engine, path) = ForecastEngine::from_checkpoint_dir(
+            &RealIo,
+            Path::new(dir),
+            cfg,
+            data,
+            flags.max_horizon,
+            RetryPolicy::default_read(),
+            &ThreadSleeper,
+        )
+        .map_err(|e| e.to_string())?;
+        (engine, Some(path))
+    } else if let Some(model) = &flags.model {
+        let engine =
+            ForecastEngine::from_model_file(Path::new(model), cfg, data, flags.max_horizon)
+                .map_err(|e| e.to_string())?;
+        (engine, None)
+    } else {
+        return Err(CliError::usage("serve requires --checkpoint-dir or --model"));
+    };
+
+    let server_cfg = ServerConfig {
+        addr: flags.addr.clone().unwrap_or_else(|| "127.0.0.1:8356".into()),
+        city: flags.city.clone(),
+        batch_window_ms: flags.batch_window_ms,
+        max_requests: flags.max_requests,
+        cache_capacity: flags.cache_capacity,
+        tile_regions: flags.tile_regions,
+        max_horizon: flags.max_horizon,
+        checkpoint_dir: flags.checkpoint_dir.clone().map(PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let emitter = match &flags.trace_out {
+        Some(trace) => {
+            let emitter = TraceEmitter::to_file(trace.as_ref(), Rc::new(WallClock::new()))
+                .map_err(|e| format!("{trace}: {e}"))?;
+            emitter.emit(&TraceEvent::Manifest {
+                run: "serve".into(),
+                seed: flags.seed,
+                args: vec![
+                    ("city".into(), flags.city.clone()),
+                    ("addr".into(), server_cfg.addr.clone()),
+                ],
+            });
+            Some(emitter)
+        }
+        None => None,
+    };
+    let mut server =
+        Server::bind(engine, server_cfg, ckpt_path, emitter).map_err(|e| e.to_string())?;
+    // Announce the resolved address up front (port 0 binds ephemerally) so
+    // clients and CI can find the server before `run` blocks.
+    println!("serving on http://{}", server.local_addr());
+    server.run().map_err(|e| e.to_string())?;
+    let c = server.metrics().counters();
+    Ok(format!(
+        "served {} request(s): {} ok, {} client error(s), {} server error(s)",
+        c.requests, c.ok, c.client_errors, c.server_errors
+    ))
+}
+
 const USAGE: &str =
-    "usage: sthsl <simulate|train|evaluate|predict|graph-audit|optimize|profile|chaos> [flags]
+    "usage: sthsl <simulate|train|evaluate|predict|serve|graph-audit|optimize|profile|chaos> [flags]
   common flags:
     --city nyc|chi   synthetic city preset (default nyc)
     --rows N --cols N --days N --window N --seed N
@@ -696,6 +866,18 @@ const USAGE: &str =
             (--trace-out traces every batch/epoch/divergence/checkpoint)
   evaluate: --data crimes.csv --model model.bin
   predict:  --data crimes.csv --model model.bin [--out forecast.csv]
+  serve:    answer forecast requests over HTTP from a trained artifact;
+            requests are micro-batched through one forward pass and cached
+            --checkpoint-dir DIR   load the newest verified checkpoint in DIR
+                                   (or --model model.bin for a parameter file)
+            [--addr HOST:PORT]     bind address (default 127.0.0.1:8356; port 0
+                                   picks an ephemeral port, printed at startup)
+            [--max-horizon N]      deepest forecast horizon served (default 7)
+            [--cache-capacity N]   LRU forecast-tile cache entries (default 1024)
+            [--tile-regions N]     regions per cache tile (default 4)
+            [--batch-window-ms N]  micro-batch collection window (default 2)
+            [--max-requests N]     exit after N requests (for smoke tests)
+            (--trace-out writes per-request spans + cache/latency metrics)
   graph-audit: statically verify every model's training graph
             [--data crimes.csv]    audit against a real dataset (default: synthetic)
             [--out report.txt]     write the full report to a file
@@ -734,22 +916,27 @@ const USAGE: &str =
                                    (default results/chaos_fault_trace.jsonl)";
 
 /// Entry point: `args` as produced by `std::env::args().collect()`.
-pub fn run(args: &[String]) -> Result<(), String> {
+///
+/// Usage mistakes (unknown commands, malformed or missing flags) come back
+/// as [`CliError::Usage`] — exit code 2, never a panic or backtrace —
+/// while failures of an otherwise well-formed run are [`CliError::Runtime`]
+/// (exit code 1).
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.get(1) else {
-        return Err(USAGE.into());
+        return Err(CliError::usage(USAGE));
     };
     if cmd == "--help" || cmd == "-h" {
         println!("{USAGE}");
         return Ok(());
     }
-    let flags = parse_flags(&args[2..])?;
+    let flags = parse_flags(&args[2..]).map_err(CliError::usage)?;
     if flags.help {
         println!("{USAGE}");
         return Ok(());
     }
     if let Some(n) = flags.threads {
         if n == 0 {
-            return Err("--threads must be at least 1".into());
+            return Err(CliError::usage("--threads must be at least 1"));
         }
         sthsl_parallel::set_num_threads(n);
     }
@@ -758,11 +945,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "train" => cmd_train(&flags)?,
         "evaluate" => cmd_evaluate(&flags)?,
         "predict" => cmd_predict(&flags)?,
+        "serve" => cmd_serve(&flags)?,
         "graph-audit" | "--graph-audit" => cmd_graph_audit(&flags)?,
         "optimize" => cmd_optimize(&flags)?,
         "profile" => cmd_profile(&flags)?,
         "chaos" => cmd_chaos(&flags)?,
-        other => return Err(format!("unknown command {other}\n{USAGE}")),
+        other => return Err(CliError::usage(format!("unknown command {other}\n{USAGE}"))),
     };
     println!("{output}");
     Ok(())
@@ -846,7 +1034,8 @@ mod tests {
         );
         // Zero is rejected in run(), after parsing, so --help still works.
         let err = run(&str_args(&["sthsl", "simulate", "--threads", "0"])).unwrap_err();
-        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        assert_eq!(err.exit_code(), 2, "usage errors exit 2");
     }
 
     #[test]
@@ -860,7 +1049,8 @@ mod tests {
         let mut train = str_args(&["sthsl", "train", "--data", &csv, "--resume"]);
         train.extend(str_args(&common));
         let err = run(&train).unwrap_err();
-        assert!(err.contains("--checkpoint-dir"), "{err}");
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+        assert_eq!(err.exit_code(), 2, "missing flag is a usage error");
         fs::remove_file(csv).ok();
     }
 
@@ -914,9 +1104,33 @@ mod tests {
     #[test]
     fn run_without_command_prints_usage() {
         let err = run(&str_args(&["sthsl"])).unwrap_err();
-        assert!(err.contains("usage"));
+        assert!(err.to_string().contains("usage"));
+        assert_eq!(err.exit_code(), 2);
         let err2 = run(&str_args(&["sthsl", "frobnicate"])).unwrap_err();
-        assert!(err2.contains("unknown command"));
+        assert!(err2.to_string().contains("unknown command"));
+        assert_eq!(err2.exit_code(), 2);
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_not_panics() {
+        // The exact failures the issue calls out: `--threads abc` and a
+        // missing artifact path must come back as typed usage errors with
+        // exit code 2 — never a panic (which would print a backtrace).
+        let err = run(&str_args(&["sthsl", "simulate", "--threads", "abc"])).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let err = run(&str_args(&["sthsl", "evaluate"])).unwrap_err();
+        assert!(err.to_string().contains("--data is required"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let err = run(&str_args(&["sthsl", "serve"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-dir or --model"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let err = run(&str_args(&["sthsl", "simulate", "--city", "atlantis"])).unwrap_err();
+        assert!(err.to_string().contains("unknown --city"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

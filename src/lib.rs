@@ -14,6 +14,8 @@
 //! - [`core`] — the ST-HSL model itself.
 //! - [`baselines`] — the 15 paper baselines (+ HA).
 //! - [`graphcheck`] — the static compute-graph analyzer behind `graph-audit`.
+//! - [`serve`] — the batched, cached forecast serving runtime behind
+//!   `sthsl serve`.
 //!
 //! ```no_run
 //! use sthsl::prelude::*;
@@ -37,6 +39,7 @@ pub use sthsl_data as data;
 pub use sthsl_graphcheck as graphcheck;
 pub use sthsl_obs as obs;
 pub use sthsl_parallel as parallel;
+pub use sthsl_serve as serve;
 pub use sthsl_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
@@ -64,6 +67,9 @@ pub mod prelude {
     };
     pub use sthsl_obs::{
         Clock, FakeClock, ProfileReport, TapeProfiler, TraceEmitter, TraceEvent, WallClock,
+    };
+    pub use sthsl_serve::{
+        ForecastCache, ForecastEngine, ServeError, Server, ServerConfig, StartupError, TileKey,
     };
     pub use sthsl_tensor::{SparseTensor, Tensor};
 }

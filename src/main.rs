@@ -23,6 +23,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Err(e) = cli::run(&args) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        // Usage mistakes exit 2, runtime failures exit 1 — and neither
+        // path can panic, so no invocation ever prints a backtrace.
+        std::process::exit(e.exit_code());
     }
 }
